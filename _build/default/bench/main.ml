@@ -1,0 +1,133 @@
+(* Regenerates every table and figure of the paper's evaluation:
+
+   T1  data-race-test results for the four detector configurations
+   T2  spin-window sensitivity (k = 3, 6, 7, 8)
+   T3  PARSEC program inventory
+   T4  PARSEC racy contexts, programs without ad-hoc synchronization
+   T5  PARSEC racy contexts, programs with ad-hoc synchronization
+   T6  the combined "universal race detector" table
+   F1  detector memory consumption
+   F2  runtime overhead
+
+   plus Bechamel micro-benchmarks of the pipeline stages.  Compare the
+   output against EXPERIMENTS.md. *)
+
+let section title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let tables () =
+  section "Table 1: data-race-test suite (120 cases)";
+  let rows1, t1 = Arde_harness.Suite_experiment.table1 () in
+  print_string t1;
+  section "Table 1a: failures by case category";
+  print_string (Arde_harness.Suite_experiment.category_table rows1);
+  section "Table 2: spinning-read-loop window sensitivity";
+  let _rows, t2 = Arde_harness.Suite_experiment.table2 () in
+  print_string t2;
+  section
+    "Table 2a (ablation): same sweep without counting condition-callee blocks";
+  let ablation_options =
+    {
+      Arde_harness.Suite_experiment.suite_options with
+      Arde.Driver.count_callee_blocks = false;
+    }
+  in
+  let _rows, t2a =
+    Arde_harness.Suite_experiment.table2 ~options:ablation_options ()
+  in
+  print_string t2a;
+  section "Table 3: PARSEC 2.0 program inventory";
+  print_string (Arde_harness.Parsec_experiment.table3 ());
+  section "Table 4: racy contexts, programs without ad-hoc synchronization";
+  let _r, t4 = Arde_harness.Parsec_experiment.table4 () in
+  print_string t4;
+  section "Table 5: racy contexts, programs with ad-hoc synchronization";
+  let _r, t5 = Arde_harness.Parsec_experiment.table5 () in
+  print_string t5;
+  section "Table 6: universal race detector (all programs)";
+  let _r, t6 = Arde_harness.Parsec_experiment.table6 () in
+  print_string t6
+
+(* The paper's stated future work, realized: identify the lock words of
+   the lowered (unknown) library statically and rebuild the lockset, then
+   compare the universal detector with and without it. *)
+let extension_table () =
+  section "Extension: universal detector + inferred lock words (future work)";
+  let cases = Arde_workloads.Racey.all () in
+  let rows =
+    List.map
+      (fun m -> Arde_harness.Suite_experiment.run_mode m cases)
+      [ Arde.Config.Nolib_spin 7; Arde.Config.Nolib_spin_locks 7 ]
+  in
+  print_string (Arde_harness.Suite_experiment.render rows)
+
+let figures () =
+  section "Figure 1: detector memory consumption (heap words)";
+  let _figs, f1, f2 = Arde_harness.Perf.run_figures ~repeats:3 () in
+  print_string f1;
+  section "Figure 2: runtime (ms per full run) and spin overhead ratio";
+  print_string f2
+
+(* Bechamel micro-benchmarks: one Test.make per reproduced artifact,
+   exercising the pipeline stage that dominates it. *)
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let flag_case =
+    match Arde_workloads.Racey.find "adhoc_flag_w2/8" with
+    | Some c -> c.Arde_workloads.Racey.program
+    | None -> assert false
+  in
+  let compiled = Arde.Machine.compile flag_case in
+  let inst = Arde.Instrument.analyze ~k:7 flag_case in
+  let detect_once mode () =
+    let engine = Arde.Engine.create (Arde.Config.make mode) ~instrument:(Some inst) in
+    ignore
+      (Arde.Machine.run
+         {
+           Arde.Machine.default_config with
+           Arde.Machine.instrument = Some inst;
+           observer = Arde.Engine.observer engine;
+         }
+         compiled)
+  in
+  let tests =
+    [
+      Test.make ~name:"T1:instrumentation-phase"
+        (Staged.stage (fun () -> ignore (Arde.Instrument.analyze ~k:7 flag_case)));
+      Test.make ~name:"T1:machine-only"
+        (Staged.stage (fun () ->
+             ignore (Arde.Machine.run Arde.Machine.default_config compiled)));
+      Test.make ~name:"T1:hybrid-lib"
+        (Staged.stage (detect_once Arde.Config.Helgrind_lib));
+      Test.make ~name:"T2:hybrid-spin7"
+        (Staged.stage (detect_once (Arde.Config.Helgrind_spin 7)));
+      Test.make ~name:"T6:lowering"
+        (Staged.stage (fun () -> ignore (Arde.Lower.lower flag_case)));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = List.map (fun t -> (Test.Elt.name (List.hd (Test.elements t)), Benchmark.all cfg instances t)) tests in
+  section "Bechamel: per-stage timings (ns, monotonic clock)";
+  List.iter
+    (fun (name, tbl) ->
+      Hashtbl.iter
+        (fun _ result ->
+          let ols =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Instance.monotonic_clock result
+          in
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        tbl)
+    raw
+
+let () =
+  tables ();
+  extension_table ();
+  figures ();
+  bechamel_suite ()

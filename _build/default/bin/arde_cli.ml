@@ -1,0 +1,368 @@
+(* The arde command-line tool.
+
+   Subcommands:
+     list         enumerate bundled workloads (unit-suite cases + PARSEC)
+     show         print a workload's TIR (optionally lowered)
+     spin-report  run the instrumentation phase and list accepted /
+                  rejected spinning read loops
+     run          execute a workload under a detector configuration and
+                  print the warnings (and the verdict for labelled cases)
+     trace        dump a machine event trace
+     suite        reproduce Table 1 (or one configuration's tally)
+     parsec       reproduce Tables 3-6 *)
+
+module W = Arde_workloads
+open Cmdliner
+
+(* A workload name, or a path to a .tir file. *)
+let find_program name =
+  match W.Catalog.find name with
+  | Some (W.Catalog.Case c) -> Ok (c.W.Racey.program, Some c)
+  | Some (W.Catalog.Parsec (_, p)) -> Ok (p, None)
+  | None -> (
+      match () with
+      | () ->
+          if Sys.file_exists name then begin
+            let ic = open_in name in
+            let len = in_channel_length ic in
+            let text = really_input_string ic len in
+            close_in ic;
+            match Arde.Parse.program text with
+            | Ok p -> (
+                match Arde.Validate.check p with
+                | Ok () -> Ok (p, None)
+                | Error es ->
+                    Error
+                      (Printf.sprintf "%s: %s" name
+                         (String.concat "; "
+                            (List.map Arde.Validate.error_to_string es))))
+            | Error e ->
+                Error
+                  (Printf.sprintf "%s: %s" name (Arde.Parse.error_to_string e))
+          end
+          else
+            Error
+              (Printf.sprintf
+                 "unknown workload %S and no such file (try `arde list`)" name))
+
+let style_conv =
+  let parse = function
+    | "compact" -> Ok Arde.Lower.Compact
+    | "realistic" -> Ok Arde.Lower.Realistic
+    | "futex" -> Ok Arde.Lower.Futex
+    | s -> Error (`Msg (Printf.sprintf "unknown lowering style %S" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | Arde.Lower.Compact -> "compact"
+      | Arde.Lower.Realistic -> "realistic"
+      | Arde.Lower.Futex -> "futex")
+  in
+  Arg.conv (parse, print)
+
+let mode_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Arde.Config.parse_mode s) in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Arde.Config.mode_name m))
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv (Arde.Config.Helgrind_spin 7)
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:
+          "Detector configuration: lib, lib+spin:K, nolib+spin:K, \
+           nolib+spin+locks:K, drd.")
+
+let seeds_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "s"; "seeds" ] ~docv:"N" ~doc:"Number of scheduler seeds to run.")
+
+let lower_arg =
+  Arg.(
+    value
+    & opt (some style_conv) None
+    & info [ "lower" ] ~docv:"STYLE"
+        ~doc:"Lower the program first (compact, realistic or futex).")
+
+let k_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "k" ] ~docv:"K" ~doc:"Spin window in basic blocks.")
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "PARSEC workloads:\n";
+    List.iter
+      (fun (i, p) ->
+        Printf.printf "  %-16s %-7s %6d LOC, %d threads\n" i.W.Parsec.pname
+          i.W.Parsec.model (W.Parsec.loc_of p) i.W.Parsec.threads)
+      (W.Parsec.all ());
+    Printf.printf "\nUnit-suite cases (%d):\n" (List.length (W.Racey.all ()));
+    List.iter
+      (fun c ->
+        Printf.printf "  %-28s %-6s %2d threads  %s\n" c.W.Racey.name
+          c.W.Racey.category c.W.Racey.threads
+          (match c.W.Racey.expectation with
+          | Arde.Classify.Race_free -> "race-free"
+          | Arde.Classify.Racy bs -> "racy on " ^ String.concat ", " bs))
+      (W.Racey.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List bundled workloads.") Term.(const run $ const ())
+
+(* ---- show ---- *)
+
+let show_cmd =
+  let run name lower =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok (p, _) ->
+        let p = match lower with Some s -> Arde.Lower.lower ~style:s p | None -> p in
+        print_endline (Arde.Pretty.program_to_string p)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a workload's TIR.")
+    Term.(const run $ name_arg $ lower_arg)
+
+(* ---- spin-report ---- *)
+
+let spin_report_cmd =
+  let run name lower k =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok (p, _) ->
+        let p = match lower with Some s -> Arde.Lower.lower ~style:s p | None -> p in
+        let inst = Arde.Instrument.analyze ~k p in
+        Format.printf "%a@." Arde.Instrument.pp_summary inst
+  in
+  Cmd.v
+    (Cmd.info "spin-report"
+       ~doc:"Run the instrumentation phase and report spinning read loops.")
+    Term.(const run $ name_arg $ lower_arg $ k_arg)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run name mode seeds =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok (p, case) -> (
+        let options =
+          {
+            Arde.Driver.default_options with
+            Arde.Driver.seeds = List.init seeds (fun i -> i + 1);
+          }
+        in
+        let result = Arde.detect ~options mode p in
+        Printf.printf "mode: %s   spin loops found: %d\n"
+          (Arde.Config.mode_name mode)
+          result.Arde.Driver.n_spin_loops;
+        List.iter
+          (fun sr ->
+            Format.printf "seed %d: %a, %d steps, %d contexts, %d spin edges@."
+              sr.Arde.Driver.sr_seed Arde.Machine.pp_outcome
+              sr.Arde.Driver.sr_outcome sr.Arde.Driver.sr_steps
+              sr.Arde.Driver.sr_contexts sr.Arde.Driver.sr_spin_edges)
+          result.Arde.Driver.runs;
+        Format.printf "%a@." Arde.Report.pp result.Arde.Driver.merged;
+        List.iter
+          (fun d ->
+            Format.printf "static: %a@." Arde.Cv_checker.pp_diagnostic d)
+          result.Arde.Driver.static_cv_hazards;
+        List.iter
+          (fun sr ->
+            List.iter
+              (fun d ->
+                Format.printf "seed %d: %a@." sr.Arde.Driver.sr_seed
+                  Arde.Cv_checker.pp_diagnostic d)
+              sr.Arde.Driver.sr_cv_diagnostics)
+          result.Arde.Driver.runs;
+        match case with
+        | None -> ()
+        | Some c ->
+            let verdict =
+              Arde.Classify.classify c.W.Racey.expectation
+                ~reported:(Arde.Driver.racy_bases result)
+            in
+            Format.printf "verdict: %s (%a)@."
+              (match Arde.Classify.outcome_of verdict with
+              | Arde.Classify.Correct -> "correctly analyzed"
+              | Arde.Classify.False_alarm -> "FALSE ALARM"
+              | Arde.Classify.Missed_race -> "MISSED RACE")
+              Arde.Classify.pp_verdict verdict)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload under a detector configuration.")
+    Term.(const run $ name_arg $ mode_arg $ seeds_arg)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let limit_arg =
+    Arg.(value & opt int 200 & info [ "limit" ] ~docv:"N" ~doc:"Events to print.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+  in
+  let run name seed limit lower =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok (p, _) ->
+        let p = match lower with Some s -> Arde.Lower.lower ~style:s p | None -> p in
+        let trace = Arde.Trace.create () in
+        let cfg =
+          {
+            Arde.Machine.default_config with
+            Arde.Machine.seed;
+            observer = Arde.Trace.observer trace;
+          }
+        in
+        let res = Arde.Machine.run_program cfg p in
+        let events = Arde.Trace.events trace in
+        List.iteri
+          (fun i ev ->
+            if i < limit then Format.printf "%6d  %a@." i Arde.Event.pp ev)
+          events;
+        if List.length events > limit then
+          Printf.printf "... (%d more events)\n" (List.length events - limit);
+        Format.printf "outcome: %a, %d steps, %d context switches, trace hash %08x@."
+          Arde.Machine.pp_outcome res.Arde.Machine.outcome res.Arde.Machine.steps
+          res.Arde.Machine.context_switches (Arde.Trace.hash trace);
+        Array.iteri
+          (fun tid n -> if n > 0 then Format.printf "  T%d: %d steps@." tid n)
+          res.Arde.Machine.thread_steps
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump a machine event trace.")
+    Term.(const run $ name_arg $ seed_arg $ limit_arg $ lower_arg)
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let run name seeds k =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok (p, _) ->
+        let options =
+          {
+            Arde.Driver.default_options with
+            Arde.Driver.seeds = List.init seeds (fun i -> i + 1);
+          }
+        in
+        let modes =
+          [
+            Arde.Config.Helgrind_lib; Arde.Config.Drd; Arde.Config.Helgrind_spin k;
+          ]
+        in
+        let results = Arde.Driver.compare_on_trace ~options ~k p modes in
+        Printf.printf
+          "replaying %d identical trace(s) through %d detectors:
+" seeds
+          (List.length modes);
+        List.iter
+          (fun (mode, report) ->
+            Format.printf "--- %s: %d context(s) ---@."
+              (Arde.Config.mode_name mode)
+              (Arde.Report.n_contexts report);
+            List.iter
+              (fun race -> Format.printf "  %a@." Arde.Report.pp_race race)
+              (Arde.Report.races report))
+          results
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Replay identical traces through several detectors (algorithmic \
+          differences only).")
+    Term.(const run $ name_arg $ seeds_arg $ k_arg)
+
+(* ---- fmt ---- *)
+
+let fmt_cmd =
+  let run name lower =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok (p, _) -> (
+        let p =
+          match lower with Some s -> Arde.Lower.lower ~style:s p | None -> p
+        in
+        match Arde.Validate.check p with
+        | Ok () -> print_endline (Arde.Pretty.program_to_string p)
+        | Error es ->
+            List.iter
+              (fun e -> prerr_endline (Arde.Validate.error_to_string e))
+              es;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fmt"
+       ~doc:"Validate a workload or .tir file and print its canonical form.")
+    Term.(const run $ name_arg $ lower_arg)
+
+(* ---- suite ---- *)
+
+let suite_cmd =
+  let verbose_arg =
+    Arg.(value & flag & info [ "failures" ] ~doc:"List per-case failures.")
+  in
+  let run verbose =
+    let rows, rendered = Arde_harness.Suite_experiment.table1 () in
+    print_string rendered;
+    if verbose then
+      List.iter
+        (fun mr ->
+          Format.printf "%a@." Arde_harness.Suite_experiment.pp_failures mr)
+        rows
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Reproduce Table 1 over the 120-case unit suite.")
+    Term.(const run $ verbose_arg)
+
+(* ---- parsec ---- *)
+
+let parsec_cmd =
+  let table_arg =
+    Arg.(value & opt int 6 & info [ "table" ] ~docv:"N" ~doc:"Which table (3-6).")
+  in
+  let run table =
+    match table with
+    | 3 -> print_string (Arde_harness.Parsec_experiment.table3 ())
+    | 4 -> print_string (snd (Arde_harness.Parsec_experiment.table4 ()))
+    | 5 -> print_string (snd (Arde_harness.Parsec_experiment.table5 ()))
+    | 6 -> print_string (snd (Arde_harness.Parsec_experiment.table6 ()))
+    | n ->
+        Printf.eprintf "no table %d (use 3-6)\n" n;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "parsec" ~doc:"Reproduce the PARSEC tables (3-6).")
+    Term.(const run $ table_arg)
+
+let () =
+  let doc = "ad-hoc synchronization identification for enhanced race detection" in
+  let info = Cmd.info "arde" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; show_cmd; spin_report_cmd; run_cmd; trace_cmd; fmt_cmd;
+            compare_cmd; suite_cmd; parsec_cmd;
+          ]))

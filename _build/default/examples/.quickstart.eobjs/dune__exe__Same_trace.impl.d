@@ -1,0 +1,1 @@
+examples/same_trace.ml: Arde Arde_workloads Format List String

@@ -1,0 +1,1 @@
+examples/same_trace.mli:

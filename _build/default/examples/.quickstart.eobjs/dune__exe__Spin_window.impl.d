@@ -1,0 +1,1 @@
+examples/spin_window.ml: Arde Arde_workloads Format List Printf

@@ -1,0 +1,1 @@
+examples/spin_window.mli:

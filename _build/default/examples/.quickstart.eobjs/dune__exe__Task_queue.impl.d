@@ -1,0 +1,1 @@
+examples/task_queue.ml: Arde Arde_workloads Format List String

@@ -1,0 +1,1 @@
+examples/task_queue.mli:

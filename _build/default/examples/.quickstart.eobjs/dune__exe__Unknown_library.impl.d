@@ -1,0 +1,1 @@
+examples/unknown_library.ml: Arde Format List

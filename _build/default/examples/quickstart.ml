@@ -1,0 +1,73 @@
+(* Quickstart: the paper's motivating example, end to end.
+
+     Thread 1: DATA++; FLAG := 1
+     Thread 2: while (FLAG == 0) { }; DATA--
+
+   We build the program with Arde.Builder, run the hybrid detector with
+   and without spinning-read-loop detection, and show the false positive
+   disappearing.  Run with: dune exec examples/quickstart.exe *)
+
+open Arde.Builder
+
+let program =
+  let producer =
+    func "producer"
+      [
+        blk "entry"
+          [
+            load "d" (g "data");
+            addi "d1" (r "d") (imm 1);
+            store (g "data") (r "d1");
+            store (g "flag") (imm 1);
+          ]
+          exit_t;
+      ]
+  in
+  let consumer =
+    func "consumer"
+      [
+        blk "entry" [] (goto "spin");
+        blk "spin" [ load "f" (g "flag") ] (br (r "f") "work" "spin");
+        blk "work"
+          [
+            load "d" (g "data");
+            subi "d1" (r "d") (imm 1);
+            store (g "data") (r "d1");
+          ]
+          exit_t;
+      ]
+  in
+  let main =
+    func "main"
+      [
+        blk "entry"
+          [ spawn "t1" "producer" []; spawn "t2" "consumer" [] ]
+          (goto "wait");
+        blk "wait" [ join (r "t1"); join (r "t2") ] exit_t;
+      ]
+  in
+  program ~globals:[ global "data" (); global "flag" () ] ~entry:"main"
+    [ main; producer; consumer ]
+
+let show_mode mode =
+  let result = Arde.detect mode program in
+  Format.printf "--- %s ---@." (Arde.Config.mode_name mode);
+  Format.printf "spin loops found by the instrumentation phase: %d@."
+    result.Arde.Driver.n_spin_loops;
+  let report = result.Arde.Driver.merged in
+  if Arde.Report.n_contexts report = 0 then
+    Format.printf "no warnings - the ad-hoc synchronization was understood@.@."
+  else Format.printf "%a@." Arde.Report.pp report
+
+let () =
+  Format.printf "The program under test:@.%s@.@."
+    (Arde.Pretty.program_to_string program);
+  (* The classic hybrid false-positives on data (an "apparent race") and
+     would also flag flag itself (a "synchronization race"). *)
+  show_mode Arde.Config.Helgrind_lib;
+  (* With spin detection the loop over flag is found, a happens-before
+     edge connects the counterpart write to the loop exit, and both
+     warnings disappear. *)
+  show_mode (Arde.Config.Helgrind_spin 7);
+  (* Even with no library knowledge at all the result holds. *)
+  show_mode (Arde.Config.Nolib_spin 7)

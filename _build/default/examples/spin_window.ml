@@ -1,0 +1,42 @@
+(* The effect of the spin window k (the paper's Table 2, in miniature).
+
+   The same flag handoff is implemented with spinning read loops of
+   increasing complexity — 1 to 10 basic blocks, counting condition
+   helpers as if inlined.  For each k we show which loops the
+   instrumentation phase accepts and whether the detector stays quiet.
+
+   Run with: dune exec examples/spin_window.exe *)
+
+module W = Arde_workloads
+
+let windows = [ 1; 2; 3; 5; 6; 7; 9; 10 ]
+
+let case_for window =
+  let name = Printf.sprintf "adhoc_flag_w%d/2" window in
+  match W.Racey.find name with
+  | Some c -> (window, c.W.Racey.program)
+  | None -> failwith ("missing case " ^ name)
+
+let () =
+  let cases = List.map case_for windows in
+  Format.printf
+    "columns: loop window w; rows: detector window k; cell: warnings@.@.";
+  Format.printf "      ";
+  List.iter (fun (w, _) -> Format.printf " w=%-3d" w) cases;
+  Format.printf "@.";
+  List.iter
+    (fun k ->
+      Format.printf "k = %-2d" k;
+      List.iter
+        (fun (_, program) ->
+          let result = Arde.detect (Arde.Config.Helgrind_spin k) program in
+          let n = Arde.Report.n_contexts result.Arde.Driver.merged in
+          Format.printf " %-5s" (if n = 0 then "ok" else string_of_int n))
+        cases;
+      Format.printf "@.")
+    [ 3; 6; 7; 8 ];
+  Format.printf
+    "@.Loops up to the window are recovered ('ok'); larger ones keep their@.";
+  Format.printf
+    "false positives.  k = 7 matches every realistic loop in the suite,@.";
+  Format.printf "and k = 8 adds nothing - the paper's observation.@."

@@ -1,0 +1,1 @@
+lib/cfg/graph.ml: Arde_tir Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/cfg/instrument.ml: Arde_tir Dominators Format Graph Hashtbl List Loops Option Slice Spin String

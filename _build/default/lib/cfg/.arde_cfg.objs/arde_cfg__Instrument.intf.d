@@ -1,0 +1,1 @@
+lib/cfg/instrument.mli: Arde_tir Format Spin

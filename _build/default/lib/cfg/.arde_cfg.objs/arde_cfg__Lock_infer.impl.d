@@ -1,0 +1,1 @@
+lib/cfg/lock_infer.ml: Arde_tir Format List Set String

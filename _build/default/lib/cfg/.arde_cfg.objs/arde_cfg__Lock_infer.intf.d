@@ -1,0 +1,1 @@
+lib/cfg/lock_infer.mli: Arde_tir Format

@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Arde_tir Array Dominators Graph Hashtbl Int List Set

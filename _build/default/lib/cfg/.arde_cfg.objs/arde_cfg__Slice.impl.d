@@ -1,0 +1,1 @@
+lib/cfg/slice.ml: Arde_tir Array Graph Hashtbl List Loops Set String

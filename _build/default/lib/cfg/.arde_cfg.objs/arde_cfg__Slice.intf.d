@@ -1,0 +1,1 @@
+lib/cfg/slice.mli: Arde_tir Graph Loops

@@ -1,0 +1,1 @@
+lib/cfg/spin.ml: Arde_tir Graph List Loops Printf Slice

@@ -1,0 +1,1 @@
+lib/cfg/spin.mli: Arde_tir Graph Loops Slice

@@ -1,0 +1,63 @@
+type t = { idoms : int array; rpo_index : int array }
+
+(* Reverse postorder over reachable blocks. *)
+let rev_postorder (g : Graph.t) =
+  let n = Graph.n_blocks g in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not seen.(i) then (
+      seen.(i) <- true;
+      List.iter dfs g.succs.(i);
+      order := i :: !order)
+  in
+  if n > 0 then dfs 0;
+  !order
+
+let compute (g : Graph.t) =
+  let n = Graph.n_blocks g in
+  let idoms = Array.make n (-1) in
+  let rpo = rev_postorder g in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun k i -> rpo_index.(i) <- k) rpo;
+  if n > 0 then idoms.(0) <- 0;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idoms.(a) b
+    else intersect a idoms.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        if i <> 0 then begin
+          let processed_preds =
+            List.filter
+              (fun p -> rpo_index.(p) >= 0 && idoms.(p) >= 0)
+              g.preds.(i)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idoms.(i) <> new_idom then begin
+                idoms.(i) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idoms; rpo_index }
+
+let idom t i =
+  if i = 0 then None
+  else if i < 0 || i >= Array.length t.idoms || t.idoms.(i) < 0 then None
+  else Some t.idoms.(i)
+
+let dominates t a b =
+  if a = b then true
+  else if b < 0 || b >= Array.length t.idoms || t.idoms.(b) < 0 then false
+  else
+    let rec up x = if x = a then true else if x = 0 then false else up t.idoms.(x) in
+    if t.rpo_index.(b) < 0 then false else up t.idoms.(b)

@@ -1,0 +1,18 @@
+(** Dominator computation (iterative Cooper–Harvey–Kennedy algorithm).
+
+    Needed to identify natural-loop back edges: an edge [u -> h] is a back
+    edge iff [h] dominates [u]. *)
+
+type t
+(** Immediate-dominator table for one CFG. *)
+
+val compute : Graph.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator of a block; [None] for the entry block and for
+    unreachable blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — does [a] dominate [b]?  Reflexive.  Unreachable
+    blocks dominate nothing and are dominated by nothing (except
+    themselves). *)

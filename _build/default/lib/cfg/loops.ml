@@ -1,0 +1,68 @@
+module IS = Set.Make (Int)
+
+type loop = {
+  header : int;
+  body : int list;
+  back_edge_sources : int list;
+}
+
+let natural_body (g : Graph.t) header source =
+  (* Blocks reaching [source] without passing through [header]. *)
+  let body = ref (IS.add header (IS.singleton source)) in
+  let stack = ref (if source = header then [] else [ source ]) in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+        stack := rest;
+        List.iter
+          (fun p ->
+            if not (IS.mem p !body) then begin
+              body := IS.add p !body;
+              stack := p :: !stack
+            end)
+          g.preds.(b);
+        drain ()
+  in
+  drain ();
+  !body
+
+let find (g : Graph.t) dom =
+  let reach = Graph.reachable g in
+  let by_header = Hashtbl.create 8 in
+  Array.iteri
+    (fun u succs ->
+      if reach.(u) then
+        List.iter
+          (fun h ->
+            if reach.(h) && Dominators.dominates dom h u then begin
+              let prev =
+                match Hashtbl.find_opt by_header h with
+                | Some (body, sources) -> (body, sources)
+                | None -> (IS.empty, [])
+              in
+              let body = IS.union (fst prev) (natural_body g h u) in
+              Hashtbl.replace by_header h (body, u :: snd prev)
+            end)
+          succs)
+    g.succs;
+  Hashtbl.fold
+    (fun header (body, sources) acc ->
+      { header; body = IS.elements body; back_edge_sources = List.sort compare sources }
+      :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header b.header)
+
+let mem loop i = List.mem i loop.body
+
+let exit_blocks (g : Graph.t) loop =
+  List.filter
+    (fun b ->
+      let outside_succ = List.exists (fun s -> not (mem loop s)) g.succs.(b) in
+      let terminal =
+        match g.blocks.(b).term with
+        | Arde_tir.Types.Ret _ | Arde_tir.Types.Exit -> true
+        | Arde_tir.Types.Goto _ | Arde_tir.Types.Br _ -> false
+      in
+      outside_succ || terminal)
+    loop.body

@@ -1,0 +1,21 @@
+(** Natural-loop detection.
+
+    A back edge [u -> h] (where [h] dominates [u]) defines the natural loop
+    of all blocks that can reach [u] without passing through [h], plus [h].
+    Loops sharing a header are merged, matching the classic definition used
+    by binary-level loop finders. *)
+
+type loop = {
+  header : int;
+  body : int list; (* sorted block indices, header included *)
+  back_edge_sources : int list;
+}
+
+val find : Graph.t -> Dominators.t -> loop list
+(** Loops sorted by header index.  Only reachable blocks participate. *)
+
+val exit_blocks : Graph.t -> loop -> int list
+(** Blocks inside the loop with a successor (or a [Ret]/[Exit] terminator)
+    outside the loop. *)
+
+val mem : loop -> int -> bool

@@ -1,0 +1,46 @@
+open Arde_tir.Types
+
+type candidate = {
+  c_func : string;
+  c_header : label;
+  c_body : label list;
+  c_window : int;
+  c_bases : string list;
+  c_loads : loc list;
+}
+
+type rejection =
+  | Too_large of int
+  | No_memory_load
+  | Writes_condition of string
+  | Indirect_condition
+
+type verdict = Accepted of candidate | Rejected of candidate * rejection
+
+let rejection_to_string = function
+  | Too_large w -> Printf.sprintf "loop window of %d basic blocks exceeds k" w
+  | No_memory_load -> "exit condition loads nothing from memory"
+  | Writes_condition b -> Printf.sprintf "loop writes its own condition base %S" b
+  | Indirect_condition -> "condition evaluated through a function pointer or recursion"
+
+let classify ?(count_callees = true) ~k ctx (g : Graph.t) (loop : Loops.loop) =
+  let s = Slice.of_loop ctx g loop in
+  let cand =
+    {
+      c_func = g.func.fname;
+      c_header = Graph.label_of g loop.header;
+      c_body = List.map (Graph.label_of g) loop.body;
+      c_window =
+        List.length loop.body + (if count_callees then s.callee_blocks else 0);
+      c_bases = s.bases;
+      c_loads = s.loads;
+    }
+  in
+  if s.opaque then Rejected (cand, Indirect_condition)
+  else if s.loads = [] then Rejected (cand, No_memory_load)
+  else
+    match List.find_opt (fun b -> List.mem b s.store_bases) s.bases with
+    | Some b -> Rejected (cand, Writes_condition b)
+    | None ->
+        if cand.c_window > k then Rejected (cand, Too_large cand.c_window)
+        else Accepted cand

@@ -1,0 +1,45 @@
+(** The spinning-read-loop classifier — the paper's instrumentation phase.
+
+    A natural loop qualifies as a spinning read loop for window [k] iff:
+
+    + its effective size — own basic blocks plus the blocks of directly
+      called condition helpers, as if inlined — is at most [k] blocks;
+    + the backward slice of its exit condition contains at least one load
+      from memory;
+    + no instruction in the loop (or in its direct callees) stores to a
+      base the condition reads — the loop cannot make its own condition
+      true;
+    + the condition slice is statically analyzable: an indirect call or
+      recursion in the slice disqualifies the loop (the paper's
+      function-pointer failure mode).
+
+    Qualifying loops get their condition loads marked; the runtime phase
+    pairs those loads with counterpart writes. *)
+
+open Arde_tir.Types
+
+type candidate = {
+  c_func : string;
+  c_header : label;
+  c_body : label list;
+  c_window : int; (* own blocks + condition-callee blocks *)
+  c_bases : string list; (* condition bases *)
+  c_loads : loc list; (* condition load sites *)
+}
+
+type rejection =
+  | Too_large of int (* the offending window *)
+  | No_memory_load
+  | Writes_condition of string (* the base both read and written *)
+  | Indirect_condition
+
+type verdict = Accepted of candidate | Rejected of candidate * rejection
+
+val classify :
+  ?count_callees:bool -> k:int -> Slice.ctx -> Graph.t -> Loops.loop -> verdict
+(** [count_callees] (default true) counts condition-helper callee blocks
+    toward the window, as if inlined — the paper's accounting.  Pass
+    [false] for the ablation: call-heavy conditions then appear tiny and
+    every window finds them, flattening Table 2's shape. *)
+
+val rejection_to_string : rejection -> string

@@ -1,0 +1,1 @@
+lib/core/arde.ml: Arde_cfg Arde_detect Arde_runtime Arde_tir Arde_util Arde_vclock Classify

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Format List String

@@ -1,0 +1,71 @@
+(** ARDE — ad-hoc synchronization identification for enhanced race
+    detection.
+
+    This is the library's front door.  It re-exports every sub-library
+    under one namespace and provides the high-level entry points most
+    clients need:
+
+    {[
+      let program = (* build a TIR program with Arde.Builder *) in
+      let result = Arde.detect (Arde.Config.Helgrind_spin 7) program in
+      Format.printf "%a" Arde.Report.pp result.Arde.Driver.merged
+    ]}
+
+    See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+    paper-reproduction results. *)
+
+(* The threaded IR. *)
+module Types = Arde_tir.Types
+module Builder = Arde_tir.Builder
+module Validate = Arde_tir.Validate
+module Pretty = Arde_tir.Pretty
+module Lower = Arde_tir.Lower
+module Parse = Arde_tir.Parse
+
+(* Instrumentation phase (control-flow analysis). *)
+module Graph = Arde_cfg.Graph
+module Dominators = Arde_cfg.Dominators
+module Loops = Arde_cfg.Loops
+module Slice = Arde_cfg.Slice
+module Spin = Arde_cfg.Spin
+module Instrument = Arde_cfg.Instrument
+module Lock_infer = Arde_cfg.Lock_infer
+
+(* Execution substrate. *)
+module Event = Arde_runtime.Event
+module Sched = Arde_runtime.Sched
+module Machine = Arde_runtime.Machine
+module Trace = Arde_runtime.Trace
+
+(* Detection. *)
+module Vector_clock = Arde_vclock.Vector_clock
+module Lockset = Arde_detect.Lockset
+module Msm = Arde_detect.Msm
+module Shadow = Arde_detect.Shadow
+module Report = Arde_detect.Report
+module Config = Arde_detect.Config
+module Engine = Arde_detect.Engine
+module Cv_checker = Arde_detect.Cv_checker
+module Driver = Arde_detect.Driver
+
+(* Result classification for labelled test cases. *)
+module Classify = Classify
+
+(* Utilities. *)
+module Prng = Arde_util.Prng
+module Table = Arde_util.Table
+
+let analyze_spins ~k program = Instrument.analyze ~k program
+(** Run only the instrumentation phase: find and classify spinning read
+    loops with window [k]. *)
+
+let detect ?options mode program = Driver.run ?options mode program
+(** Run the full pipeline — lowering if the mode requires it, spin
+    instrumentation if the mode has a window, execution under each seed,
+    race detection — and return the merged result. *)
+
+let classify_case ?options mode expectation program =
+  let result = Driver.run ?options mode program in
+  Classify.classify expectation ~reported:(Driver.racy_bases result)
+(** Detect and classify against ground truth in one call (unit-suite
+    helper). *)

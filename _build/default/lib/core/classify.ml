@@ -1,0 +1,41 @@
+type expectation = Race_free | Racy of string list
+
+type verdict = { false_bases : string list; missed_bases : string list }
+
+type outcome = Correct | False_alarm | Missed_race
+
+let expectation_bases = function Race_free -> [] | Racy bs -> bs
+
+let classify expectation ~reported =
+  let expected = expectation_bases expectation in
+  let reported = List.sort_uniq String.compare reported in
+  {
+    false_bases = List.filter (fun b -> not (List.mem b expected)) reported;
+    missed_bases = List.filter (fun b -> not (List.mem b reported)) expected;
+  }
+
+let outcome_of v =
+  if v.false_bases <> [] then False_alarm
+  else if v.missed_bases <> [] then Missed_race
+  else Correct
+
+type tally = {
+  mutable false_alarms : int;
+  mutable missed : int;
+  mutable correct : int;
+}
+
+let tally_create () = { false_alarms = 0; missed = 0; correct = 0 }
+
+let tally_add t = function
+  | Correct -> t.correct <- t.correct + 1
+  | False_alarm -> t.false_alarms <- t.false_alarms + 1
+  | Missed_race -> t.missed <- t.missed + 1
+
+let failed t = t.false_alarms + t.missed
+let total t = t.false_alarms + t.missed + t.correct
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "false=[%s] missed=[%s]"
+    (String.concat ", " v.false_bases)
+    (String.concat ", " v.missed_bases)

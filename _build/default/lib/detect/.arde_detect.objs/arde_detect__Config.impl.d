@@ -1,0 +1,1 @@
+lib/detect/config.ml: Msm Printf Result String

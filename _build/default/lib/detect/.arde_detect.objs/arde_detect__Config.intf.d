@@ -1,0 +1,1 @@
+lib/detect/config.mli: Msm

@@ -1,0 +1,1 @@
+lib/detect/cv_checker.ml: Arde_cfg Arde_runtime Arde_tir Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/detect/cv_checker.mli: Arde_runtime Arde_tir Format

@@ -1,0 +1,1 @@
+lib/detect/driver.ml: Arde_cfg Arde_runtime Arde_tir Config Cv_checker Engine List Msm Report String

@@ -1,0 +1,1 @@
+lib/detect/driver.mli: Arde_runtime Arde_tir Config Cv_checker Msm Report

@@ -1,0 +1,1 @@
+lib/detect/engine.ml: Arde_cfg Arde_runtime Arde_tir Arde_vclock Array Config Hashtbl List Lockset Msm Option Report Shadow

@@ -1,0 +1,1 @@
+lib/detect/engine.mli: Arde_cfg Arde_runtime Config Report

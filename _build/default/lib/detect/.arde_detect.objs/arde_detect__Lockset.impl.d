@@ -1,0 +1,1 @@
+lib/detect/lockset.ml: Format Hashtbl List Option Printf Set String

@@ -1,0 +1,1 @@
+lib/detect/lockset.mli: Format

@@ -1,0 +1,1 @@
+lib/detect/msm.ml: Format

@@ -1,0 +1,1 @@
+lib/detect/report.ml: Arde_tir Format Hashtbl List String

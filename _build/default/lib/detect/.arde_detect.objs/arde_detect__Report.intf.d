@@ -1,0 +1,1 @@
+lib/detect/report.mli: Arde_tir Format

@@ -1,0 +1,1 @@
+lib/detect/shadow.ml: Arde_tir Arde_vclock Hashtbl List Lockset Msm

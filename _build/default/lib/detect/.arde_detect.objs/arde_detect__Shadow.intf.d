@@ -1,0 +1,1 @@
+lib/detect/shadow.mli: Arde_tir Arde_vclock Lockset Msm

@@ -1,0 +1,68 @@
+type mode =
+  | Helgrind_lib
+  | Helgrind_spin of int
+  | Nolib_spin of int
+  | Nolib_spin_locks of int
+  | Drd
+
+type t = { mode : mode; sensitivity : Msm.sensitivity; cap : int }
+
+let make ?(sensitivity = Msm.Short_running) ?(cap = 1000) mode =
+  { mode; sensitivity; cap }
+
+let mode_name = function
+  | Helgrind_lib -> "lib"
+  | Helgrind_spin k -> Printf.sprintf "lib+spin(%d)" k
+  | Nolib_spin k -> Printf.sprintf "nolib+spin(%d)" k
+  | Nolib_spin_locks k -> Printf.sprintf "nolib+spin+locks(%d)" k
+  | Drd -> "drd"
+
+let parse_mode s =
+  let prefix p = String.length s > String.length p
+    && String.sub s 0 (String.length p) = p in
+  let suffix_int p =
+    match int_of_string_opt (String.sub s (String.length p)
+                               (String.length s - String.length p)) with
+    | Some k when k > 0 -> Ok k
+    | Some _ | None -> Error (Printf.sprintf "bad spin window in %S" s)
+  in
+  match s with
+  | "lib" -> Ok Helgrind_lib
+  | "drd" -> Ok Drd
+  | _ when prefix "lib+spin:" ->
+      Result.map (fun k -> Helgrind_spin k) (suffix_int "lib+spin:")
+  | _ when prefix "nolib+spin+locks:" ->
+      Result.map (fun k -> Nolib_spin_locks k) (suffix_int "nolib+spin+locks:")
+  | _ when prefix "nolib+spin:" ->
+      Result.map (fun k -> Nolib_spin k) (suffix_int "nolib+spin:")
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown mode %S (lib, lib+spin:K, nolib+spin:K, nolib+spin+locks:K, drd)"
+           s)
+
+let lib_sync = function
+  | Helgrind_lib | Helgrind_spin _ | Drd -> true
+  | Nolib_spin _ | Nolib_spin_locks _ -> false
+
+let use_lockset = function
+  | Helgrind_lib | Helgrind_spin _ -> true
+  | Nolib_spin _ | Nolib_spin_locks _ | Drd -> false
+
+let infer_locks = function
+  | Nolib_spin_locks _ -> true
+  | Helgrind_lib | Helgrind_spin _ | Nolib_spin _ | Drd -> false
+
+let lock_hb = function
+  | Drd -> true
+  | Helgrind_lib | Helgrind_spin _ | Nolib_spin _ | Nolib_spin_locks _ -> false
+
+let spin_k = function
+  | Helgrind_spin k | Nolib_spin k | Nolib_spin_locks k -> Some k
+  | Helgrind_lib | Drd -> None
+
+let needs_lowering = function
+  | Nolib_spin _ | Nolib_spin_locks _ -> true
+  | Helgrind_lib | Helgrind_spin _ | Drd -> false
+
+let all_table1_modes = [ Helgrind_lib; Helgrind_spin 7; Nolib_spin 7; Drd ]

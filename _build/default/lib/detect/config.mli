@@ -1,0 +1,56 @@
+(** Detector configurations — the four tool columns of the paper's tables.
+
+    - [Helgrind_lib]: the hybrid detector with full library knowledge
+      (lockset + happens-before from condition variables, barriers,
+      semaphores, thread creation/join) and no spin detection;
+    - [Helgrind_spin k]: the same plus spinning-read-loop detection with
+      window [k] ("Helgrind+ lib+spin(k)");
+    - [Nolib_spin k]: all library knowledge removed — the program is run in
+      its lowered form, the detector ignores synchronization events and has
+      no lockset, and only thread creation plus spin-derived happens-before
+      edges remain ("Helgrind+ nolib+spin(k)", the universal detector);
+    - [Drd]: a pure happens-before detector in which every library
+      operation, including lock acquire/release order, induces edges —
+      fewer lockset-style false alarms, more missed races. *)
+
+type mode =
+  | Helgrind_lib
+  | Helgrind_spin of int
+  | Nolib_spin of int
+  | Nolib_spin_locks of int
+      (* the paper's future work: the universal detector plus statically
+         inferred lock words feeding an Eraser-style lockset *)
+  | Drd
+
+type t = {
+  mode : mode;
+  sensitivity : Msm.sensitivity;
+  cap : int; (* racy-context cap per run, paper uses 1000 *)
+}
+
+val make : ?sensitivity:Msm.sensitivity -> ?cap:int -> mode -> t
+(** Defaults: [Short_running], cap 1000. *)
+
+val mode_name : mode -> string
+val parse_mode : string -> (mode, string) result
+(** Accepts ["lib"], ["lib+spin:K"], ["nolib+spin:K"],
+    ["nolib+spin+locks:K"], ["drd"]. *)
+
+val lib_sync : mode -> bool
+(** Consume native synchronization events? *)
+
+val use_lockset : mode -> bool
+(** Build locksets from native lock events? *)
+
+val infer_locks : mode -> bool
+(** Build locksets from statically inferred lock words? *)
+
+val lock_hb : mode -> bool
+(** Do lock operations induce happens-before edges? *)
+
+val spin_k : mode -> int option
+val needs_lowering : mode -> bool
+(** Must the program run in its lowered (library-free) form? *)
+
+val all_table1_modes : mode list
+(** The four columns of the paper's first table. *)

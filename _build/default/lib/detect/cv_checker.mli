@@ -1,0 +1,41 @@
+(** Condition-variable bug-pattern checkers.
+
+    Helgrind+ (the detector the paper builds on) ships two automatic
+    condition-variable analyses, both reproduced here:
+
+    - {b lost-signal detection} (dynamic): a signal that fires with no
+      thread waiting is provisionally lost; if a thread later blocks on
+      the same condition variable and never returns from its wait, the
+      pairing is reported.
+    - {b spurious-wakeup hazard} (static): a [cond_wait] whose block is
+      not inside any loop cannot re-check its predicate after waking, so
+      a spurious wakeup (or a stale signal) sails straight through.
+
+    The dynamic checker is an event observer, independent of the race
+    engine; compose the two with {!Arde_runtime.Trace.tee}. *)
+
+open Arde_tir.Types
+
+type diagnostic =
+  | Lost_signal of {
+      cv : string * int;
+      signal_loc : loc; (* the signal that had no waiter *)
+      wait_loc : loc; (* the wait that never returned *)
+      wait_tid : int;
+    }
+  | Unsafe_wait of { wait_loc : loc }
+      (* static: wait without a predicate re-check loop *)
+
+type t
+
+val create : unit -> t
+val observer : t -> Arde_runtime.Event.t -> unit
+
+val finalize : t -> diagnostic list
+(** Dynamic diagnostics once the run is over (waits still pending are the
+    lost ones). *)
+
+val static_check : program -> diagnostic list
+(** The spurious-wakeup hazard scan. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit

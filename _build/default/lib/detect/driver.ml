@@ -1,0 +1,218 @@
+open Arde_tir.Types
+module Machine = Arde_runtime.Machine
+module Sched = Arde_runtime.Sched
+
+type options = {
+  seeds : int list;
+  policy : Sched.policy;
+  fuel : int;
+  sensitivity : Msm.sensitivity;
+  cap : int;
+  lower_style : Arde_tir.Lower.style;
+  spurious_wakeups : bool;
+  count_callee_blocks : bool; (* spin-window accounting ablation *)
+}
+
+let default_options =
+  {
+    seeds = [ 1; 2; 3; 4; 5 ];
+    policy = Sched.Chunked 6;
+    fuel = 2_000_000;
+    sensitivity = Msm.Short_running;
+    cap = 1000;
+    lower_style = Arde_tir.Lower.Realistic;
+    spurious_wakeups = false;
+    count_callee_blocks = true;
+  }
+
+type seed_run = {
+  sr_seed : int;
+  sr_outcome : Machine.outcome;
+  sr_steps : int;
+  sr_contexts : int;
+  sr_capped : bool;
+  sr_spin_edges : int;
+  sr_memory_words : int;
+  sr_check_failures : (loc * string) list;
+  sr_cv_diagnostics : Cv_checker.diagnostic list;
+}
+
+type result = {
+  mode : Config.mode;
+  merged : Report.t;
+  runs : seed_run list;
+  n_spin_loops : int;
+  static_cv_hazards : Cv_checker.diagnostic list;
+      (* spurious-wakeup-unsafe waits, found statically *)
+}
+
+let run ?(options = default_options) mode program =
+  let program =
+    if Config.needs_lowering mode then
+      Arde_tir.Lower.lower ~style:options.lower_style program
+    else program
+  in
+  let instrument =
+    match Config.spin_k mode with
+    | Some k ->
+        Some
+          (Arde_cfg.Instrument.analyze
+             ~count_callees:options.count_callee_blocks ~k program)
+    | None -> None
+  in
+  let cv_mutexes =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun f ->
+           List.concat_map
+             (fun b ->
+               List.filter_map
+                 (function
+                   | Cond_wait (_, m) -> Some m.base
+                   | _ -> None)
+                 b.ins)
+             f.blocks)
+         program.funcs)
+  in
+  let inferred_locks =
+    if Config.infer_locks mode then
+      Arde_cfg.Lock_infer.inferred_locks (Arde_cfg.Lock_infer.analyze program)
+    else []
+  in
+  let compiled = Machine.compile program in
+  let merged = Report.create ~cap:max_int () in
+  let detector_cfg =
+    Config.make ~sensitivity:options.sensitivity ~cap:options.cap mode
+  in
+  let runs =
+    List.map
+      (fun seed ->
+        let engine =
+          Engine.create ~cv_mutexes ~inferred_locks detector_cfg ~instrument
+        in
+        let cv_checker = Cv_checker.create () in
+        let mcfg =
+          {
+            Machine.policy = options.policy;
+            seed;
+            fuel = options.fuel;
+            instrument;
+            spurious_wakeups = options.spurious_wakeups;
+            observer =
+              Arde_runtime.Trace.tee (Engine.observer engine)
+                (Cv_checker.observer cv_checker);
+          }
+        in
+        let res = Machine.run mcfg compiled in
+        let rep = Engine.report engine in
+        Report.merge_into merged rep;
+        {
+          sr_seed = seed;
+          sr_outcome = res.Machine.outcome;
+          sr_steps = res.Machine.steps;
+          sr_contexts = Report.n_contexts rep;
+          sr_capped = Report.capped rep;
+          sr_spin_edges = Engine.n_spin_edges engine;
+          sr_memory_words = Engine.memory_words engine;
+          sr_check_failures = res.Machine.check_failures;
+          sr_cv_diagnostics = Cv_checker.finalize cv_checker;
+        })
+      options.seeds
+  in
+  let n_spin_loops =
+    match instrument with
+    | Some inst -> List.length (Arde_cfg.Instrument.spins inst)
+    | None -> 0
+  in
+  {
+    mode;
+    merged;
+    runs;
+    n_spin_loops;
+    static_cv_hazards = Cv_checker.static_check program;
+  }
+
+let mean_contexts r =
+  match r.runs with
+  | [] -> 0.
+  | runs ->
+      let total = List.fold_left (fun acc s -> acc + s.sr_contexts) 0 runs in
+      float_of_int total /. float_of_int (List.length runs)
+
+let racy_bases r = Report.racy_bases r.merged
+
+let any_bad_outcome r =
+  List.find_map
+    (fun s ->
+      match s.sr_outcome with
+      | Machine.Finished -> None
+      | o -> Some o)
+    r.runs
+
+(* ------------------------------------------------------------------ *)
+(* Same-trace comparison                                              *)
+
+let compare_on_trace ?(options = default_options) ~k program modes =
+  List.iter
+    (fun mode ->
+      if Config.needs_lowering mode then
+        invalid_arg
+          "Driver.compare_on_trace: library-free modes run a different \
+           (lowered) program and cannot share a trace")
+    modes;
+  let instrument = Some (Arde_cfg.Instrument.analyze ~k program) in
+  let cv_mutexes =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun f ->
+           List.concat_map
+             (fun b ->
+               List.filter_map
+                 (function
+                   | Cond_wait (_, m) -> Some m.base
+                   | _ -> None)
+                 b.ins)
+             f.blocks)
+         program.funcs)
+  in
+  let compiled = Machine.compile program in
+  let engines =
+    List.map
+      (fun mode ->
+        ( mode,
+          Report.create ~cap:max_int () ))
+      modes
+  in
+  List.iter
+    (fun seed ->
+      let trace = Arde_runtime.Trace.create () in
+      let mcfg =
+        {
+          Machine.policy = options.policy;
+          seed;
+          fuel = options.fuel;
+          instrument;
+          spurious_wakeups = options.spurious_wakeups;
+          observer = Arde_runtime.Trace.observer trace;
+        }
+      in
+      ignore (Machine.run mcfg compiled);
+      let events = Arde_runtime.Trace.events trace in
+      List.iter
+        (fun (mode, merged) ->
+          let detector_cfg =
+            Config.make ~sensitivity:options.sensitivity ~cap:options.cap mode
+          in
+          (* Spin-less engines must not see the loop metadata, or they
+             would suppress marked bases like the spin-aware ones. *)
+          let mode_instrument =
+            if Config.spin_k mode <> None then instrument else None
+          in
+          let engine =
+            Engine.create ~cv_mutexes detector_cfg ~instrument:mode_instrument
+          in
+          List.iter (Engine.observer engine) events;
+          Report.merge_into merged (Engine.report engine))
+        engines)
+    options.seeds;
+  engines

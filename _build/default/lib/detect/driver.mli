@@ -1,0 +1,71 @@
+(** End-to-end detector runs: program + mode + seeds → merged report.
+
+    For each seed the driver (1) picks the program form — lowered for
+    [Nolib_spin], as written otherwise; (2) runs the instrumentation phase
+    when the mode has a spin window; (3) executes the machine with the
+    engine attached as observer; (4) merges reports across seeds (a
+    dynamic detector's findings accumulate over runs) and averages the
+    per-run racy-context counts (the paper's PARSEC metric). *)
+
+open Arde_tir.Types
+
+type options = {
+  seeds : int list;
+  policy : Arde_runtime.Sched.policy;
+  fuel : int;
+  sensitivity : Msm.sensitivity;
+  cap : int;
+  lower_style : Arde_tir.Lower.style;
+  spurious_wakeups : bool;
+  count_callee_blocks : bool;
+      (* count condition-helper callee blocks toward the spin window (the
+         paper's accounting); false is the ablation *)
+}
+
+val default_options : options
+(** Seeds 1–5, [Chunked 6], 2M fuel, short-running, cap 1000, realistic
+    lowering, no spurious wakeups. *)
+
+type seed_run = {
+  sr_seed : int;
+  sr_outcome : Arde_runtime.Machine.outcome;
+  sr_steps : int;
+  sr_contexts : int;
+  sr_capped : bool;
+  sr_spin_edges : int;
+  sr_memory_words : int;
+  sr_check_failures : (loc * string) list;
+  sr_cv_diagnostics : Cv_checker.diagnostic list;
+      (* lost signals observed in this run *)
+}
+
+type result = {
+  mode : Config.mode;
+  merged : Report.t; (* union of warnings over all seeds *)
+  runs : seed_run list;
+  n_spin_loops : int; (* accepted by the instrumentation phase *)
+  static_cv_hazards : Cv_checker.diagnostic list;
+      (* waits without a predicate re-check loop *)
+}
+
+val run : ?options:options -> Config.mode -> program -> result
+
+val mean_contexts : result -> float
+(** Average distinct racy contexts per seed — the paper's table entry. *)
+
+val racy_bases : result -> string list
+val any_bad_outcome : result -> Arde_runtime.Machine.outcome option
+(** First non-[Finished] outcome across seeds, if any. *)
+
+val compare_on_trace :
+  ?options:options ->
+  k:int ->
+  program ->
+  Config.mode list ->
+  (Config.mode * Report.t) list
+(** Record one event trace per seed (with spin instrumentation active) and
+    replay the {e identical} trace through an engine per mode, isolating
+    the algorithmic differences between detectors from schedule variance.
+    Modes that require lowering run a different program and are rejected.
+
+    @raise Invalid_argument on a [needs_lowering] mode. *)

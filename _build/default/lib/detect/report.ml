@@ -1,0 +1,63 @@
+open Arde_tir.Types
+
+type race = {
+  r_base : string;
+  r_idx : int;
+  r_first_tid : int;
+  r_first_loc : loc;
+  r_first_write : bool;
+  r_second_tid : int;
+  r_second_loc : loc;
+  r_second_write : bool;
+}
+
+type context = string * loc * loc (* base + ordered loc pair *)
+
+type t = {
+  cap : int;
+  seen : (context, unit) Hashtbl.t;
+  mutable rev_races : race list;
+  mutable n : int;
+  mutable hit_cap : bool;
+}
+
+let create ?(cap = 1000) () =
+  { cap; seen = Hashtbl.create 32; rev_races = []; n = 0; hit_cap = false }
+
+let context_of r =
+  let a = r.r_first_loc and b = r.r_second_loc in
+  if compare_loc a b <= 0 then (r.r_base, a, b) else (r.r_base, b, a)
+
+let add t r =
+  let ctx = context_of r in
+  if not (Hashtbl.mem t.seen ctx) then begin
+    if t.n >= t.cap then t.hit_cap <- true
+    else begin
+      Hashtbl.replace t.seen ctx ();
+      t.rev_races <- r :: t.rev_races;
+      t.n <- t.n + 1
+    end
+  end
+
+let races t = List.rev t.rev_races
+let n_contexts t = t.n
+let capped t = t.hit_cap
+
+let racy_bases t =
+  List.sort_uniq String.compare (List.map (fun r -> r.r_base) (races t))
+
+let merge_into dst src = List.iter (add dst) (races src)
+
+let kind w = if w then "write" else "read"
+
+let pp_race ppf r =
+  Format.fprintf ppf "race on %s[%d]: T%d %s at %a vs T%d %s at %a" r.r_base
+    r.r_idx r.r_first_tid (kind r.r_first_write) Arde_tir.Pretty.loc
+    r.r_first_loc r.r_second_tid (kind r.r_second_write) Arde_tir.Pretty.loc
+    r.r_second_loc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d racy context(s)%s@," t.n
+    (if t.hit_cap then " (capped)" else "");
+  List.iter (fun r -> Format.fprintf ppf "  %a@," pp_race r) (races t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** Race warnings and racy-context accounting.
+
+    The paper's PARSEC metric is "racy contexts": distinct program contexts
+    a warning is issued for, capped at 1000 per run.  We define a context
+    as the unordered pair of code locations of the two conflicting accesses
+    together with the global base they touch — stable across seeds, which
+    is what lets multi-seed averages mirror the paper's fractional
+    values. *)
+
+open Arde_tir.Types
+
+type race = {
+  r_base : string;
+  r_idx : int;
+  r_first_tid : int;
+  r_first_loc : loc;
+  r_first_write : bool;
+  r_second_tid : int;
+  r_second_loc : loc;
+  r_second_write : bool;
+}
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap] bounds the number of distinct contexts recorded (default
+    1000). *)
+
+val add : t -> race -> unit
+val races : t -> race list
+(** One representative per distinct context, in first-seen order. *)
+
+val n_contexts : t -> int
+val capped : t -> bool
+val racy_bases : t -> string list
+(** Sorted, deduplicated bases appearing in any warning. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src]'s representatives into [dst]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_race : Format.formatter -> race -> unit

@@ -1,0 +1,1 @@
+lib/harness/parsec_experiment.mli: Arde Arde_workloads

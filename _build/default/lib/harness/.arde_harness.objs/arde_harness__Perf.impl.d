@@ -1,0 +1,1 @@
+lib/harness/perf.ml: Arde Arde_util Arde_workloads Gc Lazy List Printf Unix

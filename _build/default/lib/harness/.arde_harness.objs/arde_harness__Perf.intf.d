@@ -1,0 +1,1 @@
+lib/harness/perf.mli: Arde Arde_workloads

@@ -1,0 +1,1 @@
+lib/harness/suite_experiment.ml: Arde Arde_util Arde_workloads Format List

@@ -1,0 +1,1 @@
+lib/harness/suite_experiment.mli: Arde Arde_workloads Format

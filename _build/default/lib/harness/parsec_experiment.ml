@@ -1,0 +1,124 @@
+(* Tables 3-6: the PARSEC 2.0 part of the evaluation.
+
+   Table 3 — program inventory (model, LOC, synchronization primitives).
+   Table 4 — racy contexts for the programs without ad-hoc sync.
+   Table 5 — racy contexts for the programs with ad-hoc sync.
+   Table 6 — the whole set ("universal race detector" summary).
+
+   Racy contexts are averaged over the seeds, capped at 1000 per run,
+   exactly as the paper reports them. *)
+
+module Parsec = Arde_workloads.Parsec
+module Config = Arde.Config
+module Driver = Arde.Driver
+
+let modes = Config.all_table1_modes
+
+let parsec_options (info : Parsec.info) =
+  {
+    Driver.default_options with
+    Driver.sensitivity = Arde.Msm.Long_running;
+    (* integration-style runs, per the paper *)
+    lower_style = info.Parsec.nolib_style;
+    fuel = 4_000_000;
+  }
+
+type row = {
+  info : Parsec.info;
+  loc : int;
+  contexts : (Config.mode * float) list;
+  capped : (Config.mode * bool) list;
+  bad : (Config.mode * Arde.Machine.outcome) list;
+      (* any run that did not finish cleanly *)
+}
+
+let run_one ?(seeds = [ 1; 2; 3; 4; 5 ]) (info, program) =
+  let options = { (parsec_options info) with Driver.seeds = seeds } in
+  let per_mode =
+    List.map
+      (fun mode ->
+        let result = Driver.run ~options mode program in
+        let any_capped =
+          List.exists (fun s -> s.Driver.sr_capped) result.Driver.runs
+        in
+        (mode, Driver.mean_contexts result, any_capped,
+         Driver.any_bad_outcome result))
+      modes
+  in
+  {
+    info;
+    loc = Parsec.loc_of program;
+    contexts = List.map (fun (m, c, _, _) -> (m, c)) per_mode;
+    capped = List.map (fun (m, _, c, _) -> (m, c)) per_mode;
+    bad =
+      List.filter_map
+        (fun (m, _, _, o) -> Option.map (fun o -> (m, o)) o)
+        per_mode;
+  }
+
+let context_cell row mode =
+  let v = List.assoc mode row.contexts in
+  if List.assoc mode row.capped then "1000" else Arde_util.Table.cell_float v
+
+let mark b = if b then "x" else "-"
+
+let table3 ?(programs = Parsec.all ()) () =
+  let t =
+    Arde_util.Table.create
+      [ "Program"; "Model"; "LOC"; "CVs"; "Locks"; "Barriers"; "Ad-hoc" ]
+  in
+  List.iter
+    (fun (info, program) ->
+      Arde_util.Table.add_row t
+        [
+          info.Parsec.pname;
+          info.Parsec.model;
+          string_of_int (Parsec.loc_of program);
+          mark info.Parsec.uses_cvs;
+          mark info.Parsec.uses_locks;
+          mark info.Parsec.uses_barriers;
+          mark info.Parsec.uses_adhoc;
+        ])
+    programs;
+  Arde_util.Table.render t
+
+let warnings rows =
+  List.concat_map
+    (fun row ->
+      List.map
+        (fun (m, o) ->
+          Format.asprintf "WARNING: %s under %s: %a" row.info.Parsec.pname
+            (Config.mode_name m) Arde.Machine.pp_outcome o)
+        row.bad)
+    rows
+
+let contexts_table rows =
+  let t =
+    Arde_util.Table.create
+      ([ "Program"; "Model"; "LOC" ]
+      @ List.map (fun m -> "H+ " ^ Config.mode_name m) modes)
+  in
+  List.iter
+    (fun row ->
+      Arde_util.Table.add_row t
+        ([
+           row.info.Parsec.pname;
+           row.info.Parsec.model;
+           string_of_int row.loc;
+         ]
+        @ List.map (fun m -> context_cell row m) modes))
+    rows;
+  Arde_util.Table.render t
+  ^ String.concat "" (List.map (fun w -> w ^ "\n") (warnings rows))
+
+let table4 ?seeds () =
+  let rows = List.map (run_one ?seeds) (Parsec.without_adhoc ()) in
+  (rows, contexts_table rows)
+
+let table5 ?seeds () =
+  let rows = List.map (run_one ?seeds) (Parsec.with_adhoc ()) in
+  (rows, contexts_table rows)
+
+let table6 ?seeds () =
+  let rows = List.map (run_one ?seeds) (Parsec.all ()) in
+  (rows, contexts_table rows)

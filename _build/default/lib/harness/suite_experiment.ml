@@ -1,0 +1,130 @@
+(* Table 1 and Table 2: run the 120-case unit suite under each detector
+   configuration and tally false alarms / missed races / failed /
+   correct, exactly as the paper reports them. *)
+
+module Racey = Arde_workloads.Racey
+module Config = Arde.Config
+module Classify = Arde.Classify
+module Driver = Arde.Driver
+
+type case_result = {
+  case : Racey.case;
+  verdict : Classify.verdict;
+  outcome : Classify.outcome;
+}
+
+type mode_result = {
+  mode : Config.mode;
+  tally : Classify.tally;
+  details : case_result list;
+}
+
+let suite_options =
+  {
+    Driver.default_options with
+    Driver.seeds = [ 1; 2; 3 ];
+    fuel = 400_000;
+    sensitivity = Arde.Msm.Short_running;
+  }
+
+let run_mode ?(options = suite_options) mode cases =
+  let tally = Classify.tally_create () in
+  let details =
+    List.map
+      (fun (c : Racey.case) ->
+        let result = Driver.run ~options mode c.Racey.program in
+        let verdict =
+          Classify.classify c.Racey.expectation
+            ~reported:(Driver.racy_bases result)
+        in
+        let outcome = Classify.outcome_of verdict in
+        Classify.tally_add tally outcome;
+        { case = c; verdict; outcome })
+      cases
+  in
+  { mode; tally; details }
+
+let failures_of mr =
+  List.filter (fun d -> d.outcome <> Classify.Correct) mr.details
+
+let render rows =
+  let t =
+    Arde_util.Table.create
+      [ "Tool"; "False alarms"; "Missed races"; "Failed cases"; "Correct" ]
+  in
+  List.iter
+    (fun mr ->
+      Arde_util.Table.add_row t
+        [
+          "Helgrind+ " ^ Config.mode_name mr.mode;
+          string_of_int mr.tally.Classify.false_alarms;
+          string_of_int mr.tally.Classify.missed;
+          string_of_int (Classify.failed mr.tally);
+          string_of_int mr.tally.Classify.correct;
+        ])
+    rows;
+  Arde_util.Table.render t
+
+(* Paper Table 1: the four tool configurations over the whole suite. *)
+let table1 ?(options = suite_options) () =
+  let cases = Racey.all () in
+  let rows =
+    List.map (fun m -> run_mode ~options m cases) Config.all_table1_modes
+  in
+  (rows, render rows)
+
+(* Paper Table 2: sensitivity to the spin window k. *)
+let table2 ?(options = suite_options) ?(ks = [ 3; 6; 7; 8 ]) () =
+  let cases = Racey.all () in
+  let rows =
+    List.map (fun k -> run_mode ~options (Config.Helgrind_spin k) cases) ks
+  in
+  (rows, render rows)
+
+let pp_failures ppf mr =
+  Format.fprintf ppf "@[<v>%s failures:@," (Config.mode_name mr.mode);
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "  %-28s %-12s %a@," d.case.Racey.name
+        (match d.outcome with
+        | Classify.Correct -> "ok"
+        | Classify.False_alarm -> "FALSE-ALARM"
+        | Classify.Missed_race -> "MISSED")
+        Classify.pp_verdict d.verdict)
+    (failures_of mr);
+  Format.fprintf ppf "@]"
+
+(* Which case categories drive each configuration's failures: the
+   analysis behind the paper's "why false positives" narrative. *)
+let category_table rows =
+  let categories =
+    List.sort_uniq compare
+      (List.map (fun (c : Racey.case) -> c.Racey.category) (Racey.all ()))
+  in
+  let t =
+    Arde_util.Table.create
+      ("Tool"
+      :: List.concat_map
+           (fun c -> [ c ^ " FA"; c ^ " miss" ])
+           categories)
+  in
+  List.iter
+    (fun mr ->
+      let count cat outcome =
+        List.length
+          (List.filter
+             (fun d ->
+               d.case.Racey.category = cat && d.outcome = outcome)
+             mr.details)
+      in
+      Arde_util.Table.add_row t
+        (("Helgrind+ " ^ Config.mode_name mr.mode)
+        :: List.concat_map
+             (fun c ->
+               [
+                 string_of_int (count c Classify.False_alarm);
+                 string_of_int (count c Classify.Missed_race);
+               ])
+             categories))
+    rows;
+  Arde_util.Table.render t

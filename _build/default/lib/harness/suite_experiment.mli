@@ -1,0 +1,46 @@
+(** Tables 1 and 2: the unit-suite experiments.
+
+    Runs the 120-case labelled suite under detector configurations and
+    tallies false-alarm / missed-race / failed / correct cases exactly the
+    way the paper's tables report them. *)
+
+type case_result = {
+  case : Arde_workloads.Racey.case;
+  verdict : Arde.Classify.verdict;
+  outcome : Arde.Classify.outcome;
+}
+
+type mode_result = {
+  mode : Arde.Config.mode;
+  tally : Arde.Classify.tally;
+  details : case_result list;
+}
+
+val suite_options : Arde.Driver.options
+(** Three seeds, 400k fuel, short-running state machine. *)
+
+val run_mode :
+  ?options:Arde.Driver.options ->
+  Arde.Config.mode ->
+  Arde_workloads.Racey.case list ->
+  mode_result
+
+val failures_of : mode_result -> case_result list
+val render : mode_result list -> string
+
+val table1 :
+  ?options:Arde.Driver.options -> unit -> mode_result list * string
+(** The paper's four configurations over the whole suite. *)
+
+val table2 :
+  ?options:Arde.Driver.options ->
+  ?ks:int list ->
+  unit ->
+  mode_result list * string
+(** Window sensitivity, k in [ks] (default 3, 6, 7, 8). *)
+
+val pp_failures : Format.formatter -> mode_result -> unit
+
+val category_table : mode_result list -> string
+(** False alarms and misses broken down by case category (lib / adhoc /
+    racy) per configuration. *)

@@ -1,0 +1,1 @@
+lib/runtime/event.ml: Arde_tir Format List Printf String

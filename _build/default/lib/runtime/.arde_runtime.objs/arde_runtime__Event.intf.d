@@ -1,0 +1,1 @@
+lib/runtime/event.mli: Arde_tir Format

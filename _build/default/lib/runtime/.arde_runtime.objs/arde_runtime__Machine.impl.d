@@ -1,0 +1,1 @@
+lib/runtime/machine.ml: Arde_cfg Arde_tir Arde_util Array Event Format Hashtbl List Option Printf Queue Sched String

@@ -1,0 +1,1 @@
+lib/runtime/machine.mli: Arde_cfg Arde_tir Event Format Hashtbl Sched

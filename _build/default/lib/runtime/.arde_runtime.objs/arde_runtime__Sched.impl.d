@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Arde_util Array List

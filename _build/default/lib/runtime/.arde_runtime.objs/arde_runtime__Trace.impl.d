@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Event Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/runtime/trace.mli: Event Format

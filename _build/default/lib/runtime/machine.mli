@@ -1,0 +1,63 @@
+(** The interpreting virtual machine.
+
+    Executes a TIR program as a set of interleaved threads, one instruction
+    per scheduler step, under sequential consistency.  Every memory access
+    and synchronization operation is reported to the configured observer as
+    an {!Event.t}; race detectors are pure observers and never influence
+    execution.
+
+    When spin instrumentation metadata is supplied, the machine tracks
+    active spinning-read-loop contexts per thread (entering a marked loop
+    header pushes a context; leaving the loop's blocks or returning from
+    the function pops it, emitting [Spin_exit]), and tags condition loads
+    with the contexts they belong to — the runtime half of the paper's
+    two-phase method. *)
+
+open Arde_tir.Types
+
+type config = {
+  policy : Sched.policy;
+  seed : int;
+  fuel : int; (* maximum machine steps before giving up *)
+  instrument : Arde_cfg.Instrument.t option;
+  spurious_wakeups : bool; (* failure injection for condition variables *)
+  observer : Event.t -> unit;
+}
+
+val default_config : config
+(** [Chunked 6] scheduling, seed 1, 2,000,000 fuel, no instrumentation, no
+    spurious wakeups, events discarded. *)
+
+type outcome =
+  | Finished
+  | Deadlock of int list (* the blocked thread ids *)
+  | Fuel_exhausted
+  | Fault of { ftid : int; floc : loc; msg : string }
+
+type result = {
+  outcome : outcome;
+  steps : int;
+  threads_spawned : int;
+  check_failures : (loc * string) list;
+  memory : (string, int array) Hashtbl.t; (* final global memory *)
+  thread_steps : int array; (* instructions executed, indexed by tid *)
+  context_switches : int; (* scheduler hand-offs between threads *)
+}
+
+type compiled
+(** A program preprocessed for execution (blocks as arrays, label indices
+    resolved).  Compile once, run under many seeds. *)
+
+val compile : program -> compiled
+(** @raise Invalid_argument if the program does not validate. *)
+
+val run : config -> compiled -> result
+
+val run_program : config -> program -> result
+(** [compile] + [run]. *)
+
+val read_global : result -> string -> int -> int
+(** Read a cell of the final memory.  @raise Not_found for unknown
+    globals. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

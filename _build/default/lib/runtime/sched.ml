@@ -1,0 +1,52 @@
+type policy = Round_robin of int | Uniform | Chunked of int
+
+type t = {
+  policy : policy;
+  rng : Arde_util.Prng.t;
+  mutable current : int;
+  mutable burst : int; (* remaining instructions before a forced re-pick *)
+}
+
+let create policy ~seed =
+  { policy; rng = Arde_util.Prng.create seed; current = -1; burst = 0 }
+
+let force_switch t = t.burst <- 0
+
+let fresh_burst t mean = 1 + Arde_util.Prng.int t.rng (2 * mean)
+
+let pick t ~runnable =
+  match runnable with
+  | [] -> invalid_arg "Sched.pick: no runnable thread"
+  | [ only ] ->
+      t.current <- only;
+      only
+  | _ -> (
+      match t.policy with
+      | Round_robin quantum ->
+          let next () =
+            match List.find_opt (fun x -> x > t.current) runnable with
+            | Some x -> x
+            | None -> List.hd runnable
+          in
+          if t.burst > 0 && List.mem t.current runnable then begin
+            t.burst <- t.burst - 1;
+            t.current
+          end
+          else begin
+            t.current <- next ();
+            t.burst <- quantum - 1;
+            t.current
+          end
+      | Uniform ->
+          t.current <- Arde_util.Prng.pick t.rng (Array.of_list runnable);
+          t.current
+      | Chunked mean ->
+          if t.burst > 0 && List.mem t.current runnable then begin
+            t.burst <- t.burst - 1;
+            t.current
+          end
+          else begin
+            t.current <- Arde_util.Prng.pick t.rng (Array.of_list runnable);
+            t.burst <- fresh_burst t mean;
+            t.current
+          end)

@@ -1,0 +1,25 @@
+(** Thread scheduling policies for the interpreting machine.
+
+    The machine asks the scheduler which runnable thread executes the next
+    instruction.  All policies are deterministic given their seed, which is
+    what makes every experiment in this repository replayable. *)
+
+type policy =
+  | Round_robin of int
+      (* quantum in instructions; fully deterministic, used by semantics
+         tests *)
+  | Uniform  (** a fresh uniform pick every instruction; maximal churn *)
+  | Chunked of int
+      (* run the current thread for a random burst with the given mean
+         length, then switch; the default — realistic preemption that still
+         exposes racy interleavings across seeds *)
+
+type t
+
+val create : policy -> seed:int -> t
+
+val pick : t -> runnable:int list -> int
+(** Choose the next thread among [runnable] (non-empty, ascending). *)
+
+val force_switch : t -> unit
+(** A [Yield] hint: end the current burst so another thread gets picked. *)

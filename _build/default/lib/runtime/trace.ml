@@ -1,0 +1,21 @@
+type t = { mutable rev_events : Event.t list; mutable n : int; mutable h : int }
+
+let create () = { rev_events = []; n = 0; h = 0x811c9dc5 }
+
+let observer t ev =
+  t.rev_events <- ev :: t.rev_events;
+  t.n <- t.n + 1;
+  t.h <- (t.h * 16777619) lxor Hashtbl.hash ev
+
+let events t = List.rev t.rev_events
+let length t = t.n
+let hash t = t.h land max_int
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun ev -> Format.fprintf ppf "%a@," Event.pp ev) (events t);
+  Format.fprintf ppf "@]"
+
+let tee a b ev =
+  a ev;
+  b ev

@@ -1,0 +1,25 @@
+(** Event-trace collection helpers.
+
+    Used by tests (determinism: same seed ⇒ same trace hash), by the CLI's
+    trace dump, and by detectors that want to analyze a recorded run
+    offline instead of online. *)
+
+type t
+
+val create : unit -> t
+
+val observer : t -> Event.t -> unit
+(** Feed this to {!Machine.config}. *)
+
+val events : t -> Event.t list
+(** In emission order. *)
+
+val length : t -> int
+
+val hash : t -> int
+(** Order-sensitive structural hash of the trace. *)
+
+val pp : Format.formatter -> t -> unit
+
+val tee : (Event.t -> unit) -> (Event.t -> unit) -> Event.t -> unit
+(** Compose two observers. *)

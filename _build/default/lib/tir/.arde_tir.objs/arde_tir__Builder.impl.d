@@ -1,0 +1,1 @@
+lib/tir/builder.ml: List Types

@@ -1,0 +1,1 @@
+lib/tir/builder.mli: Types

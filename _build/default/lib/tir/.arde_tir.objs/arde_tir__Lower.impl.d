@@ -1,0 +1,1 @@
+lib/tir/lower.ml: Builder Hashtbl List String Types

@@ -1,0 +1,1 @@
+lib/tir/lower.mli: Types

@@ -1,0 +1,1 @@
+lib/tir/parse.ml: Buffer Builder List Option Printf Scanf String Types

@@ -1,0 +1,1 @@
+lib/tir/parse.mli: Types

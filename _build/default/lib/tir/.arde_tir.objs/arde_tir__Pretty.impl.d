@@ -1,0 +1,1 @@
+lib/tir/pretty.ml: Format List String Types

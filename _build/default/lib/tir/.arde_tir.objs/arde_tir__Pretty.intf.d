@@ -1,0 +1,1 @@
+lib/tir/pretty.mli: Format Types

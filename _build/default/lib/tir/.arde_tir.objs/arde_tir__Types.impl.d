@@ -1,0 +1,1 @@
+lib/tir/types.ml: Int String

@@ -1,0 +1,1 @@
+lib/tir/validate.ml: List Printf Set String Types

@@ -1,0 +1,1 @@
+lib/tir/validate.mli: Types

@@ -1,0 +1,344 @@
+open Types
+module B = Builder
+
+type style = Compact | Realistic | Futex
+
+let is_lowered_helper name =
+  String.length name >= 2 && name.[0] = '_' && name.[1] = '_'
+
+(* Helper-function names, one per (primitive, global base). *)
+let lock_fn m = "__lock:" ^ m
+let unlock_fn m = "__unlock:" ^ m
+let wait_fn cv m = "__wait:" ^ cv ^ ":" ^ m
+let signal_fn cv = "__signal:" ^ cv
+let barinit_fn b = "__barinit:" ^ b
+let barwait_fn b = "__barwait:" ^ b
+let seminit_fn s = "__seminit:" ^ s
+let sempost_fn s = "__sempost:" ^ s
+let semwait_fn s = "__semwait:" ^ s
+let join_fn = "__join"
+let chk_fn op base = "__chk" ^ op ^ ":" ^ base
+
+let gen_global b = b ^ "__gen"
+let total_global b = b ^ "__total"
+
+(* Double-checked condition helper, e.g. __chkne:flag(idx, old) = 1 iff
+   flag[idx] <> old.  Four basic blocks: with the three-block spin loop
+   that calls it, the effective window is 7, the paper's sweet spot. *)
+let chk_helper op base =
+  let test c = B.cmp op c (B.r "v") (B.r "old") in
+  let test0 c v = B.cmp op c (B.r v) (B.imm 0) in
+  let has_old = match op with Ne -> true | _ -> false in
+  let params = if has_old then [ "idx"; "old" ] else [ "idx" ] in
+  let cond1 = if has_old then test "c" else test0 "c" "v" in
+  let cond2 =
+    if has_old then B.cmp op "c2" (B.r "v2") (B.r "old") else test0 "c2" "v2"
+  in
+  B.func
+    (chk_fn (match op with Ne -> "ne" | Eq -> "eq0" | _ -> "gt0") base)
+    ~params
+    [
+      B.blk "e"
+        [ B.load "v" (B.gi base (B.r "idx")); cond1 ]
+        (B.br (B.r "c") "yes" "rechk");
+      B.blk "rechk"
+        [ B.load "v2" (B.gi base (B.r "idx")); cond2 ]
+        (B.br (B.r "c2") "yes" "no");
+      B.blk "yes" [] (B.ret (Some (B.imm 1)));
+      B.blk "no" [] (B.ret (Some (B.imm 0)));
+    ]
+
+(* The three-block spinning read loop around a condition, either inline
+   (Compact) or through a checker call (Realistic).  [exit_lbl] receives
+   control once the condition holds. *)
+let spin_blocks style ~tag ~cond_call ~inline_cond ~exit_lbl =
+  let test = tag ^ "test" and busy = tag ^ "busy" and pause = tag ^ "pause" in
+  match style with
+  | Realistic ->
+      [
+        B.blk test [ cond_call "ok" ] (B.br (B.r "ok") exit_lbl busy);
+        B.blk busy [ B.yield ] (B.goto pause);
+        B.blk pause [ B.nop ] (B.goto test);
+      ]
+  | Compact ->
+      [
+        B.blk test (inline_cond "ok") (B.br (B.r "ok") exit_lbl busy);
+        B.blk busy [ B.yield ] (B.goto test);
+      ]
+  | Futex ->
+      (* Models a futex-based slow path: after a failed check the thread
+         "sleeps" through extra bookkeeping blocks, pushing the loop body
+         to 6 blocks (10 with the condition helper) — beyond any window k
+         the paper evaluates, hence unrecoverable by spin detection. *)
+      let sleep i = tag ^ "slp" ^ string_of_int i in
+      [
+        B.blk test [ cond_call "ok" ] (B.br (B.r "ok") exit_lbl busy);
+        B.blk busy [ B.yield ] (B.goto (sleep 0));
+        B.blk (sleep 0) [ B.nop ] (B.goto (sleep 1));
+        B.blk (sleep 1) [ B.nop ] (B.goto (sleep 2));
+        B.blk (sleep 2) [ B.yield ] (B.goto pause);
+        B.blk pause [ B.nop ] (B.goto test);
+      ]
+
+let spin_entry tag = tag ^ "test"
+
+(* Mutex: test-and-test-and-set.  The pure read loop (is the word 0?) is
+   nested inside the CAS retry loop; only the former matches the spin
+   criteria, exactly like a futex-based pthread mutex fast path. *)
+let lock_helper style m =
+  let cond_call d = B.call ~ret:d (chk_fn "eq0" m) [ B.r "idx" ] in
+  let inline_cond d =
+    [ B.load "v" (B.gi m (B.r "idx")); B.cmp Eq d (B.r "v") (B.imm 0) ]
+  in
+  let loop = spin_blocks style ~tag:"l" ~cond_call ~inline_cond ~exit_lbl:"try" in
+  B.func (lock_fn m) ~params:[ "idx" ]
+    ([
+       B.blk "entry" [] (B.goto "outer");
+       B.blk "outer" [] (B.goto (spin_entry "l"));
+     ]
+    @ loop
+    @ [
+        B.blk "try"
+          [ B.cas "c" (B.gi m (B.r "idx")) (B.imm 0) (B.imm 1) ]
+          (B.br (B.r "c") "done" "outer");
+        B.blk "done" [] B.ret0;
+      ])
+
+(* The release store must be atomic (as in a real futex unlock): a locker
+   whose CAS succeeds without re-reading the word — test saw it free before
+   an intervening lock/unlock cycle — synchronizes through the atomic
+   chain rather than through the spin edge. *)
+let unlock_helper m =
+  B.func (unlock_fn m) ~params:[ "idx" ]
+    [
+      B.blk "entry"
+        [ B.rmw Rmw_exchange "old" (B.gi m (B.r "idx")) (B.imm 0) ]
+        B.ret0;
+    ]
+
+(* Condition variable: a sequence counter bumped by signal/broadcast;
+   wait releases the mutex and spins until the counter moves. *)
+let wait_helper style cv m =
+  let cond_call d = B.call ~ret:d (chk_fn "ne" cv) [ B.r "cvi"; B.r "s" ] in
+  let inline_cond d =
+    [ B.load "v" (B.gi cv (B.r "cvi")); B.cmp Ne d (B.r "v") (B.r "s") ]
+  in
+  let loop =
+    spin_blocks style ~tag:"w" ~cond_call ~inline_cond ~exit_lbl:"wdone"
+  in
+  (* Under [Futex] the mutex itself stays a native (kernel) object — see
+     [rewrite_instr] — so the wait releases and reacquires it natively. *)
+  let release, reacquire =
+    match style with
+    | Futex ->
+        ( B.unlock (B.gi m (B.r "mi")), B.lock (B.gi m (B.r "mi")) )
+    | Compact | Realistic ->
+        ( B.call (unlock_fn m) [ B.r "mi" ], B.call (lock_fn m) [ B.r "mi" ] )
+  in
+  B.func (wait_fn cv m) ~params:[ "cvi"; "mi" ]
+    (B.blk "entry"
+       [ B.load "s" (B.gi cv (B.r "cvi")); release ]
+       (B.goto (spin_entry "w"))
+    :: loop
+    @ [ B.blk "wdone" [ reacquire ] B.ret0 ])
+
+let signal_helper cv =
+  B.func (signal_fn cv) ~params:[ "idx" ]
+    [
+      B.blk "entry" [ B.rmw Rmw_add "old" (B.gi cv (B.r "idx")) (B.imm 1) ] B.ret0;
+    ]
+
+(* Barrier: atomic arrival counter in the barrier word itself, plus a
+   generation word the non-last arrivals spin on. *)
+let barinit_helper b =
+  B.func (barinit_fn b) ~params:[ "idx"; "n" ]
+    [
+      B.blk "entry"
+        [
+          B.store (B.gi b (B.r "idx")) (B.imm 0);
+          B.store (B.gi (gen_global b) (B.r "idx")) (B.imm 0);
+          B.store (B.gi (total_global b) (B.r "idx")) (B.r "n");
+        ]
+        B.ret0;
+    ]
+
+let barwait_helper style b =
+  let gen = gen_global b in
+  let cond_call d = B.call ~ret:d (chk_fn "ne" gen) [ B.r "idx"; B.r "g" ] in
+  let inline_cond d =
+    [ B.load "v" (B.gi gen (B.r "idx")); B.cmp Ne d (B.r "v") (B.r "g") ]
+  in
+  let loop =
+    spin_blocks style ~tag:"b" ~cond_call ~inline_cond ~exit_lbl:"bdone"
+  in
+  B.func (barwait_fn b) ~params:[ "idx" ]
+    ([
+       B.blk "entry"
+         [
+           B.load "g" (B.gi gen (B.r "idx"));
+           B.rmw Rmw_add "old" (B.gi b (B.r "idx")) (B.imm 1);
+           B.load "tot" (B.gi (total_global b) (B.r "idx"));
+           B.addi "n1" (B.r "old") (B.imm 1);
+           B.cmp Eq "lastp" (B.r "n1") (B.r "tot");
+         ]
+         (B.br (B.r "lastp") "last" (spin_entry "b"));
+       B.blk "last"
+         [
+           B.store (B.gi b (B.r "idx")) (B.imm 0);
+           B.rmw Rmw_add "gold" (B.gi gen (B.r "idx")) (B.imm 1);
+         ]
+         (B.goto "bdone");
+     ]
+    @ loop
+    @ [ B.blk "bdone" [] B.ret0 ])
+
+let seminit_helper s =
+  B.func (seminit_fn s) ~params:[ "idx"; "n" ]
+    [ B.blk "entry" [ B.store (B.gi s (B.r "idx")) (B.r "n") ] B.ret0 ]
+
+let sempost_helper s =
+  B.func (sempost_fn s) ~params:[ "idx" ]
+    [
+      B.blk "entry" [ B.rmw Rmw_add "old" (B.gi s (B.r "idx")) (B.imm 1) ] B.ret0;
+    ]
+
+let semwait_helper style s =
+  let cond_call d = B.call ~ret:d (chk_fn "gt0" s) [ B.r "idx" ] in
+  let inline_cond d =
+    [ B.load "v" (B.gi s (B.r "idx")); B.cmp Gt d (B.r "v") (B.imm 0) ]
+  in
+  let loop = spin_blocks style ~tag:"s" ~cond_call ~inline_cond ~exit_lbl:"try" in
+  B.func (semwait_fn s) ~params:[ "idx" ]
+    ([
+       B.blk "entry" [] (B.goto "outer");
+       B.blk "outer" [] (B.goto (spin_entry "s"));
+     ]
+    @ loop
+    @ [
+        B.blk "try"
+          [
+            B.load "cur" (B.gi s (B.r "idx"));
+            B.cmp Gt "pos" (B.r "cur") (B.imm 0);
+          ]
+          (B.br (B.r "pos") "try2" "outer");
+        B.blk "try2"
+          [
+            B.subi "nv" (B.r "cur") (B.imm 1);
+            B.cas "c" (B.gi s (B.r "idx")) (B.r "cur") (B.r "nv");
+          ]
+          (B.br (B.r "c") "done" "outer");
+        B.blk "done" [] B.ret0;
+      ])
+
+let join_helper style =
+  let base = thread_done_global in
+  let cond_call d = B.call ~ret:d (chk_fn "ne" base) [ B.r "t"; B.imm 0 ] in
+  let inline_cond d =
+    [ B.load "v" (B.gi base (B.r "t")); B.cmp Ne d (B.r "v") (B.imm 0) ]
+  in
+  let loop =
+    spin_blocks style ~tag:"j" ~cond_call ~inline_cond ~exit_lbl:"jdone"
+  in
+  B.func join_fn ~params:[ "t" ]
+    ((B.blk "entry" [] (B.goto (spin_entry "j")) :: loop)
+    @ [ B.blk "jdone" [] B.ret0 ])
+
+(* Lowering driver: rewrite instructions, collecting the helper functions
+   and auxiliary globals each rewrite needs. *)
+
+type state = {
+  style : style;
+  helpers : (string, func) Hashtbl.t;
+  aux_globals : (string, global) Hashtbl.t;
+  prog : program;
+}
+
+let need st f =
+  let fn = f () in
+  if not (Hashtbl.mem st.helpers fn.fname) then Hashtbl.add st.helpers fn.fname fn;
+  fn.fname
+
+let need_chk st op base =
+  ignore (need st (fun () -> chk_helper op base))
+
+let global_size st base =
+  match List.find_opt (fun gl -> gl.gname = base) st.prog.globals with
+  | Some gl -> gl.size
+  | None -> 1
+
+let need_aux st base =
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem st.aux_globals name) then
+        Hashtbl.add st.aux_globals name
+          { gname = name; size = global_size st base; ginit = 0 })
+    [ gen_global base; total_global base ]
+
+let need_lock st m =
+  if st.style <> Compact then need_chk st Eq m;
+  ignore (need st (fun () -> unlock_helper m));
+  need st (fun () -> lock_helper st.style m)
+
+let need_unlock st m =
+  ignore (need_lock st m);
+  unlock_fn m
+
+let rewrite_instr st i =
+  match i with
+  | Lock _ when st.style = Futex -> i
+  | Unlock _ when st.style = Futex -> i
+  | Lock a -> Call (None, need_lock st a.base, [ a.index ])
+  | Unlock a -> Call (None, need_unlock st a.base, [ a.index ])
+  | Cond_wait (cv, m) ->
+      if st.style <> Futex then ignore (need_lock st m.base);
+      if st.style <> Compact then need_chk st Ne cv.base;
+      let fn = need st (fun () -> wait_helper st.style cv.base m.base) in
+      Call (None, fn, [ cv.index; m.index ])
+  | Cond_signal cv | Cond_broadcast cv ->
+      Call (None, need st (fun () -> signal_helper cv.base), [ cv.index ])
+  | Barrier_init (b, n) ->
+      need_aux st b.base;
+      Call (None, need st (fun () -> barinit_helper b.base), [ b.index; n ])
+  | Barrier_wait b ->
+      need_aux st b.base;
+      if st.style <> Compact then need_chk st Ne (gen_global b.base);
+      Call (None, need st (fun () -> barwait_helper st.style b.base), [ b.index ])
+  | Sem_init (s, n) ->
+      Call (None, need st (fun () -> seminit_helper s.base), [ s.index; n ])
+  | Sem_post s ->
+      Call (None, need st (fun () -> sempost_helper s.base), [ s.index ])
+  | Sem_wait s ->
+      if st.style <> Compact then need_chk st Gt s.base;
+      Call (None, need st (fun () -> semwait_helper st.style s.base), [ s.index ])
+  | Join t ->
+      (* Join is recoverable in every style: a thread's departure is a
+         kernel-level event with a simple fast-path check, and the paper's
+         nolib experiments clearly retain join ordering. *)
+      let style = match st.style with Compact -> Compact | _ -> Realistic in
+      if style <> Compact then need_chk st Ne thread_done_global;
+      Call (None, need st (fun () -> join_helper style), [ t ])
+  | Mov _ | Binop _ | Cmp _ | Load _ | Store _ | Cas _ | Rmw _ | Fence
+  | Call _ | Call_indirect _ | Spawn _ | Yield | Check _ | Nop ->
+      i
+
+let lower ?(style = Realistic) prog =
+  let st =
+    { style; helpers = Hashtbl.create 16; aux_globals = Hashtbl.create 8; prog }
+  in
+  let funcs =
+    List.map
+      (fun f ->
+        {
+          f with
+          blocks =
+            List.map
+              (fun b -> { b with ins = List.map (rewrite_instr st) b.ins })
+              f.blocks;
+        })
+      prog.funcs
+  in
+  let helpers = Hashtbl.fold (fun _ f acc -> f :: acc) st.helpers [] in
+  let helpers = List.sort (fun a b -> String.compare a.fname b.fname) helpers in
+  let aux = Hashtbl.fold (fun _ g acc -> g :: acc) st.aux_globals [] in
+  let aux = List.sort (fun a b -> String.compare a.gname b.gname) aux in
+  { prog with funcs = funcs @ helpers; globals = prog.globals @ aux }

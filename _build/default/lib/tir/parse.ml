@@ -1,0 +1,470 @@
+open Types
+
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+exception Err of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokens                                                             *)
+
+type tok =
+  | Id of string
+  | Regtok of string
+  | Globtok of string
+  | Inttok of int
+  | Strtok of string
+  | Arrow
+  | Comma
+  | LPar
+  | RPar
+  | LBrk
+  | RBrk
+  | Quest
+  | Colon
+  | Semi
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$'
+
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some line.[!i + k] else None in
+  (* Identifiers may embed ':' when it glues two name parts (lowered
+     helper names like __lock:m); a ':' followed by a non-ident char is
+     the standalone Colon token of a br terminator. *)
+  let scan_ident start =
+    let j = ref start in
+    let continue () =
+      !j < n
+      && (is_ident_char line.[!j]
+         || (line.[!j] = ':' && !j + 1 < n && is_ident_char line.[!j + 1]))
+    in
+    while continue () do
+      incr j
+    done;
+    let s = String.sub line start (!j - start) in
+    i := !j;
+    s
+  in
+  let scan_int start =
+    let j = ref start in
+    if !j < n && line.[!j] = '-' then incr j;
+    while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do
+      incr j
+    done;
+    let s = String.sub line start (!j - start) in
+    i := !j;
+    int_of_string s
+  in
+  let scan_string start =
+    (* start points at the opening quote *)
+    let buf = Buffer.create 16 in
+    let j = ref (start + 1) in
+    let rec go () =
+      if !j >= n then fail "unterminated string"
+      else
+        match line.[!j] with
+        | '"' -> incr j
+        | '\\' when !j + 1 < n ->
+            Buffer.add_char buf line.[!j];
+            Buffer.add_char buf line.[!j + 1];
+            j := !j + 2;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr j;
+            go ()
+    in
+    go ();
+    i := !j;
+    Scanf.unescaped (Buffer.contents buf)
+  in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '#' then i := n (* comment *)
+    else if c = '<' && peek 1 = Some '-' then begin
+      push Arrow;
+      i := !i + 2
+    end
+    else if c = ',' then (push Comma; incr i)
+    else if c = '(' then (push LPar; incr i)
+    else if c = ')' then (push RPar; incr i)
+    else if c = '[' then (push LBrk; incr i)
+    else if c = ']' then (push RBrk; incr i)
+    else if c = '?' then (push Quest; incr i)
+    else if c = ':' then (push Colon; incr i)
+    else if c = ';' then (push Semi; incr i)
+    else if c = '=' then (push (Id "="); incr i)
+    else if c = '%' then begin
+      incr i;
+      push (Regtok (scan_ident !i))
+    end
+    else if c = '@' then begin
+      incr i;
+      push (Globtok (scan_ident !i))
+    end
+    else if c = '"' then push (Strtok (scan_string !i))
+    else if c = '-' || (c >= '0' && c <= '9') then push (Inttok (scan_int !i))
+    else if is_ident_char c then push (Id (scan_ident !i))
+    else fail "unexpected character %C" c
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Token-list parsing                                                 *)
+
+let operand = function
+  | Inttok v :: rest -> (Imm v, rest)
+  | Regtok x :: rest -> (Reg x, rest)
+  | _ -> fail "expected an operand (integer or %%register)"
+
+let addr = function
+  | Globtok base :: LBrk :: rest -> (
+      let idx, rest = operand rest in
+      match rest with
+      | RBrk :: rest -> ({ base; index = idx }, rest)
+      | _ -> fail "expected ']' after address index")
+  | Globtok base :: rest -> ({ base; index = Imm 0 }, rest)
+  | _ -> fail "expected an @address"
+
+let comma = function Comma :: rest -> rest | _ -> fail "expected ','"
+
+let rec args_until_rpar acc = function
+  | RPar :: rest -> (List.rev acc, rest)
+  | toks when acc = [] ->
+      let o, rest = operand toks in
+      args_until_rpar [ o ] rest
+  | Comma :: toks ->
+      let o, rest = operand toks in
+      args_until_rpar (o :: acc) rest
+  | _ -> fail "expected ',' or ')' in argument list"
+
+let call_args = function
+  | Id f :: LPar :: rest ->
+      let xs, rest = args_until_rpar [] rest in
+      (f, xs, rest)
+  | _ -> fail "expected a function call"
+
+let binop_of_name = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "div" -> Some Div
+  | "mod" -> Some Mod
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | "shl" -> Some Shl
+  | "shr" -> Some Shr
+  | _ -> None
+
+let cmpop_of_name = function
+  | "eq" -> Some Eq
+  | "ne" -> Some Ne
+  | "lt" -> Some Lt
+  | "le" -> Some Le
+  | "gt" -> Some Gt
+  | "ge" -> Some Ge
+  | _ -> None
+
+let suffix_after prefix s =
+  let pl = String.length prefix in
+  if String.length s > pl && String.sub s 0 pl = prefix then
+    Some (String.sub s pl (String.length s - pl))
+  else None
+
+let two_operands rest =
+  let a, rest = operand rest in
+  let rest = comma rest in
+  let b, rest = operand rest in
+  (a, b, rest)
+
+let finish instr = function
+  | [] -> instr
+  | _ -> fail "trailing tokens after instruction"
+
+(* An assignment: '%d <- rhs'. *)
+let assignment d rhs =
+  match rhs with
+  | Id "load" :: rest ->
+      let a, rest = addr rest in
+      finish (Load (d, a)) rest
+  | Id "cas" :: rest ->
+      let a, rest = addr rest in
+      let rest = comma rest in
+      let e, nv, rest = two_operands rest in
+      finish (Cas (d, a, e, nv)) rest
+  | Id name :: rest when suffix_after "rmw." name <> None -> (
+      let op =
+        match suffix_after "rmw." name with
+        | Some "add" -> Rmw_add
+        | Some "xchg" -> Rmw_exchange
+        | Some "or" -> Rmw_or
+        | Some "and" -> Rmw_and
+        | _ -> fail "unknown rmw operation %S" name
+      in
+      let a, rest = addr rest in
+      let rest = comma rest in
+      let v, rest = operand rest in
+      match rest with [] -> Rmw (d, op, a, v) | _ -> fail "trailing tokens")
+  | Id name :: rest when suffix_after "cmp." name <> None -> (
+      match cmpop_of_name (Option.get (suffix_after "cmp." name)) with
+      | Some op ->
+          let a, b, rest = two_operands rest in
+          finish (Cmp (d, op, a, b)) rest
+      | None -> fail "unknown comparison %S" name)
+  | Id "call.ind" :: LBrk :: rest -> (
+      let target, rest = operand rest in
+      match rest with
+      | RBrk :: LPar :: rest ->
+          let xs, rest = args_until_rpar [] rest in
+          finish (Call_indirect (Some d, target, xs)) rest
+      | _ -> fail "expected '](' in indirect call")
+  | Id "call" :: rest ->
+      let f, xs, rest = call_args rest in
+      finish (Call (Some d, f, xs)) rest
+  | Id "spawn" :: rest ->
+      let f, xs, rest = call_args rest in
+      finish (Spawn (d, f, xs)) rest
+  | Id name :: rest when binop_of_name name <> None ->
+      let a, b, rest = two_operands rest in
+      finish (Binop (d, Option.get (binop_of_name name), a, b)) rest
+  | _ ->
+      let o, rest = operand rhs in
+      finish (Mov (d, o)) rest
+
+let instruction toks =
+  match toks with
+  | Regtok d :: Arrow :: rhs -> assignment d rhs
+  | Id "store" :: rest ->
+      let a, rest = addr rest in
+      let rest = comma rest in
+      let v, rest = operand rest in
+      finish (Store (a, v)) rest
+  | [ Id "fence" ] -> Fence
+  | [ Id "yield" ] -> Yield
+  | [ Id "nop" ] -> Nop
+  | Id "call.ind" :: LBrk :: rest -> (
+      let target, rest = operand rest in
+      match rest with
+      | RBrk :: LPar :: rest ->
+          let xs, rest = args_until_rpar [] rest in
+          finish (Call_indirect (None, target, xs)) rest
+      | _ -> fail "expected '](' in indirect call")
+  | Id "call" :: rest ->
+      let f, xs, rest = call_args rest in
+      finish (Call (None, f, xs)) rest
+  | Id "join" :: rest ->
+      let o, rest = operand rest in
+      finish (Join o) rest
+  | Id "lock" :: rest ->
+      let a, rest = addr rest in
+      finish (Lock a) rest
+  | Id "unlock" :: rest ->
+      let a, rest = addr rest in
+      finish (Unlock a) rest
+  | Id "wait" :: rest ->
+      let cv, rest = addr rest in
+      let rest = comma rest in
+      let m, rest = addr rest in
+      finish (Cond_wait (cv, m)) rest
+  | Id "signal" :: rest ->
+      let a, rest = addr rest in
+      finish (Cond_signal a) rest
+  | Id "broadcast" :: rest ->
+      let a, rest = addr rest in
+      finish (Cond_broadcast a) rest
+  | Id "barrier_init" :: rest ->
+      let a, rest = addr rest in
+      let rest = comma rest in
+      let v, rest = operand rest in
+      finish (Barrier_init (a, v)) rest
+  | Id "barrier_wait" :: rest ->
+      let a, rest = addr rest in
+      finish (Barrier_wait a) rest
+  | Id "sem_init" :: rest ->
+      let a, rest = addr rest in
+      let rest = comma rest in
+      let v, rest = operand rest in
+      finish (Sem_init (a, v)) rest
+  | Id "sem_post" :: rest ->
+      let a, rest = addr rest in
+      finish (Sem_post a) rest
+  | Id "sem_wait" :: rest ->
+      let a, rest = addr rest in
+      finish (Sem_wait a) rest
+  | Id "check" :: rest -> (
+      let v, rest = operand rest in
+      match rest with
+      | [ Strtok msg ] -> Check (v, msg)
+      | _ -> fail "expected a quoted message after check")
+  | _ -> fail "unrecognized instruction"
+
+let terminator toks =
+  match toks with
+  | [ Id "goto"; Id l ] -> Some (Goto l)
+  | [ Id "br"; o; Quest; Id a; Colon; Id b ] ->
+      let v, _ = operand [ o ] in
+      Some (Br (v, a, b))
+  | [ Id "ret" ] -> Some (Ret None)
+  | [ Id "ret"; o ] ->
+      let v, _ = operand [ o ] in
+      Some (Ret (Some v))
+  | [ Id "exit" ] -> Some Exit
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Line-oriented program assembly                                     *)
+
+type pstate = {
+  mutable globals : (string * int * int) list; (* reversed *)
+  mutable func_table : string list;
+  mutable entry : string option;
+  mutable funcs : func list; (* reversed *)
+  mutable cur_func : (string * reg list) option;
+  mutable cur_blocks : block list; (* reversed *)
+  mutable cur_label : string option;
+  mutable cur_ins : instr list; (* reversed *)
+}
+
+let close_block st term =
+  match st.cur_label with
+  | None -> fail "terminator outside a block"
+  | Some lbl ->
+      st.cur_blocks <- { lbl; ins = List.rev st.cur_ins; term } :: st.cur_blocks;
+      st.cur_label <- None;
+      st.cur_ins <- []
+
+let close_func st =
+  (match (st.cur_label, st.cur_func) with
+  | Some lbl, _ -> fail "block %S has no terminator" lbl
+  | None, Some (fname, params) ->
+      if st.cur_blocks = [] then fail "function %S has no blocks" fname;
+      st.funcs <-
+        { fname; params; blocks = List.rev st.cur_blocks } :: st.funcs;
+      st.cur_func <- None;
+      st.cur_blocks <- []
+  | None, None -> ())
+
+let trim = String.trim
+
+let parse_string text =
+  let st =
+    {
+      globals = [];
+      func_table = [];
+      entry = None;
+      funcs = [];
+      cur_func = None;
+      cur_blocks = [];
+      cur_label = None;
+      cur_ins = [];
+    }
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun lineno0 raw ->
+      let lineno = lineno0 + 1 in
+      let line = trim raw in
+      try
+        if line = "" || line.[0] = '#' then ()
+        else if String.length line > 7 && String.sub line 0 7 = "global " then begin
+          (* global NAME[SIZE] = INIT *)
+          match tokenize (String.sub line 7 (String.length line - 7)) with
+          | [ Id name; LBrk; Inttok size; RBrk ] ->
+              st.globals <- (name, size, 0) :: st.globals
+          | Id name :: LBrk :: Inttok size :: RBrk :: Id "=" :: [ Inttok v ] ->
+              st.globals <- (name, size, v) :: st.globals
+          | _ -> fail "malformed global declaration"
+        end
+        else if String.length line > 13 && String.sub line 0 13 = "func_table = " then begin
+          let inner = String.sub line 13 (String.length line - 13) in
+          let inner = trim inner in
+          if String.length inner < 2 || inner.[0] <> '[' then
+            fail "malformed func_table";
+          let inner = String.sub inner 1 (String.length inner - 2) in
+          st.func_table <-
+            (if trim inner = "" then []
+             else List.map trim (String.split_on_char ';' inner))
+        end
+        else if String.length line > 8 && String.sub line 0 8 = "entry = " then
+          st.entry <- Some (trim (String.sub line 8 (String.length line - 8)))
+        else if String.length line > 5 && String.sub line 0 5 = "func " then begin
+          close_func st;
+          (* func NAME(p1, p2): *)
+          let body = String.sub line 5 (String.length line - 5) in
+          match String.index_opt body '(' with
+          | None -> fail "malformed function header"
+          | Some lp ->
+              let name = trim (String.sub body 0 lp) in
+              let rp =
+                match String.index_opt body ')' with
+                | Some rp when rp > lp -> rp
+                | _ -> fail "malformed function header"
+              in
+              let params_str = String.sub body (lp + 1) (rp - lp - 1) in
+              let params =
+                if trim params_str = "" then []
+                else List.map trim (String.split_on_char ',' params_str)
+              in
+              st.cur_func <- Some (name, params)
+        end
+        else if
+          String.length line > 1
+          && line.[String.length line - 1] = ':'
+          && not (String.contains line ' ')
+        then begin
+          (match st.cur_label with
+          | Some lbl -> fail "block %S has no terminator" lbl
+          | None -> ());
+          if st.cur_func = None then fail "label outside a function";
+          st.cur_label <- Some (String.sub line 0 (String.length line - 1))
+        end
+        else begin
+          let toks = tokenize line in
+          if toks = [] then ()
+          else
+            match terminator toks with
+            | Some t -> close_block st t
+            | None ->
+                if st.cur_label = None then fail "instruction outside a block";
+                st.cur_ins <- instruction toks :: st.cur_ins
+        end
+      with Err msg -> raise (Err (Printf.sprintf "%d:%s" lineno msg)))
+    lines;
+  close_func st;
+  let entry =
+    match st.entry with Some e -> e | None -> fail "missing 'entry =' line"
+  in
+  Builder.program
+    ~globals:(List.rev st.globals)
+    ~func_table:st.func_table ~entry (List.rev st.funcs)
+
+let program text =
+  match parse_string text with
+  | p -> Ok p
+  | exception Err s -> (
+      match String.index_opt s ':' with
+      | Some i ->
+          Error
+            {
+              line = int_of_string (String.sub s 0 i);
+              message = String.sub s (i + 1) (String.length s - i - 1);
+            }
+      | None -> Error { line = 0; message = s })
+
+let program_exn text =
+  match program text with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Tir.Parse: " ^ error_to_string e)

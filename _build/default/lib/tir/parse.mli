@@ -1,0 +1,50 @@
+(** Textual TIR parser — the inverse of {!Pretty}.
+
+    The concrete syntax is exactly what {!Pretty.program} prints, so any
+    program can be dumped, edited and re-run:
+
+    {v
+    global flag[1] = 0
+    global data[1] = 0
+    entry = main
+
+    func main():
+    entry:
+      %t1 <- spawn producer()
+      %t2 <- spawn consumer()
+      goto wait
+    wait:
+      join %t1
+      join %t2
+      exit
+
+    func producer():
+    entry:
+      store @data, 42
+      store @flag, 1
+      exit
+
+    func consumer():
+    entry:
+      goto spin
+    spin:
+      %f <- load @flag
+      br %f ? work : spin
+    work:
+      %d <- load @data
+      store @data, %d
+      exit
+    v}
+
+    Comments run from [#] to end of line.  [parse] does not validate
+    semantics — run {!Validate.check} on the result. *)
+
+type error = { line : int; message : string }
+
+val program : string -> (Types.program, error) result
+(** Parse a whole program from a string. *)
+
+val program_exn : string -> Types.program
+(** @raise Invalid_argument with a located message. *)
+
+val error_to_string : error -> string

@@ -1,0 +1,18 @@
+(** Static well-formedness checks for TIR programs.
+
+    [check] verifies, per function: unique block labels, branch targets
+    resolve, called functions exist with matching arity, every used global
+    is declared, the entry function exists and takes no parameters,
+    indirect-call table entries resolve, and every register read has a
+    potential definition (parameter or prior assignment anywhere in the
+    function — a cheap over-approximation, full definite-assignment is the
+    interpreter's job). *)
+
+type error = { where : string; what : string }
+
+val check : Types.program -> (unit, error list) result
+
+val check_exn : Types.program -> unit
+(** @raise Invalid_argument with a rendered error list. *)
+
+val error_to_string : error -> string

@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 step: one addition then a 64-bit finalizer (Stafford mix13). *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t bound =
+  let mantissa = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (mantissa /. 9007199254740992.0)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t =
+  let s = next_int64 t in
+  { state = Int64.logxor s 0xA5A5A5A55A5A5A5AL }

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All stochastic behaviour in ARDE (schedulers, workload shuffling,
+    multi-seed experiments) flows through this module so that every run is
+    reproducible from a single integer seed.  The implementation is
+    self-contained and does not touch [Stdlib.Random], keeping library
+    clients free to use the global generator however they like. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator positioned at [t]'s current
+    state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive.
+
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array.
+
+    @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator and advances
+    [t].  Used to give each thread / case its own stream. *)

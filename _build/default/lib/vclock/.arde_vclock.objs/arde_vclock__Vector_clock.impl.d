@@ -1,0 +1,1 @@
+lib/vclock/vector_clock.ml: Array Format List String

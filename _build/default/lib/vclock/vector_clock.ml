@@ -1,0 +1,45 @@
+type t = int array
+(* Invariant: no trailing zero components (so [bottom] is [||] and
+   structural equality coincides with clock equality). *)
+
+let bottom = [||]
+
+let trim a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let get c t = if t < Array.length c then c.(t) else 0
+
+let set c t v =
+  let n = max (Array.length c) (t + 1) in
+  let a = Array.make n 0 in
+  Array.blit c 0 a 0 (Array.length c);
+  a.(t) <- v;
+  trim a
+
+let inc c t = set c t (get c t + 1)
+
+let join a b =
+  if Array.length a < Array.length b then
+    Array.mapi (fun i bv -> max bv (get a i)) b
+  else Array.mapi (fun i av -> max av (get b i)) a
+
+let leq a b =
+  let rec go i = i >= Array.length a || (a.(i) <= get b i && go (i + 1)) in
+  go 0
+
+let is_bottom c = Array.length c = 0
+
+let of_list l = trim (Array.of_list l)
+let to_list c = Array.to_list c
+let equal a b = a = b
+
+let pp ppf c =
+  Format.fprintf ppf "<%s>"
+    (String.concat ","
+       (List.map string_of_int (Array.to_list c)))
+
+let size_words c = 2 + Array.length c

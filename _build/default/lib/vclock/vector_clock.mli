@@ -1,0 +1,36 @@
+(** Vector clocks for happens-before tracking.
+
+    Values are immutable; [join] and [inc] return fresh clocks.  Thread ids
+    are small non-negative integers (the machine caps them at
+    [Tir.Types.max_threads]), so clocks are dense integer arrays trimmed to
+    the highest non-zero component — compact enough to sit in every shadow
+    cell, which is what the paper's memory-consumption figure measures. *)
+
+type t
+
+val bottom : t
+(** The all-zero clock. *)
+
+val get : t -> int -> int
+val inc : t -> int -> t
+(** [inc c t] bumps component [t] by one. *)
+
+val set : t -> int -> int -> t
+
+val join : t -> t -> t
+(** Component-wise maximum. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]; the happens-before order on clocks. *)
+
+val is_bottom : t -> bool
+
+val of_list : int list -> t
+val to_list : t -> int list
+(** Trailing zeros trimmed. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val size_words : t -> int
+(** Approximate heap footprint in words, for the memory experiment. *)

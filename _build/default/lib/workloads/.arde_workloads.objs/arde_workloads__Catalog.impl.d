@@ -1,0 +1,1 @@
+lib/workloads/catalog.ml: Arde List Parsec Racey

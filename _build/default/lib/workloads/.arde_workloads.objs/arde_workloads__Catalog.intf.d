@@ -1,0 +1,1 @@
+lib/workloads/catalog.mli: Arde Parsec Racey

@@ -1,0 +1,1 @@
+lib/workloads/parsec.ml: Arde Fun List Parsec_base Printf Racey_base

@@ -1,0 +1,1 @@
+lib/workloads/parsec.mli: Arde

@@ -1,0 +1,1 @@
+lib/workloads/parsec_base.ml: Arde List Printf Racey_base

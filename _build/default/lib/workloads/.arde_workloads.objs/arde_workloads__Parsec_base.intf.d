@@ -1,0 +1,1 @@
+lib/workloads/parsec_base.mli: Arde

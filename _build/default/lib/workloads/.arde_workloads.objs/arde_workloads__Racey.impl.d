@@ -1,0 +1,1 @@
+lib/workloads/racey.ml: Arde Hashtbl List Option Printf Racey_adhoc Racey_lib Racey_racy

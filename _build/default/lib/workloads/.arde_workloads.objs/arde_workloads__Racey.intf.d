@@ -1,0 +1,1 @@
+lib/workloads/racey.mli: Arde

@@ -1,0 +1,1 @@
+lib/workloads/racey_adhoc.ml: Arde Fun List Racey_base

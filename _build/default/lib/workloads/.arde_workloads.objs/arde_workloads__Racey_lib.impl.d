@@ -1,0 +1,1 @@
+lib/workloads/racey_lib.ml: Arde Fun List Printf Racey_base

@@ -1,0 +1,1 @@
+lib/workloads/racey_lib.mli: Arde

@@ -1,0 +1,1 @@
+lib/workloads/racey_racy.ml: Arde List Printf Racey_base

@@ -1,0 +1,17 @@
+type entry = Case of Racey.case | Parsec of Parsec.info * Arde.Types.program
+
+let find name =
+  match Racey.find name with
+  | Some c -> Some (Case c)
+  | None -> (
+      match Parsec.find name with
+      | Some (info, p) -> Some (Parsec (info, p))
+      | None -> None)
+
+let program_of = function
+  | Case c -> c.Racey.program
+  | Parsec (_, p) -> p
+
+let names () =
+  List.map (fun c -> c.Racey.name) (Racey.all ())
+  @ List.map (fun (i, _) -> i.Parsec.pname) (Parsec.all ())

@@ -1,0 +1,11 @@
+(** Unified lookup over every bundled workload. *)
+
+type entry =
+  | Case of Racey.case (* labelled unit-suite case *)
+  | Parsec of Parsec.info * Arde.Types.program
+
+val find : string -> entry option
+val program_of : entry -> Arde.Types.program
+
+val names : unit -> string list
+(** All workload names, suite cases first. *)

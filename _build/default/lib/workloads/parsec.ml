@@ -1,0 +1,937 @@
+open Arde.Types
+open Arde.Builder
+module P = Parsec_base
+
+type info = {
+  pname : string;
+  model : string;
+  uses_cvs : bool;
+  uses_locks : bool;
+  uses_barriers : bool;
+  uses_adhoc : bool;
+  prelowered : bool;
+  nolib_style : Arde.Lower.style;
+  threads : int;
+}
+
+let mk_info ?(cvs = false) ?(locks = false) ?(barriers = false) ?(adhoc = false)
+    ?(prelowered = false) ?(style = Arde.Lower.Realistic) ~model ~threads pname =
+  {
+    pname;
+    model;
+    uses_cvs = cvs;
+    uses_locks = locks;
+    uses_barriers = barriers;
+    uses_adhoc = adhoc;
+    prelowered;
+    nolib_style = style;
+    threads;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Programs without ad-hoc synchronization                            *)
+
+(* Data-parallel option pricing.  Each worker prices a slice of options
+   with a fixed-point Black-Scholes stand-in: a Horner-evaluated rational
+   approximation of the normal CDF over a log-moneyness proxy, plus a
+   discounting loop — all integer arithmetic, scaled by 2^10.  One
+   barrier separates pricing from the aggregation phase. *)
+let blackscholes () =
+  let n = 8 in
+  let opts = 32 in
+  let per = opts / n in
+  let scale = 1024 in
+  (* cnd_fx(x) ~ scaled cumulative-normal surrogate on [-4s, 4s]: a
+     clamped cubic evaluated by Horner's rule. *)
+  let cnd_fx =
+    func "cnd_fx" ~params:[ "x" ]
+      [
+        blk "clamp_lo" [ cmp Lt "lo" (r "x") (imm (-4 * scale)) ]
+          (br (r "lo") "ret_zero" "clamp_hi");
+        blk "clamp_hi" [ cmp Gt "hi" (r "x") (imm (4 * scale)) ]
+          (br (r "hi") "ret_one" "horner");
+        blk "horner"
+          [
+            (* h = ((a3*t + a2)*t + a1)*t + a0, with t = x/8 + s/2 mapped
+               into [0, s] *)
+            divi "t0" (r "x") (imm 8);
+            addi "t" (r "t0") (imm (scale / 2));
+            muli "h0" (r "t") (imm 3);
+            divi "h1" (r "h0") (imm scale);
+            addi "h2" (r "h1") (imm 7);
+            muli "h3" (r "h2") (r "t");
+            divi "h4" (r "h3") (imm scale);
+            addi "h5" (r "h4") (imm 11);
+            muli "h6" (r "h5") (r "t");
+            divi "h7" (r "h6") (imm (16 * scale));
+            modi "h" (r "h7") (imm (scale + 1));
+          ]
+          (ret (Some (r "h")));
+        blk "ret_zero" [] (ret (Some (imm 0)));
+        blk "ret_one" [] (ret (Some (imm scale)));
+      ]
+  in
+  (* discount(v, t) = v reduced by ~2% per period, t periods. *)
+  let discount =
+    func "discount" ~params:[ "v"; "t" ]
+      (blk "entry" [ mov "acc" (r "v"); mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(r "t")
+           ~body:[ muli "a0" (r "acc") (imm 1004); divi "acc" (r "a0") (imm 1024) ]
+           ~next:"done_"
+      @ [ blk "done_" [] (ret (Some (r "acc"))) ])
+  in
+  let price_kernel =
+    [
+      load "s" (gi "spot" (r "o"));
+      load "k" (gi "strike" (r "o"));
+      load "t" (gi "expiry" (r "o"));
+      (* log-moneyness proxy: m = (s - k) * scale / k *)
+      subi "sk" (r "s") (r "k");
+      muli "m0" (r "sk") (imm scale);
+      divi "m" (r "m0") (r "k");
+      call ~ret:"d1" "cnd_fx" [ r "m" ];
+      subi "negm" (imm 0) (r "m");
+      call ~ret:"d2" "cnd_fx" [ r "negm" ];
+      (* call = s*d1 - k*d2, discounted; put via parity *)
+      muli "c0" (r "s") (r "d1");
+      muli "c1" (r "k") (r "d2");
+      subi "c2" (r "c0") (r "c1");
+      divi "c3" (r "c2") (imm scale);
+      call ~ret:"callp" "discount" [ r "c3"; r "t" ];
+      subi "p0" (r "k") (r "s");
+      addi "putp" (r "callp") (r "p0");
+      store (gi "price" (r "o")) (r "callp");
+      store (gi "put_price" (r "o")) (r "putp");
+    ]
+  in
+  let w =
+    func "w" ~params:[ "i" ]
+      (blk "entry"
+         [ muli "lo" (r "i") (imm per); mov "o" (r "lo");
+           addi "hi" (r "lo") (imm per) ]
+         (goto "ph1")
+      :: blk "ph1" [ cmp Lt "more" (r "o") (r "hi") ] (br (r "more") "body" "sync")
+      :: blk "body" (price_kernel @ [ addi "o" (r "o") (imm 1) ]) (goto "ph1")
+      :: [
+           blk "sync" [ barrier_wait (g "bar") ] (goto "agg");
+           (* Phase 2: aggregate own slice (call and put legs). *)
+           blk "agg" [ mov "o" (r "lo"); mov "acc" (imm 0) ] (goto "agg_h");
+           blk "agg_h" [ cmp Lt "more2" (r "o") (r "hi") ]
+             (br (r "more2") "agg_b" "done");
+           blk "agg_b"
+             [
+               load "pv" (gi "price" (r "o"));
+               load "qv" (gi "put_price" (r "o"));
+               addi "pq" (r "pv") (r "qv");
+               addi "acc" (r "acc") (r "pq");
+               addi "o" (r "o") (imm 1);
+             ]
+             (goto "agg_h");
+           blk "done" [ store (gi "out" (r "i")) (r "acc") ] exit_t;
+         ])
+  in
+  let inits =
+    List.concat_map
+      (fun o ->
+        [
+          store (gi "spot" (imm o)) (imm (40 + (o * 3)));
+          store (gi "strike" (imm o)) (imm (35 + (o * 2)));
+          store (gi "expiry" (imm o)) (imm (1 + (o mod 4)));
+        ])
+      (List.init opts Fun.id)
+  in
+  ( mk_info "blackscholes" ~model:"POSIX" ~barriers:true ~threads:n,
+    Racey_base.harness
+      ~globals:
+        [
+          global "bar" (); global "spot" ~size:opts ();
+          global "strike" ~size:opts (); global "expiry" ~size:opts ();
+          global "price" ~size:opts (); global "put_price" ~size:opts ();
+          global "out" ~size:n ();
+        ]
+      ~before:(inits @ [ barrier_init (g "bar") (imm n) ])
+      ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+      [ w; cnd_fx; discount ] )
+
+(* Monte-Carlo swaption pricing over fully independent slices: per
+   swaption, several simulated forward-rate paths driven by a local
+   congruential generator, payoff averaged and stored.  No inter-thread
+   synchronization beyond spawn/join. *)
+let swaptions () =
+  let n = 8 in
+  let per = 6 in
+  let paths = 4 in
+  let steps = 8 in
+  let lcg =
+    (* x' = (x * 1103515245 + 12345) mod 2^20, kept small and positive *)
+    func "lcg" ~params:[ "x" ]
+      [
+        blk "e"
+          [
+            muli "a" (r "x") (imm 1103515245);
+            addi "b" (r "a") (imm 12345);
+            modi "c" (r "b") (imm 1048576);
+          ]
+          (ret (Some (r "c")));
+      ]
+  in
+  let simulate_path =
+    (* Walk the forward rate [steps] times; payoff = max(rate - strike, 0). *)
+    func "simulate_path" ~params:[ "seed0"; "strike" ]
+      (blk "e" [ mov "rate" (imm 512); mov "seed" (r "seed0"); mov "j" (imm 0) ]
+         (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm steps)
+           ~body:
+             [
+               call ~ret:"seed" "lcg" [ r "seed" ];
+               modi "shock" (r "seed") (imm 64);
+               subi "drift" (r "shock") (imm 31);
+               addi "rate" (r "rate") (r "drift");
+             ]
+           ~next:"payoff"
+      @ [
+          blk "payoff" [ subi "pay" (r "rate") (r "strike");
+                         cmp Gt "pos" (r "pay") (imm 0) ]
+            (br (r "pos") "keep" "zero");
+          blk "keep" [] (ret (Some (r "pay")));
+          blk "zero" [] (ret (Some (imm 0)));
+        ])
+  in
+  let w =
+    func "w" ~params:[ "i" ]
+      (blk "entry"
+         [ muli "lo" (r "i") (imm per); mov "o" (r "lo");
+           addi "hi" (r "lo") (imm per) ]
+         (goto "h")
+      :: [
+           blk "h" [ cmp Lt "more" (r "o") (r "hi") ] (br (r "more") "b" "fin");
+           blk "b" [ mov "sum" (imm 0); mov "p" (imm 0) ] (goto "ph");
+           blk "ph" [ cmp Lt "morep" (r "p") (imm paths) ]
+             (br (r "morep") "pb" "store_");
+           blk "pb"
+             [
+               muli "sd0" (r "o") (imm 7919);
+               addi "sd" (r "sd0") (r "p");
+               muli "strk0" (r "o") (imm 3);
+               addi "strk" (r "strk0") (imm 500);
+               call ~ret:"pay" "simulate_path" [ r "sd"; r "strk" ];
+               addi "sum" (r "sum") (r "pay");
+               addi "p" (r "p") (imm 1);
+             ]
+             (goto "ph");
+           blk "store_"
+             [
+               divi "avg" (r "sum") (imm paths);
+               store (gi "swap_out" (r "o")) (r "avg");
+               addi "o" (r "o") (imm 1);
+             ]
+             (goto "h");
+           blk "fin" [] exit_t;
+         ])
+  in
+  ( mk_info "swaptions" ~model:"POSIX" ~threads:n,
+    Racey_base.harness
+      ~globals:[ global "swap_out" ~size:(n * per) () ]
+      ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+      [ w; lcg; simulate_path ] )
+
+let mass_fn cells =
+  func "mass"
+    (blk "e" [ mov "tot" (imm 0); mov "c" (imm 0) ] (goto "loop_head")
+    :: counted_loop ~tag:"loop" ~counter:"c" ~limit:(imm cells)
+         ~body:[ load "dv" (gi "density" (r "c")); addi "tot" (r "tot") (r "dv") ]
+         ~next:"done_"
+    @ [ blk "done_" [] (ret (Some (r "tot"))) ])
+
+(* Particle-density exchange on a cell grid.  Updating a pair of
+   neighbouring cells takes both cell locks in index order (the classic
+   deadlock-free discipline fluidanimate uses for its grid mutexes). *)
+let fluidanimate () =
+  let n = 8 in
+  let cells = 16 in
+  let timesteps = 3 in
+  let lock_pair =
+    func "lock_pair" ~params:[ "a"; "b" ]
+      [
+        blk "e" [ cmp Lt "ord" (r "a") (r "b") ] (br (r "ord") "ab" "ba");
+        blk "ab" [ lock (gi "cl" (r "a")); lock (gi "cl" (r "b")) ] ret0;
+        blk "ba" [ lock (gi "cl" (r "b")); lock (gi "cl" (r "a")) ] ret0;
+      ]
+  in
+  let unlock_pair =
+    func "unlock_pair" ~params:[ "a"; "b" ]
+      [
+        blk "e" [ unlock (gi "cl" (r "a")); unlock (gi "cl" (r "b")) ] ret0;
+      ]
+  in
+  (* Move a quarter of the density difference from the denser cell of the
+     pair (c, c+1 mod cells) to the other. *)
+  let exchange =
+    func "exchange" ~params:[ "c" ]
+      [
+        blk "e"
+          [
+            addi "c1_" (r "c") (imm 1);
+            modi "d" (r "c1_") (imm cells);
+            call "lock_pair" [ r "c"; r "d" ];
+            load "dc" (gi "density" (r "c"));
+            load "dd" (gi "density" (r "d"));
+            subi "diff" (r "dc") (r "dd");
+            divi "flow" (r "diff") (imm 4);
+            subi "nc" (r "dc") (r "flow");
+            addi "nd" (r "dd") (r "flow");
+            store (gi "density" (r "c")) (r "nc");
+            store (gi "density" (r "d")) (r "nd");
+            call "unlock_pair" [ r "c"; r "d" ];
+          ]
+          ret0;
+      ]
+  in
+  let w =
+    func "w" ~params:[ "i" ]
+      (blk "entry" [ mov "ts" (imm 0) ] (goto "steps_head")
+      :: counted_loop ~tag:"steps" ~counter:"ts" ~limit:(imm timesteps)
+           ~body:[ mov "j" (imm 0); call "sweep" [ r "i" ] ]
+           ~next:"fin"
+      @ [ blk "fin" [] exit_t ])
+  in
+  let sweep =
+    (* Each worker sweeps the cell pairs starting at its offset. *)
+    func "sweep" ~params:[ "i" ]
+      (blk "e" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm (cells / n))
+           ~body:
+             [
+               muli "c0" (r "j") (imm n);
+               addi "c1_" (r "c0") (r "i");
+               modi "c" (r "c1_") (imm cells);
+               call "exchange" [ r "c" ];
+             ]
+           ~next:"done_"
+      @ [ blk "done_" [] ret0 ])
+  in
+  let inits =
+    List.concat_map
+      (fun c -> [ store (gi "density" (imm c)) (imm (100 + (c * 10))) ])
+      (List.init cells Fun.id)
+  in
+  ( mk_info "fluidanimate" ~model:"POSIX" ~locks:true ~threads:n,
+    Racey_base.harness
+      ~globals:[ global "cl" ~size:cells (); global "density" ~size:cells () ]
+      ~before:inits
+      ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+      ~after:
+        [
+          (* mass is conserved across all exchanges *)
+          mov "tot" (imm 0); mov "c" (imm 0); call ~ret:"tot" "mass" [];
+          cmp Eq "ok" (r "tot")
+            (imm (List.init cells (fun c -> 100 + (c * 10))
+                  |> List.fold_left ( + ) 0));
+          check (r "ok") "fluidanimate conserves mass";
+        ]
+      [ w; sweep; exchange; lock_pair; unlock_pair; mass_fn cells ] )
+
+(* Simulated annealing: each round, a worker claims two elements with
+   CAS locks (in index order), swaps their positions if the fixed-point
+   "temperature" accepts, updates the shared cost under a mutex, and
+   releases the claims. *)
+let canneal () =
+  let n = 8 in
+  let elems = 24 in
+  let rounds = 4 in
+  (* Element mutexes are taken in index order (a < b is guaranteed by the
+     caller), the same deadlock-free discipline as fluidanimate's grid. *)
+  let claim2 =
+    func "claim2" ~params:[ "a"; "b" ]
+      [
+        blk "e" [ lock (gi "el" (r "a")); lock (gi "el" (r "b")) ]
+          (ret (Some (imm 1)));
+      ]
+  in
+  let release2 =
+    func "release2" ~params:[ "a"; "b" ]
+      [
+        blk "e" [ unlock (gi "el" (r "b")); unlock (gi "el" (r "a")) ] ret0;
+      ]
+  in
+  let w =
+    func "w" ~params:[ "i" ]
+      (blk "entry" [ mov "rnd" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"rnd" ~limit:(imm rounds)
+           ~body:
+             [
+               (* pick a pseudo-random ordered pair *)
+               muli "x0" (r "rnd") (imm 7);
+               addi "x1" (r "x0") (r "i");
+               modi "e1" (r "x1") (imm elems);
+               muli "y0" (r "rnd") (imm 13);
+               addi "y1" (r "y0") (r "i");
+               modi "e2x" (r "y1") (imm (elems - 1));
+               addi "e2y" (r "e2x") (imm 1);
+               addi "e2z" (r "e1") (r "e2y");
+               modi "e2" (r "e2z") (imm elems);
+               cmp Lt "ordp" (r "e1") (r "e2");
+               call "attempt" [ r "e1"; r "e2"; r "rnd" ];
+             ]
+           ~next:"fin"
+      @ [ blk "fin" [] exit_t ])
+  in
+  let attempt =
+    func "attempt" ~params:[ "p"; "q"; "temp" ]
+      [
+        blk "sortpq" [ cmp Lt "ordp" (r "p") (r "q") ] (br (r "ordp") "go" "swp");
+        blk "swp" [ mov "t" (r "p"); mov "p" (r "q"); mov "q" (r "t") ]
+          (goto "chk");
+        blk "chk" [ cmp Eq "same" (r "p") (r "q") ] (br (r "same") "out" "go");
+        blk "go" [ call ~ret:"won" "claim2" [ r "p"; r "q" ] ]
+          (br (r "won") "swap_" "out");
+        blk "swap_"
+          [
+            (* acceptance: always in early rounds, cooling later *)
+            load "pp" (gi "pos" (r "p"));
+            load "pq" (gi "pos" (r "q"));
+            store (gi "pos" (r "p")) (r "pq");
+            store (gi "pos" (r "q")) (r "pp");
+            lock (g "costl");
+            load "c" (g "cost");
+            subi "delta" (r "pp") (r "pq");
+            addi "c1" (r "c") (r "delta");
+            store (g "cost") (r "c1");
+            unlock (g "costl");
+            call "release2" [ r "p"; r "q" ];
+          ]
+          (goto "out");
+        blk "out" [] ret0;
+      ]
+  in
+  let inits =
+    List.concat_map
+      (fun e -> [ store (gi "pos" (imm e)) (imm (e * e)) ])
+      (List.init elems Fun.id)
+  in
+  ( mk_info "canneal" ~model:"POSIX" ~locks:true ~threads:n,
+    Racey_base.harness
+      ~globals:
+        [
+          global "el" ~size:elems (); global "pos" ~size:elems ();
+          global "cost" (); global "costl" ();
+        ]
+      ~before:inits
+      ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+      [ w; attempt; claim2; release2 ] )
+
+(* An OpenMP-style runtime the detector has no hooks for: the whole
+   program is lowered at build time.  Producer fills site groups, a
+   (lowered) barrier separates production from consumption. *)
+let freqmine () =
+  let writeback = 67 and readonly = 290 in
+  let total = writeback + readonly + 1 (* one fptr group *) in
+  let consumers = 3 and readers = 3 in
+  let produce =
+    List.concat_map (P.produce_flag ~data:"fm_data" ~flag:"fm_flag")
+      (List.init total Fun.id)
+    @ [ barrier_wait (g "fm_bar") ]
+  in
+  let producer =
+    func "producer" [ blk "entry" produce exit_t ]
+  in
+  let wb_chunks = P.chunks ~k:consumers writeback in
+  let ro_chunks_pre = P.chunks ~k:readers readonly in
+  (* barrier participants: the producer plus every chunked consumer (the
+     function-pointer consumer gates on its own flag instead); writeback
+     chunks are consumed by two threads each *)
+  let participants = 1 + List.length wb_chunks + List.length ro_chunks_pre in
+  let wb_funcs =
+    (* side "a" crosses the (lowered) barrier and hands each group to side
+       "b" through a user-level flag, so the two consumers of a cell are
+       ordered by the same class of invisible synchronization. *)
+    List.mapi
+      (fun i gs ->
+        P.consumer ~fname:(Printf.sprintf "wba%d" i) ~data:"fm_data"
+          ~consume:`Writeback
+          ~epilogue:(fun gidx -> [ store (gi "fm_hand" (imm gidx)) (imm 1) ])
+          ~gate_blocks:(fun ~tag gidx ->
+            if gidx = List.hd gs then
+              [ blk (tag ^ "_t") [ barrier_wait (g "fm_bar") ] (goto (tag ^ "_wrk")) ]
+            else [ blk (tag ^ "_t") [] (goto (tag ^ "_wrk")) ])
+          gs)
+      wb_chunks
+    @ List.mapi
+        (fun i gs ->
+          P.consumer ~fname:(Printf.sprintf "wbb%d" i) ~data:"fm_data"
+            ~consume:`Writeback
+            ~gate_blocks:(P.flag_gate ~flag:"fm_hand" ~window:2)
+            gs)
+        wb_chunks
+  in
+  let ro_chunks = ro_chunks_pre in
+  let ro_funcs =
+    List.mapi
+      (fun i gs ->
+        let mgs = List.map (fun gx -> gx + writeback) gs in
+        P.consumer ~fname:(Printf.sprintf "ro%d" i) ~data:"fm_data"
+          ~consume:(`Readonly 4)
+          ~gate_blocks:(fun ~tag gidx ->
+            if gidx = List.hd mgs then
+              [ blk (tag ^ "_t") [ barrier_wait (g "fm_bar") ] (goto (tag ^ "_wrk")) ]
+            else [ blk (tag ^ "_t") [] (goto (tag ^ "_wrk")) ])
+          mgs)
+      ro_chunks
+  in
+  (* One group whose readiness is checked through a function pointer:
+     unrecoverable, the residual warning pair of this program. *)
+  let fptr_gid = writeback + readonly in
+  let fptr_consumer side =
+    if side = "a" then
+      P.consumer ~fname:"obscurea" ~data:"fm_data" ~consume:`Writeback
+        ~epilogue:(fun gidx -> [ store (gi "fm_hand2" (imm gidx)) (imm 1) ])
+        ~gate_blocks:(P.fptr_gate ~fptr_slot:0) [ fptr_gid ]
+    else
+      P.consumer ~fname:"obscureb" ~data:"fm_data" ~consume:`Writeback
+        ~gate_blocks:(P.fptr_gate ~fptr_slot:1) [ fptr_gid ]
+  in
+  let chk = Racey_base.check_helper "fm_flag" in
+  let chk2 = Racey_base.check_helper "fm_hand2" in
+  let prog =
+    Racey_base.harness
+      ~globals:
+        [
+          global "fm_bar" (); global "fm_data" ~size:total ();
+          global "fm_flag" ~size:total (); global "fm_hand" ~size:total ();
+          global "fm_hand2" ~size:total ();
+        ]
+      ~func_table:
+        [
+          Racey_base.check_helper_name "fm_flag";
+          Racey_base.check_helper_name "fm_hand2";
+        ]
+      ~before:[ barrier_init (g "fm_bar") (imm participants) ]
+      ~workers:
+        (("producer", [])
+        :: List.concat_map
+             (fun side ->
+               List.mapi (fun i _ -> (Printf.sprintf "wb%s%d" side i, [])) wb_chunks)
+             [ "a"; "b" ]
+        @ List.mapi (fun i _ -> (Printf.sprintf "ro%d" i, [])) ro_chunks
+        @ [ ("obscurea", []); ("obscureb", []) ])
+      ((producer :: wb_funcs) @ ro_funcs
+      @ [ fptr_consumer "a"; fptr_consumer "b"; chk; chk2 ])
+  in
+  ( mk_info "freqmine" ~model:"OpenMP" ~barriers:true ~prelowered:true
+      ~threads:participants,
+    Arde.Lower.lower ~style:Arde.Lower.Realistic prog )
+
+(* ------------------------------------------------------------------ *)
+(* Programs with ad-hoc synchronization                               *)
+
+(* GLib-based runtime (unknown library): condition-variable gates,
+   pre-lowered. *)
+let vips () =
+  let writeback = 20 and readonly = 270 in
+  let total = writeback + readonly in
+  let consumers = 2 and readers = 3 in
+  let produce =
+    List.concat_map
+      (P.produce_cv_gate ~data:"vp_data" ~gate:"vp_gate" ~cv:"vp_cv" ~m:"vp_m")
+      (List.init total Fun.id)
+  in
+  let producer = func "producer" [ blk "entry" produce exit_t ] in
+  let gate = P.cv_gate ~gate:"vp_gate" ~cv:"vp_cv" ~m:"vp_m" in
+  let wb_funcs =
+    List.mapi
+      (fun i gs ->
+        P.consumer ~fname:(Printf.sprintf "wba%d" i) ~data:"vp_data"
+          ~consume:`Writeback ~gate_blocks:gate
+          ~epilogue:(fun gidx -> [ store (gi "vp_hand" (imm gidx)) (imm 1) ])
+          gs)
+      (P.chunks ~k:consumers writeback)
+    @ List.mapi
+        (fun i gs ->
+          P.consumer ~fname:(Printf.sprintf "wbb%d" i) ~data:"vp_data"
+            ~consume:`Writeback
+            ~gate_blocks:(P.flag_gate ~flag:"vp_hand" ~window:2)
+            gs)
+        (P.chunks ~k:consumers writeback)
+  in
+  let ro_funcs =
+    List.mapi
+      (fun i gs ->
+        P.consumer ~fname:(Printf.sprintf "ro%d" i) ~data:"vp_data"
+          ~consume:(`Readonly 4) ~gate_blocks:gate
+          (List.map (fun g -> g + writeback) gs))
+      (P.chunks ~k:readers readonly)
+  in
+  let prog =
+    Racey_base.harness
+      ~globals:
+        [
+          global "vp_m" (); global "vp_data" ~size:total ();
+          global "vp_gate" ~size:total (); global "vp_cv" ~size:total ();
+          global "vp_hand" ~size:total ();
+        ]
+      ~workers:
+        (("producer", [])
+        :: List.concat_map
+             (fun side ->
+               List.mapi
+                 (fun i _ -> (Printf.sprintf "wb%s%d" side i, []))
+                 (P.chunks ~k:consumers writeback))
+             [ "a"; "b" ]
+        @ List.mapi (fun i _ -> (Printf.sprintf "ro%d" i, [])) (P.chunks ~k:readers readonly))
+      ((producer :: wb_funcs) @ ro_funcs)
+  in
+  ( mk_info "vips" ~model:"GLib" ~cvs:true ~locks:true ~adhoc:true
+      ~prelowered:true ~threads:(1 + consumers + readers),
+    Arde.Lower.lower ~style:Arde.Lower.Realistic prog )
+
+(* Generic builder for the native POSIX programs with ad-hoc sync: a mix
+   of detectable flag groups, function-pointer groups, CV gates, locked
+   flags and read-only flag groups. *)
+let adhoc_program ~prefix ~flag_wb ~fptr_wb ~cv_wb ~locked_wb ~ro_flag
+    ?(ro_sites = 3) ?(cv_consume = `Writeback) () =
+  let data = prefix ^ "_data" and flag = prefix ^ "_flag" in
+  let gate = prefix ^ "_gate" and cv = prefix ^ "_cv" and m = prefix ^ "_m" in
+  let ml = prefix ^ "_ml" in
+  let total = flag_wb + fptr_wb + cv_wb + locked_wb + ro_flag in
+  let base_fptr = flag_wb in
+  let base_cv = base_fptr + fptr_wb in
+  let base_locked = base_cv + cv_wb in
+  let base_ro = base_locked + locked_wb in
+  let produce =
+    List.concat_map
+      (fun gidx ->
+        if gidx < base_fptr then P.produce_flag ~data ~flag gidx
+        else if gidx < base_cv then P.produce_flag ~data ~flag gidx
+        else if gidx < base_locked then P.produce_cv_gate ~data ~gate ~cv ~m gidx
+        else if gidx < base_ro then P.produce_locked_flag ~data ~flag ~m:ml gidx
+        else P.produce_flag ~data ~flag gidx)
+      (List.init total Fun.id)
+  in
+  let producer = func "producer" [ blk "entry" produce exit_t ] in
+  let range lo len = List.init len (fun i -> lo + i) in
+  let flag2 = prefix ^ "_flag2" and gate2 = prefix ^ "_gate2" in
+  let cv2 = prefix ^ "_cv2" in
+  let funcs = ref [] and workers = ref [] in
+  let add_consumers ?epilogue ~name ~k ~consume ~gate_blocks gs =
+    List.iteri
+      (fun i chunk ->
+        let fname = Printf.sprintf "%s%d" name i in
+        funcs :=
+          P.consumer ?epilogue ~fname ~data ~consume ~gate_blocks chunk
+          :: !funcs;
+        workers := (fname, []) :: !workers)
+      (P.chunks ~k (List.length gs) |> List.map (List.map (List.nth gs)))
+  in
+  (* Writeback groups are consumed by two threads in a chain: consumer A
+     mutates the cell and then gates consumer B through the same idiom.
+     Under the long-running state machine a lone consumer's first offence
+     merely arms the cell, so the second, equally-(in)visible hop is what
+     produces the reports — just like real shared cells, which are touched
+     by several threads in sequence. *)
+  if flag_wb > 0 then begin
+    add_consumers ~name:"fwa" ~k:2 ~consume:`Writeback
+      ~gate_blocks:(P.flag_gate ~flag ~window:2)
+      ~epilogue:(fun gidx -> [ store (gi flag2 (imm gidx)) (imm 1) ])
+      (range 0 flag_wb);
+    add_consumers ~name:"fwb" ~k:2 ~consume:`Writeback
+      ~gate_blocks:(P.flag_gate ~flag:flag2 ~window:2) (range 0 flag_wb)
+  end;
+  if fptr_wb > 0 then begin
+    add_consumers ~name:"fpa" ~k:1 ~consume:`Writeback
+      ~gate_blocks:(P.fptr_gate ~fptr_slot:0)
+      ~epilogue:(fun gidx -> [ store (gi flag2 (imm gidx)) (imm 1) ])
+      (range base_fptr fptr_wb);
+    add_consumers ~name:"fpb" ~k:1 ~consume:`Writeback
+      ~gate_blocks:(P.fptr_gate ~fptr_slot:1) (range base_fptr fptr_wb)
+  end;
+  if cv_wb > 0 then begin
+    add_consumers ~name:"cga" ~k:1 ~consume:cv_consume
+      ~gate_blocks:(P.cv_gate ~gate ~cv ~m)
+      ~epilogue:(fun gidx ->
+        [
+          lock (g m);
+          store (gi gate2 (imm gidx)) (imm 1);
+          unlock (g m);
+          broadcast (gi cv2 (imm gidx));
+        ])
+      (range base_cv cv_wb);
+    add_consumers ~name:"cgb" ~k:1 ~consume:cv_consume
+      ~gate_blocks:(P.cv_gate ~gate:gate2 ~cv:cv2 ~m) (range base_cv cv_wb)
+  end;
+  if locked_wb > 0 then begin
+    add_consumers ~name:"lfa" ~k:1 ~consume:`Writeback
+      ~gate_blocks:(P.locked_flag_gate ~flag ~m:ml)
+      ~epilogue:(fun gidx ->
+        [ lock (g ml); store (gi flag2 (imm gidx)) (imm 1); unlock (g ml) ])
+      (range base_locked locked_wb);
+    add_consumers ~name:"lfb" ~k:1 ~consume:`Writeback
+      ~gate_blocks:(P.locked_flag_gate ~flag:flag2 ~m:ml)
+      (range base_locked locked_wb)
+  end;
+  if ro_flag > 0 then
+    add_consumers ~name:"ro" ~k:3 ~consume:(`Readonly ro_sites)
+      ~gate_blocks:(P.flag_gate ~flag ~window:2) (range base_ro ro_flag);
+  let chk = Racey_base.check_helper flag in
+  let chk2 = Racey_base.check_helper flag2 in
+  let prog =
+    Racey_base.harness
+      ~globals:
+        [
+          global m (); global ml (); global data ~size:total ();
+          global flag ~size:total (); global flag2 ~size:total ();
+          global gate ~size:total (); global gate2 ~size:total ();
+          global cv ~size:total (); global cv2 ~size:total ();
+        ]
+      ~func_table:
+        [ Racey_base.check_helper_name flag; Racey_base.check_helper_name flag2 ]
+      ~workers:(("producer", []) :: List.rev !workers)
+      (producer :: chk :: chk2 :: List.rev !funcs)
+  in
+  (prog, 1 + List.length !workers)
+
+let bodytrack () =
+  let prog, threads =
+    adhoc_program ~prefix:"bt" ~flag_wb:13 ~fptr_wb:1 ~cv_wb:14 ~locked_wb:0
+      ~ro_flag:0 ()
+  in
+  ( mk_info "bodytrack" ~model:"POSIX" ~cvs:true ~locks:true ~adhoc:true
+      ~style:Arde.Lower.Futex ~threads,
+    prog )
+
+let facesim () =
+  let prog, threads =
+    adhoc_program ~prefix:"fs" ~flag_wb:49 ~fptr_wb:0 ~cv_wb:2 ~locked_wb:0
+      ~ro_flag:400 ()
+  in
+  ( mk_info "facesim" ~model:"POSIX" ~cvs:true ~locks:true ~adhoc:true ~threads,
+    prog )
+
+let ferret () =
+  let prog, threads =
+    adhoc_program ~prefix:"fr" ~flag_wb:43 ~fptr_wb:1 ~cv_wb:22 ~locked_wb:0
+      ~ro_flag:25 ()
+  in
+  ( mk_info "ferret" ~model:"POSIX" ~cvs:true ~locks:true ~adhoc:true
+      ~style:Arde.Lower.Futex ~threads,
+    prog )
+
+let x264 () =
+  let prog, threads =
+    adhoc_program ~prefix:"x2" ~flag_wb:495 ~fptr_wb:9 ~cv_wb:5 ~locked_wb:0
+      ~ro_flag:0 ()
+  in
+  ( mk_info "x264" ~model:"POSIX" ~cvs:true ~locks:true ~adhoc:true
+      ~style:Arde.Lower.Futex ~threads,
+    prog )
+
+let dedup () =
+  let prog, threads =
+    adhoc_program ~prefix:"dd" ~flag_wb:0 ~fptr_wb:0 ~cv_wb:1 ~locked_wb:505
+      ~ro_flag:0 ()
+  in
+  ( mk_info "dedup" ~model:"POSIX" ~cvs:true ~locks:true ~adhoc:true
+      ~style:Arde.Lower.Futex ~threads,
+    prog )
+
+(* Custom spin barrier (user code) orders almost everything; one blind
+   write goes through a native CV gate. *)
+let streamcluster () =
+  let wb = 2 and ro = 334 in
+  let total = wb + ro in
+  (* Custom barrier: an arrival counter plus a generation word, in user
+     code — a detectable ad-hoc construct. *)
+  let custom_barrier_wait tag participants =
+    [
+      blk (tag ^ "_t")
+        [
+          load (tag ^ "_g") (g "sc_gen");
+          rmw Rmw_add (tag ^ "_o") (g "sc_cnt") (imm 1);
+          addi (tag ^ "_n") (r (tag ^ "_o")) (imm 1);
+          cmp Eq (tag ^ "_last") (r (tag ^ "_n")) (imm participants);
+        ]
+        (br (r (tag ^ "_last")) (tag ^ "_rel") (tag ^ "_sp"));
+      blk (tag ^ "_rel")
+        [
+          store (g "sc_cnt") (imm 0);
+          rmw Rmw_add (tag ^ "_go") (g "sc_gen") (imm 1);
+        ]
+        (goto (tag ^ "_done"));
+      blk (tag ^ "_sp")
+        [ load (tag ^ "_g2") (g "sc_gen");
+          cmp Ne (tag ^ "_moved") (r (tag ^ "_g2")) (r (tag ^ "_g")) ]
+        (br (r (tag ^ "_moved")) (tag ^ "_done") (tag ^ "_sp"));
+      blk (tag ^ "_done") [] (goto (tag ^ "_next"));
+    ]
+  in
+  let readers = 3 in
+  (* barrier waiters: producer, the readers, and writeback consumer "a"
+     ("b" is handed its groups through a flag chain) *)
+  let participants = 1 + readers + 1 in
+  let produce =
+    store (g "sc_status") (imm 7)
+    :: List.concat_map
+         (fun gidx -> [ store (gi "sc_data" (imm gidx)) (imm (gidx + 1)) ])
+         (List.init total Fun.id)
+    @ [
+        (* one blind write handed over through a native CV gate *)
+        lock (g "sc_m");
+        store (g "sc_gate") (imm 1);
+        unlock (g "sc_m");
+        signal (g "sc_cv");
+        (* second status write: gives the blind consumer's store a fresh
+           conflicting access to offend against *)
+        store (g "sc_status") (imm 8);
+      ]
+  in
+  let producer =
+    func "producer"
+      (blk "entry" produce (goto "bar_t")
+      :: (custom_barrier_wait "bar" participants
+         |> List.map (fun b -> if b.lbl = "bar_done" then { b with term = goto "fin" } else b))
+      @ [ blk "fin" [] exit_t ])
+  in
+  let reader i gs =
+    P.consumer ~fname:(Printf.sprintf "ro%d" i) ~data:"sc_data"
+      ~consume:(`Readonly 4)
+      ~gate_blocks:(fun ~tag gidx ->
+        if gidx = List.hd gs then
+          custom_barrier_wait tag participants
+          |> List.map (fun b ->
+                 if b.lbl = tag ^ "_done" then { b with term = goto (tag ^ "_wrk") }
+                 else b)
+        else [ blk (tag ^ "_t") [] (goto (tag ^ "_wrk")) ])
+      gs
+  in
+  let ro_chunks = P.chunks ~k:readers ro in
+  let ro_funcs = List.mapi (fun i gs -> reader i (List.map (fun x -> x + wb) gs)) ro_chunks in
+  (* the two write-back groups go through the custom barrier as well *)
+  let wb_consumer side =
+    if side = "a" then
+      P.consumer ~fname:"wb0a" ~data:"sc_data" ~consume:`Writeback
+        ~epilogue:(fun gidx -> [ store (gi "sc_hand" (imm gidx)) (imm 1) ])
+        ~gate_blocks:(fun ~tag gidx ->
+          if gidx = 0 then
+            custom_barrier_wait tag participants
+            |> List.map (fun b ->
+                   if b.lbl = tag ^ "_done" then
+                     { b with term = goto (tag ^ "_wrk") }
+                   else b)
+          else [ blk (tag ^ "_t") [] (goto (tag ^ "_wrk")) ])
+        (List.init wb Fun.id)
+    else
+      P.consumer ~fname:"wb0b" ~data:"sc_data" ~consume:`Writeback
+        ~gate_blocks:(P.flag_gate ~flag:"sc_hand" ~window:2)
+        (List.init wb Fun.id)
+  in
+  let blind_consumer =
+    (* waits on the CV gate, then blindly overwrites a status word *)
+    func "blind"
+      [
+        blk "entry" [ lock (g "sc_m"); load "f" (g "sc_gate") ]
+          (br (r "f") "go" "sl");
+        blk "sl" [ wait (g "sc_cv") (g "sc_m") ] (goto "go");
+        blk "go" [ unlock (g "sc_m"); store (g "sc_status") (imm 1) ] exit_t;
+      ]
+  in
+
+  let prog =
+    Racey_base.harness
+      ~globals:
+        [
+          global "sc_cnt" (); global "sc_gen" (); global "sc_m" ();
+          global "sc_cv" (); global "sc_gate" (); global "sc_status" ();
+          global "sc_data" ~size:total (); global "sc_bar" ();
+          global "sc_hand" ~size:total ();
+        ]
+      ~before:[ barrier_init (g "sc_bar") (imm 1) ]
+      ~workers:
+        (("producer", []) :: ("wb0a", []) :: ("wb0b", []) :: ("blind", [])
+        :: List.mapi (fun i _ -> (Printf.sprintf "ro%d" i, [])) ro_chunks)
+      (producer :: wb_consumer "a" :: wb_consumer "b" :: blind_consumer
+      :: ro_funcs)
+  in
+  ( mk_info "streamcluster" ~model:"POSIX" ~cvs:true ~locks:true ~barriers:true
+      ~adhoc:true ~style:Arde.Lower.Futex ~threads:(3 + readers),
+    prog )
+
+(* A home-grown threading library (unknown to the detector): CV gates,
+   pre-lowered. *)
+let raytrace () =
+  let writeback = 40 and readonly = 300 in
+  let total = writeback + readonly in
+  let consumers = 2 and readers = 3 in
+  let produce =
+    List.concat_map
+      (P.produce_cv_gate ~data:"rt_data" ~gate:"rt_gate" ~cv:"rt_cv" ~m:"rt_m")
+      (List.init total Fun.id)
+  in
+  let producer = func "producer" [ blk "entry" produce exit_t ] in
+  let gate = P.cv_gate ~gate:"rt_gate" ~cv:"rt_cv" ~m:"rt_m" in
+  let wb_funcs =
+    List.mapi
+      (fun i gs ->
+        P.consumer ~fname:(Printf.sprintf "wba%d" i) ~data:"rt_data"
+          ~consume:`Writeback ~gate_blocks:gate
+          ~epilogue:(fun gidx -> [ store (gi "rt_hand" (imm gidx)) (imm 1) ])
+          gs)
+      (P.chunks ~k:consumers writeback)
+    @ List.mapi
+        (fun i gs ->
+          P.consumer ~fname:(Printf.sprintf "wbb%d" i) ~data:"rt_data"
+            ~consume:`Writeback
+            ~gate_blocks:(P.flag_gate ~flag:"rt_hand" ~window:2)
+            gs)
+        (P.chunks ~k:consumers writeback)
+  in
+  let ro_funcs =
+    List.mapi
+      (fun i gs ->
+        P.consumer ~fname:(Printf.sprintf "ro%d" i) ~data:"rt_data"
+          ~consume:(`Readonly 4) ~gate_blocks:gate
+          (List.map (fun g -> g + writeback) gs))
+      (P.chunks ~k:readers readonly)
+  in
+  let prog =
+    Racey_base.harness
+      ~globals:
+        [
+          global "rt_m" (); global "rt_data" ~size:total ();
+          global "rt_gate" ~size:total (); global "rt_cv" ~size:total ();
+          global "rt_hand" ~size:total ();
+        ]
+      ~workers:
+        (("producer", [])
+        :: List.concat_map
+             (fun side ->
+               List.mapi
+                 (fun i _ -> (Printf.sprintf "wb%s%d" side i, []))
+                 (P.chunks ~k:consumers writeback))
+             [ "a"; "b" ]
+        @ List.mapi (fun i _ -> (Printf.sprintf "ro%d" i, [])) (P.chunks ~k:readers readonly))
+      ((producer :: wb_funcs) @ ro_funcs)
+  in
+  ( mk_info "raytrace" ~model:"POSIX" ~cvs:true ~locks:true ~adhoc:true
+      ~prelowered:true ~threads:(1 + consumers + readers),
+    Arde.Lower.lower ~style:Arde.Lower.Realistic prog )
+
+(* ------------------------------------------------------------------ *)
+
+let without_adhoc () =
+  [ blackscholes (); swaptions (); fluidanimate (); canneal (); freqmine () ]
+
+let with_adhoc () =
+  [
+    vips (); bodytrack (); facesim (); ferret (); x264 (); dedup ();
+    streamcluster (); raytrace ();
+  ]
+
+let all () = without_adhoc () @ with_adhoc ()
+
+let find name =
+  List.find_opt (fun (i, _) -> i.pname = name) (all ())
+
+let loc_of (p : program) =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left (fun acc b -> acc + List.length b.ins + 1) acc f.blocks)
+    0 p.funcs

@@ -1,0 +1,37 @@
+(** Synthetic PARSEC 2.0 workloads.
+
+    Thirteen programs named after the paper's benchmark set, each built
+    with the synchronization inventory the paper's Table "PARSEC 2.0"
+    lists for it (POSIX condition variables / locks / barriers, ad-hoc
+    constructs, or an "unknown library" runtime modelled by pre-lowering
+    the program at build time).  The racy-context columns of the paper's
+    Tables 4–6 emerge from the mix of writeback / readonly / blind site
+    groups each program carries; see DESIGN.md. *)
+
+type info = {
+  pname : string;
+  model : string; (* parallelization model, as the paper's table heads it *)
+  uses_cvs : bool;
+  uses_locks : bool;
+  uses_barriers : bool;
+  uses_adhoc : bool;
+  prelowered : bool; (* unknown-library runtime: lowered at build time *)
+  nolib_style : Arde.Lower.style;
+      (* how the nolib experiment lowers this program's primitives *)
+  threads : int;
+}
+
+val all : unit -> (info * Arde.Types.program) list
+(** The 13 programs, paper order. *)
+
+val without_adhoc : unit -> (info * Arde.Types.program) list
+(** blackscholes, swaptions, fluidanimate, canneal, freqmine. *)
+
+val with_adhoc : unit -> (info * Arde.Types.program) list
+(** vips … raytrace. *)
+
+val find : string -> (info * Arde.Types.program) option
+
+val loc_of : Arde.Types.program -> int
+(** "Lines of code": instructions plus terminators, our analog of the
+    paper's LOC column. *)

@@ -1,0 +1,131 @@
+type case = {
+  name : string;
+  category : string;
+  threads : int;
+  expectation : Arde.Classify.expectation;
+  program : Arde.Types.program;
+}
+
+let rf = Arde.Classify.Race_free
+let racy bases = Arde.Classify.Racy bases
+
+let case category name threads expectation program =
+  { name; category; threads; expectation; program }
+
+let spread name category expectation build counts =
+  List.map
+    (fun n ->
+      case category (Printf.sprintf "%s/%d" name n) n expectation (build n))
+    counts
+
+let lib_cases () =
+  spread "lock_counter" "lib" rf Racey_lib.lock_counter [ 2; 4; 8; 16 ]
+  @ spread "cv_handoff" "lib" rf Racey_lib.cv_handoff [ 2; 4; 8; 16 ]
+  @ spread "barrier_phases" "lib" rf Racey_lib.barrier_phases [ 2; 4; 8; 16 ]
+  @ spread "sem_pipeline" "lib" rf Racey_lib.sem_pipeline [ 2; 4 ]
+  @ spread "join_result" "lib" rf Racey_lib.join_result [ 2; 8; 16 ]
+  @ spread "atomic_counter" "lib" rf Racey_lib.atomic_counter [ 2; 4; 8 ]
+  @ spread "lock_percell" "lib" rf Racey_lib.lock_percell [ 4; 8 ]
+  @ spread "readonly_shared" "lib" rf Racey_lib.readonly_shared [ 4; 16 ]
+  @ spread "cv_bounded_buffer" "lib" rf Racey_lib.cv_bounded_buffer [ 3; 5 ]
+  @ spread "spawn_chain" "lib" rf Racey_lib.spawn_chain [ 4; 8 ]
+  @ spread "barrier_reduction" "lib" rf Racey_lib.barrier_reduction [ 4; 8; 16 ]
+  @ spread "fork_join_tree" "lib" rf
+      (fun d -> Racey_lib.fork_join_tree d)
+      [ 3; 4 ]
+  @ spread "cv_broadcast_wakeall" "lib" rf Racey_lib.cv_broadcast_wakeall
+      [ 4; 8; 16 ]
+  @ spread "sem_rendezvous" "lib" rf Racey_lib.sem_rendezvous [ 2; 4 ]
+  @ spread "atomic_publish" "lib" rf Racey_lib.atomic_publish [ 3; 5; 7 ]
+  @ spread "lock_counter" "lib" rf Racey_lib.lock_counter [ 6 ]
+  @ spread "barrier_phases" "lib" rf Racey_lib.barrier_phases [ 6 ]
+  @ spread "readonly_shared" "lib" rf Racey_lib.readonly_shared [ 8 ]
+
+let adhoc_cases () =
+  List.concat_map
+    (fun window ->
+      spread
+        (Printf.sprintf "adhoc_flag_w%d" window)
+        "adhoc" rf
+        (Racey_adhoc.adhoc_flag ~window)
+        [ 2 ])
+    [ 1; 2; 3; 5; 6; 7 ]
+  @ List.concat_map
+      (fun window ->
+        spread
+          (Printf.sprintf "adhoc_flag_w%d" window)
+          "adhoc" rf
+          (Racey_adhoc.adhoc_flag ~window)
+          [ 8; 16 ])
+      [ 2; 7 ]
+  @ List.concat_map
+      (fun window ->
+        spread
+          (Printf.sprintf "adhoc_flag_w%d" window)
+          "adhoc" rf
+          (Racey_adhoc.adhoc_flag ~window)
+          [ 2; 4 ])
+      [ 9; 10 ]
+  @ spread "adhoc_flag_call" "adhoc" rf Racey_adhoc.adhoc_flag_call [ 2; 4 ]
+  @ spread "adhoc_flag_fptr" "adhoc" rf Racey_adhoc.adhoc_flag_fptr [ 2; 4 ]
+  @ spread "lock_flag_spin" "adhoc" rf Racey_adhoc.lock_flag_spin
+      [ 2; 3; 4; 6; 8; 12; 16 ]
+  @ spread "guarded_queue" "adhoc" rf Racey_adhoc.guarded_queue [ 3; 5; 9 ]
+  @ spread "task_queue" "adhoc" rf Racey_adhoc.task_queue [ 3; 5; 9 ]
+  @ spread "double_checked_init" "adhoc" rf Racey_adhoc.double_checked_init
+      [ 4; 8 ]
+  @ spread "dcl_writeback" "adhoc" rf Racey_adhoc.dcl_writeback [ 6 ]
+  @ spread "adhoc_phase_flag" "adhoc" rf
+      (fun rounds -> Racey_adhoc.adhoc_phase_flag rounds)
+      [ 2; 4 ]
+  @ spread "adhoc_baton" "adhoc" rf Racey_adhoc.adhoc_baton [ 4 ]
+  @ spread "mixed_lock_and_flag" "adhoc" rf Racey_adhoc.mixed_lock_and_flag [ 2 ]
+
+let racy_cases () =
+  spread "racy_counter" "racy" (racy [ "x" ]) Racey_racy.racy_counter
+    [ 2; 4; 8; 16 ]
+  @ spread "racy_flag_no_loop" "racy"
+      (racy [ "data"; "flag" ])
+      Racey_racy.racy_flag_no_loop [ 2; 4 ]
+  @ spread "racy_mixed_locks" "racy" (racy [ "x" ]) Racey_racy.racy_mixed_locks
+      [ 2; 4; 8; 16 ]
+  @ spread "racy_lock_ordered_w" "racy" (racy [ "x" ])
+      (Racey_racy.racy_lock_ordered ~style:`Write)
+      [ 2; 3; 4; 6; 8; 10; 12; 16 ]
+  @ spread "racy_lock_ordered_r" "racy" (racy [ "x" ])
+      (Racey_racy.racy_lock_ordered ~style:`Read)
+      [ 2; 4 ]
+  @ spread "racy_rare_path" "racy"
+      (racy [ "flag"; "x" ])
+      Racey_racy.racy_rare_path [ 2; 4; 8 ]
+  @ spread "racy_adhoc_broken" "racy" (racy [ "data" ])
+      Racey_racy.racy_adhoc_broken [ 2; 4; 8 ]
+  @ spread "racy_barrier_missing" "racy" (racy [ "a" ])
+      Racey_racy.racy_barrier_missing [ 4; 8 ]
+  @ spread "racy_read_write" "racy" (racy [ "x" ]) Racey_racy.racy_read_write
+      [ 2; 4; 8; 16 ]
+  @ spread "racy_after_join_wrong" "racy" (racy [ "res" ])
+      Racey_racy.racy_after_join_wrong [ 2; 4 ]
+  @ [
+      case "racy" "racy_sem_misuse" 3 (racy [ "buf" ])
+        (Racey_racy.racy_sem_misuse ());
+    ]
+  @ spread "racy_cv_unlocked_pred" "racy" (racy [ "ready" ])
+      Racey_racy.racy_cv_unlocked_pred [ 2; 4 ]
+  @ [
+      case "racy" "racy_queue_overrun" 2 (racy [ "items" ])
+        (Racey_racy.racy_queue_overrun ());
+    ]
+
+let all () = lib_cases () @ adhoc_cases () @ racy_cases ()
+
+let find name = List.find_opt (fun c -> c.name = name) (all ())
+
+let categories cases =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace tbl c.category
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c.category)))
+    cases;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

@@ -1,0 +1,19 @@
+(** The unit-test suite — our analog of the paper's [data-race-test]
+    benchmark: 120 labelled cases (2–16 threads) spanning library
+    synchronization, ad-hoc spinning constructs of varying difficulty, and
+    genuine races, each with its ground truth. *)
+
+type case = {
+  name : string;
+  category : string; (* "lib" | "adhoc" | "racy" *)
+  threads : int;
+  expectation : Arde.Classify.expectation;
+  program : Arde.Types.program;
+}
+
+val all : unit -> case list
+(** Exactly 120 cases. *)
+
+val find : string -> case option
+val categories : case list -> (string * int) list
+(** Category histogram, sorted. *)

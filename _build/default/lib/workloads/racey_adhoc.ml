@@ -1,0 +1,454 @@
+(* Race-free cases synchronized through ad-hoc constructs — the heart of
+   the paper.  Hybrid detectors without spin detection false-positive on
+   the data these constructs protect; spin detection (window permitting)
+   silences them.  Cases whose conditions go through function pointers or
+   exceed the window stay noisy by design. *)
+
+open Arde.Types
+open Arde.Builder
+open Racey_base
+
+(* Producer writes data[i] then raises flag[i]; consumer i spins on its
+   flag (inline loop of [window] blocks) then mutates data[i]. *)
+let adhoc_flag ~window n =
+  let consumers = n - 1 in
+  let producer_body =
+    List.concat_map
+      (fun i ->
+        [
+          store (gi "data" (imm i)) (imm (i + 1));
+          store (gi "flag" (imm i)) (imm 1);
+        ])
+      (List.init consumers Fun.id)
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      (blk "entry" [] (goto "sp_t")
+      :: spin_flag ~tag:"sp" ~flag:(gi "flag" (r "i")) ~window ~exit_lbl:"work"
+      @ [ blk "work" (bump (gi "data" (r "i"))) exit_t ])
+  in
+  let producer = func "producer" [ blk "entry" producer_body exit_t ] in
+  harness
+    ~globals:[ global "data" ~size:(max 1 consumers) (); global "flag" ~size:(max 1 consumers) () ]
+    ~workers:(("producer", []) :: List.init consumers (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer ]
+
+(* Same protocol, but the loop condition is evaluated by a direct call to
+   a double-checking helper: 7 counted blocks, found only at k >= 7. *)
+let adhoc_flag_call n =
+  let consumers = n - 1 in
+  let producer_body =
+    List.concat_map
+      (fun i ->
+        [
+          store (gi "data" (imm i)) (imm (i + 1));
+          store (gi "flag" (imm i)) (imm 1);
+        ])
+      (List.init consumers Fun.id)
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      (blk "entry" [] (goto "sp_t")
+      :: spin_flag_call ~tag:"sp" ~flag_base:"flag" ~idx:(r "i") ~exit_lbl:"work"
+      @ [ blk "work" (bump (gi "data" (r "i"))) exit_t ])
+  in
+  let producer = func "producer" [ blk "entry" producer_body exit_t ] in
+  harness
+    ~globals:[ global "data" ~size:consumers (); global "flag" ~size:consumers () ]
+    ~workers:(("producer", []) :: List.init consumers (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer; check_helper "flag" ]
+
+(* Condition through a function pointer: statically unanalyzable, the
+   false positive survives in every configuration (paper: "function
+   pointers for condition evaluation"). *)
+let adhoc_flag_fptr n =
+  let consumers = n - 1 in
+  let producer_body =
+    List.concat_map
+      (fun i ->
+        [
+          store (gi "data" (imm i)) (imm (i + 1));
+          store (gi "flag" (imm i)) (imm 1);
+        ])
+      (List.init consumers Fun.id)
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      (blk "entry" [] (goto "sp_t")
+      :: spin_flag_fptr ~tag:"sp" ~fptr_slot:0 ~idx:(r "i") ~exit_lbl:"work"
+      @ [ blk "work" (bump (gi "data" (r "i"))) exit_t ])
+  in
+  let producer = func "producer" [ blk "entry" producer_body exit_t ] in
+  harness
+    ~globals:[ global "data" ~size:consumers (); global "flag" ~size:consumers () ]
+    ~func_table:[ check_helper_name "flag" ]
+    ~workers:(("producer", []) :: List.init consumers (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer; check_helper "flag" ]
+
+(* The flag is read under a mutex inside the loop: DRD is clean thanks to
+   lock-order edges, the hybrid false-positives on the data until spin
+   detection recovers the loop. *)
+let lock_flag_spin n =
+  let consumers = n - 1 in
+  let producer_body =
+    List.concat_map
+      (fun i ->
+        [
+          store (gi "data" (imm i)) (imm (2 * i));
+          lock (g "m");
+          store (gi "flag" (imm i)) (imm 1);
+          unlock (g "m");
+        ])
+      (List.init consumers Fun.id)
+  in
+  (* The condition is evaluated by a helper that samples the flag under
+     the lock and double-checks — 4 callee blocks plus the 3-block loop,
+     an effective window of 7 (realistic loop conditions go through
+     function calls, the paper's k=7 observation). *)
+  let chk =
+    func "chk_locked_flag" ~params:[ "idx" ]
+      [
+        blk "e"
+          [
+            lock (g "m");
+            load "v" (gi "flag" (r "idx"));
+            unlock (g "m");
+            cmp Ne "c" (r "v") (imm 0);
+          ]
+          (br (r "c") "yes" "re");
+        blk "re"
+          [
+            lock (g "m");
+            load "v2" (gi "flag" (r "idx"));
+            unlock (g "m");
+            cmp Ne "c2" (r "v2") (imm 0);
+          ]
+          (br (r "c2") "yes" "no");
+        blk "yes" [] (ret (Some (imm 1)));
+        blk "no" [] (ret (Some (imm 0)));
+      ]
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      [
+        blk "entry" [] (goto "sp");
+        blk "sp"
+          [ call ~ret:"f" "chk_locked_flag" [ r "i" ] ]
+          (br (r "f") "work" "sp1");
+        blk "sp1" [ yield ] (goto "sp2");
+        blk "sp2" [ nop ] (goto "sp");
+        blk "work" (bump (gi "data" (r "i"))) exit_t;
+      ]
+  in
+  let producer = func "producer" [ blk "entry" producer_body exit_t ] in
+  harness
+    ~globals:
+      [ global "m" (); global "data" ~size:consumers (); global "flag" ~size:consumers () ]
+    ~workers:(("producer", []) :: List.init consumers (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer; chk ]
+
+(* Hand-rolled single-producer work queue: consumers spin until the tail
+   moves past their claimed head slot (pure-read inner loop), then claim
+   the slot with a CAS in the outer retry loop. *)
+let task_queue n =
+  let consumers = n - 1 in
+  let items = consumers * 2 in
+  let producer =
+    func "producer"
+      (blk "entry" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm items)
+           ~body:
+             [
+               muli "v" (r "j") (imm 10);
+               store (gi "items" (r "j")) (r "v");
+               addi "j1" (r "j") (imm 1);
+               (* Atomic publication, as a real lock-free queue would do. *)
+               rmw Rmw_exchange "oldt" (g "tail") (r "j1");
+             ]
+           ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  let pop =
+    (* Returns a claimed slot index. *)
+    func "pop"
+      [
+        blk "entry" [] (goto "outer");
+        blk "outer" [] (goto "waitt");
+        blk "waitt"
+          [ load "t" (g "tail"); load "h" (g "head"); cmp Lt "av" (r "h") (r "t") ]
+          (br (r "av") "claim" "waitb");
+        blk "waitb" [ yield ] (goto "waitt");
+        blk "claim"
+          [
+            load "h2" (g "head");
+            (* Atomic re-read: the slot check must see the published tail. *)
+            rmw Rmw_add "t2" (g "tail") (imm 0);
+            cmp Lt "still" (r "h2") (r "t2");
+          ]
+          (br (r "still") "claim2" "outer");
+        blk "claim2"
+          [ addi "h3" (r "h2") (imm 1); cas "ok" (g "head") (r "h2") (r "h3") ]
+          (br (r "ok") "got" "outer");
+        blk "got" [] (ret (Some (r "h2")));
+      ]
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      (blk "entry" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm (items / consumers))
+           ~body:
+             ([ call ~ret:"slot" "pop" [] ]
+             @ [
+                 load "iv" (gi "items" (r "slot"));
+                 addi "iv1" (r "iv") (imm 1);
+                 store (gi "items" (r "slot")) (r "iv1");
+               ])
+           ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  harness
+    ~globals:
+      [ global "items" ~size:items (); global "tail" (); global "head" () ]
+    ~workers:(("producer", []) :: List.init consumers (fun i -> ("consumer", [ imm i ])))
+    [ producer; pop; consumer ]
+
+(* Double-checked initialization: correct under the lock, but readers that
+   see the fast path take no lock — only the lockset argument (not
+   happens-before) proves the read safe, so pure-HB configurations keep a
+   residual false positive even with spin detection (no loop to detect). *)
+let double_checked_init n =
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "entry" [ load "f" (g "inited") ] (br (r "f") "use" "slow");
+        blk "slow" [ lock (g "m"); load "f2" (g "inited") ]
+          (br (r "f2") "unlock_use" "init");
+        blk "init"
+          [ store (g "val") (imm 42); store (g "inited") (imm 1) ]
+          (goto "unlock_use");
+        blk "unlock_use" [ unlock (g "m") ] (goto "use");
+        blk "use" [ load "v" (g "val"); store (gi "out" (r "i")) (r "v") ] exit_t;
+      ]
+  in
+  harness
+    ~globals:
+      [ global "m" (); global "inited" (); global "val" (); global "out" ~size:n () ]
+    ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+    [ w ]
+
+(* Double-checked init followed by lock-protected mutation.  The
+   initializing write (under m) and the later mutations (under m2) share
+   no happens-before edge when the fast path is taken, but the mutation
+   lock keeps the candidate lockset non-empty — only detectors with lock
+   knowledge stay quiet.  This is the kind of case that costs the
+   universal (nolib) detector its one extra false alarm. *)
+let dcl_writeback n =
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "entry" [ load "f" (g "inited") ] (br (r "f") "use" "slow");
+        blk "slow" [ lock (g "m"); load "f2" (g "inited") ]
+          (br (r "f2") "unlock_use" "init");
+        blk "init"
+          [ store (g "val") (imm 42); store (g "inited") (imm 1) ]
+          (goto "unlock_use");
+        blk "unlock_use" [ unlock (g "m") ] (goto "use");
+        blk "use"
+          ([ lock (g "m2") ] @ bump (g "val") @ [ unlock (g "m2") ])
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:
+      [ global "m" (); global "m2" (); global "inited" (); global "val" () ]
+    ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+    [ w ]
+
+(* Two threads ping-pong through a pair of flags, alternately mutating a
+   shared buffer; flags are written by both sides (set by the peer, reset
+   by the owner), so without spin detection they are "synchronization
+   races" on top of the apparent races on the buffer. *)
+let adhoc_phase_flag rounds =
+  let t1 =
+    func "t1"
+      (blk "entry" [ mov "rnd" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"rnd" ~limit:(imm rounds)
+           ~body:(bump (g "shared") @ [ store (g "f2") (imm 1); call "w1" [] ])
+           ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  let w1 =
+    func "w1"
+      [
+        blk "entry" [] (goto "sp");
+        blk "sp" [ load "f" (g "f1") ] (br (r "f") "got" "sp");
+        blk "got" [ store (g "f1") (imm 0) ] ret0;
+      ]
+  in
+  let t2 =
+    func "t2"
+      (blk "entry" [ mov "rnd" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"rnd" ~limit:(imm rounds)
+           ~body:([ call "w2" [] ] @ bump (g "shared") @ [ store (g "f1") (imm 1) ])
+           ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  let w2 =
+    func "w2"
+      [
+        blk "entry" [] (goto "sp");
+        blk "sp" [ load "f" (g "f2") ] (br (r "f") "got" "sp");
+        blk "got" [ store (g "f2") (imm 0) ] ret0;
+      ]
+  in
+  harness
+    ~globals:[ global "f1" (); global "f2" (); global "shared" () ]
+    ~workers:[ ("t1", []); ("t2", []) ]
+    [ t1; w1; t2; w2 ]
+
+(* A baton travels around a ring of threads; holding the baton licenses a
+   mutation of the shared counter. *)
+let adhoc_baton n =
+  let rounds = 2 in
+  let w =
+    func "w" ~params:[ "i" ]
+      (blk "entry" [ mov "rnd" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"rnd" ~limit:(imm rounds)
+           ~body:
+             ([ call "grab" [ r "i" ] ]
+             @ bump (g "x")
+             @ [
+                 addi "nx" (r "i") (imm 1);
+                 modi "nx2" (r "nx") (imm n);
+                 store (gi "baton" (r "nx2")) (imm 1);
+               ])
+           ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  let grab =
+    func "grab" ~params:[ "i" ]
+      [
+        blk "entry" [] (goto "sp");
+        blk "sp" [ load "b" (gi "baton" (r "i")) ] (br (r "b") "got" "sp");
+        blk "got" [ store (gi "baton" (r "i")) (imm 0) ] ret0;
+      ]
+  in
+  harness
+    ~globals:[ global "baton" ~size:n (); global "x" () ]
+    ~before:[ store (gi "baton" (imm 0)) (imm 1) ]
+    ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+    ~after:
+      [
+        load "fx" (g "x");
+        cmp Eq "ok" (r "fx") (imm (n * rounds));
+        check (r "ok") "adhoc_baton count";
+      ]
+    [ w; grab ]
+
+(* Watermark queue: the producer fills plain item slots and advances a
+   lock-protected [count]; consumers spin on [count] (reading it under the
+   lock) and then consume every slot below the watermark.  Lock-order
+   edges make DRD quiet; the hybrid needs the spin loop's edge to see that
+   the item writes are ordered. *)
+let guarded_queue n =
+  let consumers = n - 1 in
+  let per = 2 in
+  let items = consumers * per in
+  let producer =
+    func "producer"
+      (blk "entry" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm items)
+           ~body:
+             [
+               muli "v" (r "j") (imm 7);
+               store (gi "items" (r "j")) (r "v");
+               lock (g "m");
+               addi "j1" (r "j") (imm 1);
+               store (g "count") (r "j1");
+               unlock (g "m");
+             ]
+           ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  let chk =
+    (* Watermark check under the lock, double-checked: 4 callee blocks. *)
+    func "chk_watermark" ~params:[ "need" ]
+      [
+        blk "e"
+          [
+            lock (g "m");
+            load "c" (g "count");
+            unlock (g "m");
+            cmp Ge "ok" (r "c") (r "need");
+          ]
+          (br (r "ok") "yes" "re");
+        blk "re"
+          [
+            lock (g "m");
+            load "c2" (g "count");
+            unlock (g "m");
+            cmp Ge "ok2" (r "c2") (r "need");
+          ]
+          (br (r "ok2") "yes" "no");
+        blk "yes" [] (ret (Some (imm 1)));
+        blk "no" [] (ret (Some (imm 0)));
+      ]
+  in
+  let consumer =
+    (* Consumer i waits for the watermark to cover its slice
+       [i*per, (i+1)*per) and folds it. *)
+    func "consumer" ~params:[ "i" ]
+      [
+        blk "entry"
+          [ addi "hi" (r "i") (imm 1); muli "need" (r "hi") (imm per) ]
+          (goto "sp");
+        blk "sp"
+          [ call ~ret:"ready" "chk_watermark" [ r "need" ] ]
+          (br (r "ready") "fold" "sp1");
+        blk "sp1" [ yield ] (goto "sp2");
+        blk "sp2" [ nop ] (goto "sp");
+        blk "fold"
+          [
+            muli "lo" (r "i") (imm per);
+            load "a" (gi "items" (r "lo"));
+            addi "lo1" (r "lo") (imm 1);
+            load "b" (gi "items" (r "lo1"));
+            addi "s" (r "a") (r "b");
+            store (gi "out" (r "i")) (r "s");
+          ]
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:
+      [
+        global "m" (); global "count" (); global "items" ~size:items ();
+        global "out" ~size:consumers ();
+      ]
+    ~workers:(("producer", []) :: List.init consumers (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer; chk ]
+
+(* One variable protected by a mutex, another by an ad-hoc flag: only the
+   flag-protected one should trip a spin-less hybrid. *)
+let mixed_lock_and_flag n =
+  let consumers = n - 1 in
+  let producer =
+    func "producer"
+      [
+        blk "entry"
+          ([ lock (g "m") ] @ bump (g "x")
+          @ [ unlock (g "m"); store (g "y") (imm 5); store (g "flag") (imm 1) ])
+          exit_t;
+      ]
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      (blk "entry" ([ lock (g "m") ] @ bump (g "x") @ [ unlock (g "m") ])
+         (goto "sp_t")
+      :: spin_flag ~tag:"sp" ~flag:(g "flag") ~window:2 ~exit_lbl:"work"
+      @ [ blk "work" (bump (g "y")) exit_t ])
+  in
+  harness
+    ~globals:[ global "m" (); global "x" (); global "y" (); global "flag" () ]
+    ~workers:(("producer", []) :: List.init consumers (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer ]

@@ -1,0 +1,41 @@
+(** Race-free cases synchronized through ad-hoc constructs — the paper's
+    subject.  Spin-less hybrids false-positive on the protected data;
+    spin detection (window permitting) silences them.  Builders take the
+    thread-count parameter unless noted. *)
+
+open Arde.Types
+
+val adhoc_flag : window:int -> int -> program
+(** Flag handoff with an inline spin loop of exactly [window] blocks. *)
+
+val adhoc_flag_call : int -> program
+(** Condition through a direct helper call: effective window 7. *)
+
+val adhoc_flag_fptr : int -> program
+(** Condition through a function pointer: never recovered. *)
+
+val lock_flag_spin : int -> program
+(** Flag sampled under a mutex inside the loop (DRD-clean). *)
+
+val guarded_queue : int -> program
+(** Lock-protected watermark over plain item slots (DRD-clean). *)
+
+val task_queue : int -> program
+(** Hand-rolled CAS work queue with a pure-read wait loop. *)
+
+val double_checked_init : int -> program
+(** Safe only through the lockset argument on the fast path. *)
+
+val dcl_writeback : int -> program
+(** Double-checked init plus lock-protected mutation: the case that costs
+    the universal detector its extra false alarm. *)
+
+val adhoc_phase_flag : int -> program
+(** Two threads ping-pong through a flag pair; parameter is rounds. *)
+
+val adhoc_baton : int -> program
+(** A baton circulates a ring; holding it licenses the shared mutation. *)
+
+val mixed_lock_and_flag : int -> program
+(** One variable under a mutex, another behind a flag (use with 2
+    threads). *)

@@ -1,0 +1,518 @@
+(* Race-free cases synchronized purely through the known library
+   (mutexes, condition variables, barriers, semaphores, join, atomics).
+   Every detector configuration should stay quiet on these. *)
+
+open Arde.Types
+open Arde.Builder
+open Racey_base
+
+let worker_args n = List.init n (fun i -> ("w", [ imm i ]))
+
+(* n threads increment a counter under one mutex, [reps] times each. *)
+let lock_counter n =
+  let reps = 4 in
+  let w =
+    func "w" ~params:[ "i" ]
+      (blk "entry" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm reps)
+           ~body:([ lock (g "m") ] @ bump (g "x") @ [ unlock (g "m") ])
+           ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  let expected = n * reps in
+  harness
+    ~globals:[ global "m" (); global "x" () ]
+    ~workers:(worker_args n)
+    ~after:
+      [
+        load "fx" (g "x");
+        cmp Eq "ok" (r "fx") (imm expected);
+        check (r "ok") "lock_counter total";
+      ]
+    [ w ]
+
+(* Gate pattern: main publishes data then raises [ready] under the lock
+   and broadcasts; workers use the canonical predicate loop around
+   cond_wait. *)
+let cv_handoff n =
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "entry" [ lock (g "m") ] (goto "test");
+        blk "test" [ load "rdy" (g "ready") ] (br (r "rdy") "go" "sleep");
+        blk "sleep" [ wait (g "cv") (g "m") ] (goto "test");
+        blk "go"
+          [
+            unlock (g "m");
+            load "d" (g "data");
+            store (gi "out" (r "i")) (r "d");
+          ]
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:
+      [
+        global "m" (); global "cv" (); global "ready" (); global "data" ();
+        global "out" ~size:n ();
+      ]
+    ~before:
+      [
+        store (g "data") (imm 42);
+        lock (g "m");
+        store (g "ready") (imm 1);
+        unlock (g "m");
+        broadcast (g "cv");
+      ]
+    ~workers:(worker_args n) [ w ]
+
+(* Two barrier-separated phases: write own cell, then read the
+   neighbour's. *)
+let barrier_phases n =
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "entry"
+          [
+            muli "v" (r "i") (imm 3);
+            store (gi "a" (r "i")) (r "v");
+            barrier_wait (g "bar");
+            addi "j" (r "i") (imm 1);
+            modi "j2" (r "j") (imm n);
+            load "nb" (gi "a" (r "j2"));
+            store (gi "b" (r "i")) (r "nb");
+          ]
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "bar" (); global "a" ~size:n (); global "b" ~size:n () ]
+    ~before:[ barrier_init (g "bar") (imm n) ]
+    ~workers:(worker_args n) [ w ]
+
+(* A chain of stages: stage i waits on sem[i], transforms buf, posts
+   sem[i+1]; main seeds the chain and waits for the last stage. *)
+let sem_pipeline n =
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "entry"
+          ([ sem_wait (gi "s" (r "i")) ]
+          @ bump (g "buf")
+          @ [ addi "nx" (r "i") (imm 1); sem_post (gi "s" (r "nx")) ])
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "s" ~size:(n + 1) (); global "buf" () ]
+    ~before:[ store (g "buf") (imm 7); sem_post (gi "s" (imm 0)) ]
+    ~workers:(worker_args n)
+    ~after:
+      [
+        sem_wait (gi "s" (imm n));
+        load "fb" (g "buf");
+        cmp Eq "ok" (r "fb") (imm (7 + n));
+        check (r "ok") "sem_pipeline hops";
+      ]
+    [ w ]
+
+(* Workers leave results; main reads them only after joining. *)
+let join_result n =
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "entry"
+          [ muli "v" (r "i") (r "i"); store (gi "res" (r "i")) (r "v") ]
+          exit_t;
+      ]
+  in
+  let sum_after =
+    [ mov "acc" (imm 0); mov "j" (imm 0) ]
+  in
+  let sum_loop =
+    counted_loop ~tag:"sum" ~counter:"j" ~limit:(imm n)
+      ~body:[ load "rv" (gi "res" (r "j")); addi "acc" (r "acc") (r "rv") ]
+      ~next:"fin"
+  in
+  (* Custom main because the sum loop needs blocks, not just instrs. *)
+  let spawns = List.init n (fun i -> spawn (Printf.sprintf "t%d" i) "w" [ imm i ]) in
+  let joins = List.init n (fun i -> join (r (Printf.sprintf "t%d" i))) in
+  let expected = List.fold_left (fun a i -> a + (i * i)) 0 (List.init n Fun.id) in
+  let main =
+    func "main"
+      ([
+         blk "entry" spawns (goto "joins");
+         blk "joins" (joins @ sum_after) (goto "sum_head");
+       ]
+      @ sum_loop
+      @ [
+          blk "fin"
+            [ cmp Eq "ok" (r "acc") (imm expected); check (r "ok") "join_result sum" ]
+            exit_t;
+        ])
+  in
+  program ~globals:[ global "res" ~size:n () ] ~entry:"main" [ main; w ]
+
+(* Pure atomic increments: never reported by any configuration. *)
+let atomic_counter n =
+  let reps = 5 in
+  let w =
+    func "w" ~params:[ "i" ]
+      (blk "entry" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm reps)
+           ~body:[ rmw Rmw_add "old" (g "x") (imm 1) ]
+           ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  harness
+    ~globals:[ global "x" () ]
+    ~workers:(worker_args n)
+    ~after:
+      [
+        load "fx" (g "x");
+        cmp Eq "ok" (r "fx") (imm (n * reps));
+        check (r "ok") "atomic_counter total";
+      ]
+    [ w ]
+
+(* Every thread touches every cell, but each cell has its own lock. *)
+let lock_percell n =
+  let cells = 4 in
+  let w =
+    func "w" ~params:[ "i" ]
+      (blk "entry" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm cells)
+           ~body:
+             ([ lock (gi "ml" (r "j")) ]
+             @ [
+                 load "cv_" (gi "a" (r "j"));
+                 addi "cv1" (r "cv_") (imm 1);
+                 store (gi "a" (r "j")) (r "cv1");
+               ]
+             @ [ unlock (gi "ml" (r "j")) ])
+           ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  harness
+    ~globals:[ global "ml" ~size:cells (); global "a" ~size:cells () ]
+    ~workers:(worker_args n) [ w ]
+
+(* Initialized before spawning; threads only read. *)
+let readonly_shared n =
+  let cells = 8 in
+  let inits =
+    List.concat_map
+      (fun j -> [ store (gi "tab" (imm j)) (imm (j * j)) ])
+      (List.init cells Fun.id)
+  in
+  let w =
+    func "w" ~params:[ "i" ]
+      (blk "entry" [ mov "j" (imm 0); mov "acc" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm cells)
+           ~body:[ load "tv" (gi "tab" (r "j")); addi "acc" (r "acc") (r "tv") ]
+           ~next:"done"
+      @ [ blk "done" [ store (gi "out" (r "i")) (r "acc") ] exit_t ])
+  in
+  harness
+    ~globals:[ global "tab" ~size:cells (); global "out" ~size:n () ]
+    ~before:inits ~workers:(worker_args n) [ w ]
+
+(* Bounded-buffer producer/consumer with a lock and two condition
+   variables. One producer (thread 0), n-1 consumers; [items] items. *)
+let cv_bounded_buffer n =
+  let consumers = n - 1 in
+  let items = consumers * 2 in
+  let cap = 2 in
+  let producer =
+    func "producer"
+      (blk "entry" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm items)
+           ~body:[ call "put" [ r "j" ] ]
+           ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  let put =
+    func "put" ~params:[ "v" ]
+      [
+        blk "entry" [ lock (g "m") ] (goto "test");
+        blk "test" [ load "cnt" (g "count"); cmp Lt "hasroom" (r "cnt") (imm cap) ]
+          (br (r "hasroom") "do_put" "sleep");
+        blk "sleep" [ wait (g "notfull") (g "m") ] (goto "test");
+        blk "do_put"
+          [
+            load "t" (g "tail");
+            modi "slot" (r "t") (imm cap);
+            store (gi "buf" (r "slot")) (r "v");
+            addi "t1" (r "t") (imm 1);
+            store (g "tail") (r "t1");
+            load "c2" (g "count");
+            addi "c3" (r "c2") (imm 1);
+            store (g "count") (r "c3");
+            signal (g "notempty");
+            unlock (g "m");
+          ]
+          ret0;
+      ]
+  in
+  let take =
+    func "take"
+      [
+        blk "entry" [ lock (g "m") ] (goto "test");
+        blk "test" [ load "cnt" (g "count"); cmp Gt "avail" (r "cnt") (imm 0) ]
+          (br (r "avail") "do_take" "sleep");
+        blk "sleep" [ wait (g "notempty") (g "m") ] (goto "test");
+        blk "do_take"
+          [
+            load "h" (g "head");
+            modi "slot" (r "h") (imm cap);
+            load "v" (gi "buf" (r "slot"));
+            addi "h1" (r "h") (imm 1);
+            store (g "head") (r "h1");
+            load "c2" (g "count");
+            subi "c3" (r "c2") (imm 1);
+            store (g "count") (r "c3");
+            signal (g "notfull");
+            unlock (g "m");
+          ]
+          (ret (Some (r "v")));
+      ]
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      (blk "entry" [ mov "j" (imm 0); mov "acc" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm (items / consumers))
+           ~body:[ call ~ret:"v" "take" []; addi "acc" (r "acc") (r "v") ]
+           ~next:"done"
+      @ [ blk "done" [ store (gi "got" (r "i")) (r "acc") ] exit_t ])
+  in
+  harness
+    ~globals:
+      [
+        global "m" (); global "notfull" (); global "notempty" ();
+        global "count" (); global "head" (); global "tail" ();
+        global "buf" ~size:cap (); global "got" ~size:n ();
+      ]
+    ~workers:
+      (("producer", []) :: List.init consumers (fun i -> ("consumer", [ imm i ])))
+    [ producer; put; take; consumer ]
+
+(* Stage i writes buf[i], then spawns stage i+1 which reads it: ordering
+   by thread creation only. *)
+let spawn_chain n =
+  let stage =
+    func "stage" ~params:[ "i" ]
+      [
+        blk "entry"
+          [
+            load "prev" (gi "buf" (r "i"));
+            addi "v" (r "prev") (imm 1);
+            addi "i1" (r "i") (imm 1);
+            store (gi "buf" (r "i1")) (r "v");
+            cmp Lt "more" (r "i1") (imm (n - 1));
+          ]
+          (br (r "more") "spawn_next" "fin");
+        blk "spawn_next" [ spawn "c" "stage" [ r "i1" ]; join (r "c") ] (goto "fin");
+        blk "fin" [] exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "buf" ~size:(n + 1) () ]
+    ~before:[ store (gi "buf" (imm 0)) (imm 10) ]
+    ~workers:[ ("stage", [ imm 0 ]) ]
+    ~after:
+      [
+        load "fin" (gi "buf" (imm (n - 1)));
+        cmp Eq "ok" (r "fin") (imm (10 + n - 1));
+        check (r "ok") "spawn_chain propagation";
+      ]
+    [ stage ]
+
+(* Tree reduction with a barrier between levels. *)
+let barrier_reduction n =
+  let levels =
+    let rec lg acc x = if x <= 1 then acc else lg (acc + 1) (x / 2) in
+    lg 0 n
+  in
+  let w =
+    let level_body p =
+      let stride = 1 lsl p in
+      [
+        modi "mine" (r "i") (imm (2 * stride));
+        cmp Eq "active" (r "mine") (imm 0);
+      ]
+    in
+    let rec level_blocks p =
+      if p >= levels then [ blk "fin" [] exit_t ]
+      else
+        let this = Printf.sprintf "lvl%d" p in
+        let merge = Printf.sprintf "merge%d" p in
+        let next = if p + 1 >= levels then "fin" else Printf.sprintf "lvl%d" (p + 1) in
+        let stride = 1 lsl p in
+        blk this (level_body p) (br (r "active") merge (this ^ "_sync"))
+        :: blk merge
+             [
+               addi "peer" (r "i") (imm stride);
+               load "pv" (gi "a" (r "peer"));
+               load "mv" (gi "a" (r "i"));
+               addi "sum" (r "pv") (r "mv");
+               store (gi "a" (r "i")) (r "sum");
+             ]
+             (goto (this ^ "_sync"))
+        :: blk (this ^ "_sync") [ barrier_wait (g "bar") ] (goto next)
+        :: level_blocks (p + 1)
+    in
+    func "w" ~params:[ "i" ]
+      (blk "entry"
+         [ addi "iv" (r "i") (imm 1); store (gi "a" (r "i")) (r "iv") ]
+         (goto "sync0")
+      :: blk "sync0" [ barrier_wait (g "bar") ] (goto "lvl0")
+      :: level_blocks 0)
+  in
+  let expected = n * (n + 1) / 2 in
+  harness
+    ~globals:[ global "bar" (); global "a" ~size:n () ]
+    ~before:[ barrier_init (g "bar") (imm n) ]
+    ~workers:(worker_args n)
+    ~after:
+      [
+        load "tot" (gi "a" (imm 0));
+        cmp Eq "ok" (r "tot") (imm expected);
+        check (r "ok") "barrier_reduction total";
+      ]
+    [ w ]
+
+(* Fork/join binary tree: node id writes res[id] from its children's
+   results. *)
+let fork_join_tree depth =
+  let node =
+    func "node" ~params:[ "id"; "d" ]
+      [
+        blk "entry" [ cmp Lt "rec" (r "d") (imm depth) ] (br (r "rec") "forks" "leaf");
+        blk "forks"
+          [
+            muli "l" (r "id") (imm 2);
+            addi "l1" (r "l") (imm 1);
+            addi "l2" (r "l") (imm 2);
+            addi "d1" (r "d") (imm 1);
+            spawn "cl" "node" [ r "l1"; r "d1" ];
+            spawn "cr" "node" [ r "l2"; r "d1" ];
+            join (r "cl");
+            join (r "cr");
+            load "vl" (gi "res" (r "l1"));
+            load "vr" (gi "res" (r "l2"));
+            addi "s" (r "vl") (r "vr");
+            store (gi "res" (r "id")) (r "s");
+          ]
+          exit_t;
+        blk "leaf" [ store (gi "res" (r "id")) (imm 1) ] exit_t;
+      ]
+  in
+  let nodes = (1 lsl (depth + 1)) - 1 in
+  let leaves = 1 lsl depth in
+  harness
+    ~globals:[ global "res" ~size:nodes () ]
+    ~workers:[ ("node", [ imm 0; imm 0 ]) ]
+    ~after:
+      [
+        load "tot" (gi "res" (imm 0));
+        cmp Eq "ok" (r "tot") (imm leaves);
+        check (r "ok") "fork_join_tree leaves";
+      ]
+    [ node ]
+
+(* Broadcast wakes all waiters at once. *)
+let cv_broadcast_wakeall n =
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "entry" [ lock (g "m") ] (goto "test");
+        blk "test" [ load "go" (g "go") ] (br (r "go") "run" "sleep");
+        blk "sleep" [ wait (g "cv") (g "m") ] (goto "test");
+        blk "run" ([ unlock (g "m") ] @ bump (gi "hits" (r "i"))) exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "m" (); global "cv" (); global "go" (); global "hits" ~size:n () ]
+    ~before:
+      [
+        yield;
+        lock (g "m");
+        store (g "go") (imm 1);
+        unlock (g "m");
+        broadcast (g "cv");
+      ]
+    ~workers:(worker_args n) [ w ]
+
+(* Pairwise rendezvous through two semaphores; partners exchange cell
+   values. *)
+let sem_rendezvous pairs =
+  let a =
+    func "wa" ~params:[ "i" ]
+      [
+        blk "entry"
+          [
+            store (gi "la" (r "i")) (r "i");
+            sem_post (gi "sa" (r "i"));
+            sem_wait (gi "sb" (r "i"));
+            load "v" (gi "lb" (r "i"));
+            store (gi "outa" (r "i")) (r "v");
+          ]
+          exit_t;
+      ]
+  in
+  let b =
+    func "wb" ~params:[ "i" ]
+      [
+        blk "entry"
+          [
+            store (gi "lb" (r "i")) (imm 100);
+            sem_post (gi "sb" (r "i"));
+            sem_wait (gi "sa" (r "i"));
+            load "v" (gi "la" (r "i"));
+            store (gi "outb" (r "i")) (r "v");
+          ]
+          exit_t;
+      ]
+  in
+  let workers =
+    List.concat_map
+      (fun i -> [ ("wa", [ imm i ]); ("wb", [ imm i ]) ])
+      (List.init pairs Fun.id)
+  in
+  harness
+    ~globals:
+      [
+        global "sa" ~size:pairs (); global "sb" ~size:pairs ();
+        global "la" ~size:pairs (); global "lb" ~size:pairs ();
+        global "outa" ~size:pairs (); global "outb" ~size:pairs ();
+      ]
+    ~workers [ a; b ]
+
+(* Publication through an atomic slot: producer CAS-publishes an index,
+   consumers poll with an atomic read-modify-write of zero. *)
+let atomic_publish n =
+  let producer =
+    func "producer"
+      [
+        blk "entry"
+          [
+            store (g "payload") (imm 99);
+            rmw Rmw_exchange "old" (g "slot") (imm 1);
+          ]
+          exit_t;
+      ]
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      [
+        blk "entry" [] (goto "poll");
+        blk "poll" [ rmw Rmw_add "s" (g "slot") (imm 0) ] (br (r "s") "use" "poll");
+        blk "use"
+          [ load "p" (g "payload"); store (gi "out" (r "i")) (r "p") ]
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "slot" (); global "payload" (); global "out" ~size:n () ]
+    ~workers:(("producer", []) :: List.init (n - 1) (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer ]

@@ -1,0 +1,29 @@
+(** Race-free cases synchronized through the known library.  Every
+    detector configuration should stay quiet on all of them; most carry a
+    runtime [check] proving the synchronization actually synchronizes.
+    Each builder takes the thread/size parameter the catalog spreads
+    over. *)
+
+open Arde.Types
+
+val lock_counter : int -> program
+val cv_handoff : int -> program
+val barrier_phases : int -> program
+val sem_pipeline : int -> program
+val join_result : int -> program
+val atomic_counter : int -> program
+val lock_percell : int -> program
+val readonly_shared : int -> program
+val cv_bounded_buffer : int -> program
+val spawn_chain : int -> program
+val barrier_reduction : int -> program
+(** Requires a power-of-two thread count. *)
+
+val fork_join_tree : int -> program
+(** Parameter is the tree depth. *)
+
+val cv_broadcast_wakeall : int -> program
+val sem_rendezvous : int -> program
+(** Parameter is the number of thread pairs. *)
+
+val atomic_publish : int -> program

@@ -1,0 +1,318 @@
+(* Genuinely racy cases.  Each declares the global bases that carry a real
+   race; a detector that stays silent on one of them has missed a race.
+   Several cases deliberately bias the schedule so that the racy accesses
+   are almost always ordered by unrelated synchronization in the observed
+   run — the mechanism behind pure happens-before detectors' missed
+   races. *)
+
+open Arde.Types
+open Arde.Builder
+open Racey_base
+
+(* Plain unprotected increments. *)
+let racy_counter n =
+  let reps = 3 in
+  let w =
+    func "w" ~params:[ "i" ]
+      (blk "entry" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm reps)
+           ~body:(bump (g "x")) ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  harness ~globals:[ global "x" () ]
+    ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+    [ w ]
+
+(* One-shot flag without a loop: both the flag and the data race. *)
+let racy_flag_no_loop n =
+  let producer =
+    func "producer"
+      [ blk "entry" [ store (g "data") (imm 1); store (g "flag") (imm 1) ] exit_t ]
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      [
+        blk "entry" [ load "f" (g "flag") ] (goto "use");
+        blk "use" (bump (g "data") @ [ store (g "flag") (imm 2) ]) exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "data" (); global "flag" () ]
+    ~workers:(("producer", []) :: List.init (n - 1) (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer ]
+
+(* Each thread consistently locks - but half use m[0] and half m[1]. *)
+let racy_mixed_locks n =
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "entry"
+          ([ modi "which" (r "i") (imm 2); lock (gi "ml" (r "which")) ]
+          @ bump (g "x")
+          @ [ unlock (gi "ml" (r "which")) ])
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "ml" ~size:2 (); global "x" () ]
+    ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+    [ w ]
+
+(* The DRD-miss shape: a real race on x whose two sides are, in almost
+   every schedule, ordered through an unrelated critical section.  The
+   hybrid lockset still fires (empty candidate set on x); a pure
+   happens-before detector draws the lock edge and goes quiet.  [style]
+   varies the code shape so the suite has several distinct cases. *)
+let racy_lock_ordered ~style n =
+  let fast =
+    func "fast"
+      [
+        blk "entry"
+          (bump (g "x") @ [ lock (g "c") ] @ bump (g "y") @ [ unlock (g "c") ])
+          exit_t;
+      ]
+  in
+  let slow_tail =
+    match style with
+    | `Write -> bump (g "x")
+    | `Read -> [ load "sx" (g "x"); store (g "sink") (r "sx") ]
+  in
+  let slow =
+    func "slow"
+      (delay ~tag:"d" ~n:600 ~next:"crit"
+      @ [
+          blk "crit"
+            ([ lock (g "c") ] @ bump (g "y") @ [ unlock (g "c") ] @ slow_tail)
+            exit_t;
+        ])
+  in
+  (* Extra well-behaved threads vary the thread count without touching
+     the racy cells. *)
+  let filler =
+    func "filler" ~params:[ "i" ]
+      [
+        blk "entry"
+          ([ lock (g "c") ] @ bump (g "y") @ [ unlock (g "c") ])
+          exit_t;
+      ]
+  in
+  let fillers = List.init (max 0 (n - 2)) (fun i -> ("filler", [ imm i ])) in
+  harness
+    ~globals:[ global "c" (); global "x" (); global "y" (); global "sink" () ]
+    ~workers:([ ("fast", []); ("slow", []) ] @ fillers)
+    [ fast; slow; filler ]
+
+(* A race on a rarely-taken path: the consumer reads the flag exactly once
+   while the producer sets it only after a long private delay, so the
+   guarded access to x almost never executes — every dynamic detector
+   tends to miss it.  The flag itself is also racy and is caught by pure
+   happens-before detectors but not by the state machine (read-only
+   sharing). *)
+let racy_rare_path n =
+  let producer =
+    func "producer"
+      (delay ~tag:"d" ~n:800 ~next:"set"
+      @ [ blk "set" ([ store (g "flag") (imm 1) ] @ bump (g "x")) exit_t ])
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      [
+        blk "entry" [ load "f" (g "flag") ] (br (r "f") "touch" "skip");
+        blk "touch" (bump (g "x")) exit_t;
+        blk "skip" [] exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "flag" (); global "x" () ]
+    ~before:(bump (g "x"))
+    ~workers:(("producer", []) :: List.init (n - 1) (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer ]
+
+(* Broken ad-hoc synchronization: the flag is raised BEFORE the payload
+   write.  The spin edge only covers the producer's pre-store work, so the
+   data race must survive spin detection (it is real). *)
+let racy_adhoc_broken n =
+  let producer =
+    func "producer"
+      [
+        blk "entry"
+          [ store (g "flag") (imm 1); yield; store (g "data") (imm 9) ]
+          exit_t;
+      ]
+  in
+  let consumer =
+    func "consumer" ~params:[ "i" ]
+      (blk "entry" [] (goto "sp_t")
+      :: spin_flag ~tag:"sp" ~flag:(g "flag") ~window:2 ~exit_lbl:"work"
+      @ [ blk "work" (bump (g "data")) exit_t ])
+  in
+  harness
+    ~globals:[ global "flag" (); global "data" () ]
+    ~workers:(("producer", []) :: List.init (n - 1) (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer ]
+
+(* Phase two reads the neighbour's phase-one cell with no barrier. *)
+let racy_barrier_missing n =
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "entry"
+          [
+            muli "v" (r "i") (imm 5);
+            store (gi "a" (r "i")) (r "v");
+            addi "j" (r "i") (imm 1);
+            modi "j2" (r "j") (imm n);
+            load "nb" (gi "a" (r "j2"));
+            store (gi "a" (r "i")) (r "nb");
+          ]
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "a" ~size:n () ]
+    ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+    [ w ]
+
+(* One writer keeps mutating; readers read with no synchronization. *)
+let racy_read_write n =
+  let writer =
+    func "writer"
+      (blk "entry" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm 6)
+           ~body:(bump (g "x")) ~next:"done"
+      @ [ blk "done" [] exit_t ])
+  in
+  let reader =
+    func "reader" ~params:[ "i" ]
+      [
+        blk "entry"
+          [ load "v" (g "x"); store (gi "out" (r "i")) (r "v") ]
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "x" (); global "out" ~size:n () ]
+    ~workers:(("writer", []) :: List.init (n - 1) (fun i -> ("reader", [ imm i ])))
+    [ writer; reader ]
+
+(* Main reads a result slot between spawn and join. *)
+let racy_after_join_wrong n =
+  let w =
+    func "w" ~params:[ "i" ]
+      [ blk "entry" [ store (gi "res" (r "i")) (imm 3) ] exit_t ]
+  in
+  let spawns = List.init n (fun i -> spawn (Printf.sprintf "t%d" i) "w" [ imm i ]) in
+  let joins = List.init n (fun i -> join (r (Printf.sprintf "t%d" i))) in
+  let main =
+    func "main"
+      [
+        blk "entry" spawns (goto "peek");
+        blk "peek"
+          [ load "early" (gi "res" (imm 0)); store (g "sink") (r "early") ]
+          (goto "joins");
+        blk "joins" joins exit_t;
+      ]
+  in
+  program
+    ~globals:[ global "res" ~size:n (); global "sink" () ]
+    ~entry:"main" [ main; w ]
+
+(* Two workers, one semaphore post: main legitimately syncs with one
+   buffer but reads the other unsynchronized. *)
+let racy_sem_misuse () =
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "entry"
+          [ store (gi "buf" (r "i")) (imm 8); cmp Eq "first" (r "i") (imm 0) ]
+          (br (r "first") "post" "fin");
+        blk "post" [ sem_post (g "s") ] (goto "fin");
+        blk "fin" [] exit_t;
+      ]
+  in
+  let spawns = [ spawn "t0" "w" [ imm 0 ]; spawn "t1" "w" [ imm 1 ] ] in
+  let main =
+    func "main"
+      [
+        blk "entry" spawns (goto "consume");
+        blk "consume"
+          [
+            sem_wait (g "s");
+            load "a" (gi "buf" (imm 0));
+            load "b" (gi "buf" (imm 1));
+            addi "ab" (r "a") (r "b");
+            store (g "sink") (r "ab");
+          ]
+          (goto "joins");
+        blk "joins" [ join (r "t0"); join (r "t1") ] exit_t;
+      ]
+  in
+  program
+    ~globals:[ global "s" (); global "buf" ~size:2 (); global "sink" () ]
+    ~entry:"main" [ main; w ]
+
+(* The condition-variable predicate is written without the mutex. *)
+let racy_cv_unlocked_pred n =
+  let producer =
+    func "producer"
+      [ blk "entry" [ store (g "ready") (imm 1); signal (g "cv") ] exit_t ]
+  in
+  let consumer =
+    (* Buggy: the predicate is checked once, not in a loop, so there is no
+       spinning read loop to detect and the unlocked predicate write stays
+       a reportable race in every configuration. *)
+    func "consumer" ~params:[ "i" ]
+      [
+        blk "entry" [ lock (g "m") ] (goto "test");
+        blk "test" [ load "rdy" (g "ready") ] (br (r "rdy") "go" "sleep");
+        blk "sleep" [ wait (g "cv") (g "m") ] (goto "go");
+        blk "go"
+          [ unlock (g "m"); load "d" (g "ready"); store (gi "out" (r "i")) (r "d") ]
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:[ global "m" (); global "cv" (); global "ready" (); global "out" ~size:n () ]
+    ~workers:(("producer", []) :: List.init (n - 1) (fun i -> ("consumer", [ imm i ])))
+    [ producer; consumer ]
+
+(* Ad-hoc queue with an off-by-one: the consumer pops one slot past what
+   was produced. *)
+let racy_queue_overrun () =
+  let items = 3 in
+  (* A late extra write the consumer's overrun can collide with. *)
+  let late_write = [ store (gi "items" (imm items)) (imm 77) ] in
+  let producer =
+    func "producer"
+      (blk "entry" [ mov "j" (imm 0) ] (goto "loop_head")
+      :: counted_loop ~tag:"loop" ~counter:"j" ~limit:(imm items)
+           ~body:
+             [
+               store (gi "items" (r "j")) (r "j");
+               addi "j1" (r "j") (imm 1);
+               store (g "tail") (r "j1");
+             ]
+           ~next:"late"
+      @ [ blk "late" late_write exit_t ])
+  in
+  let consumer =
+    func "consumer"
+      [
+        blk "entry" [] (goto "sp");
+        blk "sp"
+          [ load "t" (g "tail"); cmp Ge "full" (r "t") (imm items) ]
+          (br (r "full") "drain" "sp");
+        blk "drain"
+          [
+            (* Off-by-one: also touches items[items]. *)
+            load "v" (gi "items" (imm items));
+            store (g "sink") (r "v");
+          ]
+          exit_t;
+      ]
+  in
+  harness
+    ~globals:
+      [ global "items" ~size:(items + 1) (); global "tail" (); global "sink" () ]
+    ~workers:[ ("producer", []); ("consumer", []) ]
+    [ producer; consumer ]

@@ -1,0 +1,32 @@
+(** Genuinely racy cases; the catalog records which global bases carry the
+    real races.  Several bias the schedule so the racy accesses are almost
+    always ordered by unrelated synchronization in the observed run — the
+    mechanism behind pure happens-before detectors' missed races. *)
+
+open Arde.Types
+
+val racy_counter : int -> program
+val racy_flag_no_loop : int -> program
+val racy_mixed_locks : int -> program
+
+val racy_lock_ordered : style:[ `Write | `Read ] -> int -> program
+(** A real race on [x] whose sides are, in nearly every schedule, ordered
+    through an unrelated critical section: the hybrid lockset fires, pure
+    happens-before goes quiet.  [`Read] makes the slow side a reader,
+    which even the state machine misses (read-only sharing). *)
+
+val racy_rare_path : int -> program
+(** The guarded access executes only under a rare interleaving. *)
+
+val racy_adhoc_broken : int -> program
+(** Flag raised {e before} the payload write: the spin edge must not mask
+    this real race. *)
+
+val racy_barrier_missing : int -> program
+val racy_read_write : int -> program
+val racy_after_join_wrong : int -> program
+val racy_sem_misuse : unit -> program
+val racy_cv_unlocked_pred : int -> program
+(** Also a lost-signal bug: some schedules deadlock. *)
+
+val racy_queue_overrun : unit -> program

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Arde Arde_workloads Array List Printf

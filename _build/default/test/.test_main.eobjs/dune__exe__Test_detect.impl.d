@@ -1,0 +1,1 @@
+test/test_detect.ml: Alcotest Arde Arde_workloads List

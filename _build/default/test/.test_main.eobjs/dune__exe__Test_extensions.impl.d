@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Arde Arde_workloads List Result

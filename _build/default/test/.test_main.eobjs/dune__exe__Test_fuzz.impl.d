@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Arde Arde_util List Printf QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Arde Arde_harness Arde_workloads List String

@@ -1,0 +1,1 @@
+test/test_hb_edges.ml: Alcotest Arde Arde_workloads Fun List

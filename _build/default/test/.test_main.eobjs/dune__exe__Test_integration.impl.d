@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Arde Arde_harness Arde_workloads Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_machine_edge.ml: Alcotest Arde Array Format List String

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Arde Arde_workloads List

@@ -1,0 +1,1 @@
+test/test_props.ml: Arde Arde_workloads List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Arde Arde_workloads Format List Printf String

@@ -1,0 +1,1 @@
+test/test_spin_runtime.ml: Alcotest Arde Arde_workloads List

@@ -1,0 +1,1 @@
+test/test_tir.ml: Alcotest Arde List String

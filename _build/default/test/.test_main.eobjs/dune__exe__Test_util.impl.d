@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Arde_util Array Fun List String

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Arde_vclock QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Arde Arde_workloads Format List String

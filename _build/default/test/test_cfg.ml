@@ -1,0 +1,334 @@
+(* The instrumentation phase: CFGs, dominators, natural loops, condition
+   slices and the spin classifier's four criteria. *)
+
+open Arde.Builder
+
+let fn_diamond =
+  func "d"
+    [
+      blk "a" [ mov "c" (imm 1) ] (br (r "c") "b1" "b2");
+      blk "b1" [] (goto "join_");
+      blk "b2" [] (goto "join_");
+      blk "join_" [] exit_t;
+    ]
+
+let fn_loop =
+  func "l"
+    [
+      blk "entry" [] (goto "head");
+      blk "head" [ load "f" (g "flag") ] (br (r "f") "out" "body");
+      blk "body" [ yield ] (goto "head");
+      blk "out" [] exit_t;
+    ]
+
+let graph_of f = Arde.Graph.of_func f
+
+let test_graph_edges () =
+  let gr = graph_of fn_diamond in
+  Alcotest.(check (list int)) "a's successors" [ 1; 2 ] gr.Arde.Graph.succs.(0);
+  Alcotest.(check (list int)) "join's preds (sorted)" [ 1; 2 ]
+    (List.sort compare gr.Arde.Graph.preds.(3))
+
+let test_graph_reachability () =
+  let f =
+    func "u"
+      [ blk "a" [] exit_t; blk "dead" [] (goto "a") ]
+  in
+  let gr = graph_of f in
+  let reach = Arde.Graph.reachable gr in
+  Alcotest.(check bool) "entry reachable" true reach.(0);
+  Alcotest.(check bool) "dead unreachable" false reach.(1)
+
+let test_dominators_diamond () =
+  let gr = graph_of fn_diamond in
+  let dom = Arde.Dominators.compute gr in
+  Alcotest.(check (option int)) "idom b1 = a" (Some 0) (Arde.Dominators.idom dom 1);
+  Alcotest.(check (option int)) "idom join = a" (Some 0)
+    (Arde.Dominators.idom dom 3);
+  Alcotest.(check bool) "a dominates everything" true
+    (List.for_all (Arde.Dominators.dominates dom 0) [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "b1 does not dominate join" false
+    (Arde.Dominators.dominates dom 1 3)
+
+let test_natural_loop () =
+  let gr = graph_of fn_loop in
+  let dom = Arde.Dominators.compute gr in
+  match Arde.Loops.find gr dom with
+  | [ loop ] ->
+      Alcotest.(check int) "header is head" 1 loop.Arde.Loops.header;
+      Alcotest.(check (list int)) "body is {head, body}" [ 1; 2 ]
+        loop.Arde.Loops.body;
+      Alcotest.(check (list int)) "exit block" [ 1 ]
+        (Arde.Loops.exit_blocks gr loop)
+  | loops -> Alcotest.failf "expected 1 loop, got %d" (List.length loops)
+
+let test_nested_loops () =
+  let f =
+    func "n"
+      [
+        blk "e" [] (goto "oh");
+        blk "oh" [ load "a" (g "x") ] (br (r "a") "out" "ih");
+        blk "ih" [ load "b" (g "y") ] (br (r "b") "oh_back" "ih_body");
+        blk "ih_body" [] (goto "ih");
+        blk "oh_back" [] (goto "oh");
+        blk "out" [] exit_t;
+      ]
+  in
+  let gr = graph_of f in
+  let dom = Arde.Dominators.compute gr in
+  let loops = Arde.Loops.find gr dom in
+  Alcotest.(check int) "two loops" 2 (List.length loops)
+
+let test_merged_same_header () =
+  (* Two back edges to one header merge into a single loop. *)
+  let f =
+    func "m"
+      [
+        blk "e" [] (goto "h");
+        blk "h" [ load "a" (g "x") ] (br (r "a") "p" "q");
+        blk "p" [ load "b" (g "y") ] (br (r "b") "h" "out");
+        blk "q" [] (goto "h");
+        blk "out" [] exit_t;
+      ]
+  in
+  let gr = graph_of f in
+  let dom = Arde.Dominators.compute gr in
+  let loops = Arde.Loops.find gr dom in
+  Alcotest.(check int) "one merged loop" 1 (List.length loops);
+  Alcotest.(check int) "header plus both back-edge paths" 3
+    (List.length (List.hd loops).Arde.Loops.body)
+
+(* ---- classifier ---- *)
+
+let classify_first ?(k = 7) prog fname =
+  let ctx = Arde.Slice.make_ctx prog in
+  let f = List.find (fun f -> f.Arde.Types.fname = fname) prog.Arde.Types.funcs in
+  let gr = graph_of f in
+  let dom = Arde.Dominators.compute gr in
+  match Arde.Loops.find gr dom with
+  | [] -> Alcotest.fail "no loop found"
+  | loop :: _ -> Arde.Spin.classify ~k ctx gr loop
+
+let prog_with fns = program ~globals:[ global "flag" (); global "x" (); global "y" () ] ~entry:"main" (func "main" [ blk "e" [] exit_t ] :: fns)
+
+let test_accept_simple_flag_loop () =
+  let p = prog_with [ fn_loop ] in
+  match classify_first p "l" with
+  | Arde.Spin.Accepted c ->
+      Alcotest.(check (list string)) "condition base" [ "flag" ]
+        c.Arde.Spin.c_bases;
+      Alcotest.(check int) "window 2" 2 c.Arde.Spin.c_window
+  | Arde.Spin.Rejected (_, why) ->
+      Alcotest.failf "rejected: %s" (Arde.Spin.rejection_to_string why)
+
+let test_reject_no_load () =
+  let f =
+    func "r"
+      [
+        blk "e" [ mov "i" (imm 10) ] (goto "h");
+        blk "h" [ subi "i" (r "i") (imm 1) ] (br (r "i") "h" "out");
+        blk "out" [] exit_t;
+      ]
+  in
+  match classify_first (prog_with [ f ]) "r" with
+  | Arde.Spin.Rejected (_, Arde.Spin.No_memory_load) -> ()
+  | Arde.Spin.Rejected (_, why) ->
+      Alcotest.failf "wrong reason: %s" (Arde.Spin.rejection_to_string why)
+  | Arde.Spin.Accepted _ -> Alcotest.fail "accepted a register loop"
+
+let test_reject_writes_condition () =
+  let f =
+    func "w"
+      [
+        blk "e" [] (goto "h");
+        blk "h"
+          [ load "v" (g "x"); addi "v1" (r "v") (imm 1); store (g "x") (r "v1") ]
+          (br (r "v1") "out" "h");
+        blk "out" [] exit_t;
+      ]
+  in
+  match classify_first (prog_with [ f ]) "w" with
+  | Arde.Spin.Rejected (_, Arde.Spin.Writes_condition "x") -> ()
+  | Arde.Spin.Rejected (_, why) ->
+      Alcotest.failf "wrong reason: %s" (Arde.Spin.rejection_to_string why)
+  | Arde.Spin.Accepted _ -> Alcotest.fail "accepted a self-updating loop"
+
+let test_reject_too_large () =
+  let pads =
+    List.init 8 (fun i ->
+        blk (Printf.sprintf "p%d" i) [ nop ]
+          (goto (if i = 7 then "h" else Printf.sprintf "p%d" (i + 1))))
+  in
+  let f =
+    func "big"
+      (blk "e" [] (goto "h")
+      :: blk "h" [ load "v" (g "flag") ] (br (r "v") "out" "p0")
+      :: pads
+      @ [ blk "out" [] exit_t ])
+  in
+  match classify_first ~k:7 (prog_with [ f ]) "big" with
+  | Arde.Spin.Rejected (_, Arde.Spin.Too_large 9) -> ()
+  | Arde.Spin.Rejected (_, why) ->
+      Alcotest.failf "wrong reason: %s" (Arde.Spin.rejection_to_string why)
+  | Arde.Spin.Accepted _ -> Alcotest.fail "accepted a 9-block loop"
+
+let test_reject_indirect () =
+  let chk =
+    func "chk" ~params:[ "i" ]
+      [
+        blk "e" [ load "v" (gi "flag" (r "i")) ] (br (r "v") "y" "n");
+        blk "y" [] (ret (Some (imm 1)));
+        blk "n" [] (ret (Some (imm 0)));
+      ]
+  in
+  let f =
+    func "ind"
+      [
+        blk "e" [] (goto "h");
+        blk "h" [ call_ind ~ret:"ok" (imm 0) [ imm 0 ] ] (br (r "ok") "out" "h");
+        blk "out" [] exit_t;
+      ]
+  in
+  let p =
+    program
+      ~globals:[ global "flag" () ]
+      ~func_table:[ "chk" ] ~entry:"main"
+      [ func "main" [ blk "e" [] exit_t ]; f; chk ]
+  in
+  match classify_first p "ind" with
+  | Arde.Spin.Rejected (_, Arde.Spin.Indirect_condition) -> ()
+  | Arde.Spin.Rejected (_, why) ->
+      Alcotest.failf "wrong reason: %s" (Arde.Spin.rejection_to_string why)
+  | Arde.Spin.Accepted _ -> Alcotest.fail "accepted a function-pointer condition"
+
+let test_call_blocks_counted () =
+  let chk =
+    func "chk"
+      [
+        blk "e" [ load "v" (g "flag") ] (br (r "v") "y" "n");
+        blk "y" [] (ret (Some (imm 1)));
+        blk "n" [] (ret (Some (imm 0)));
+      ]
+  in
+  let f =
+    func "c"
+      [
+        blk "e" [] (goto "h");
+        blk "h" [ call ~ret:"ok" "chk" [] ] (br (r "ok") "out" "h");
+        blk "out" [] exit_t;
+      ]
+  in
+  let p =
+    program ~globals:[ global "flag" () ] ~entry:"main"
+      [ func "main" [ blk "e" [] exit_t ]; f; chk ]
+  in
+  match classify_first p "c" with
+  | Arde.Spin.Accepted c ->
+      Alcotest.(check int) "1 loop block + 3 callee blocks" 4
+        c.Arde.Spin.c_window;
+      Alcotest.(check int) "callee load marked" 1 (List.length c.Arde.Spin.c_loads)
+  | Arde.Spin.Rejected (_, why) ->
+      Alcotest.failf "rejected: %s" (Arde.Spin.rejection_to_string why)
+
+let test_recursive_condition_opaque () =
+  let rec_chk =
+    func "rchk"
+      [
+        blk "e" [ call ~ret:"v" "rchk" [] ] (br (r "v") "y" "n");
+        blk "y" [] (ret (Some (imm 1)));
+        blk "n" [] (ret (Some (imm 0)));
+      ]
+  in
+  let f =
+    func "c"
+      [
+        blk "e" [] (goto "h");
+        blk "h" [ call ~ret:"ok" "rchk" [] ] (br (r "ok") "out" "h");
+        blk "out" [] exit_t;
+      ]
+  in
+  let p =
+    program ~entry:"main"
+      [ func "main" [ blk "e" [] exit_t ]; f; rec_chk ]
+  in
+  match classify_first p "c" with
+  | Arde.Spin.Rejected (_, Arde.Spin.Indirect_condition) -> ()
+  | Arde.Spin.Rejected (_, why) ->
+      Alcotest.failf "wrong reason: %s" (Arde.Spin.rejection_to_string why)
+  | Arde.Spin.Accepted _ -> Alcotest.fail "accepted a recursive condition"
+
+let test_window_monotone () =
+  (* A loop accepted at window k stays accepted at every k' > k. *)
+  let case =
+    match Arde_workloads.Racey.find "adhoc_flag_w5/2" with
+    | Some c -> c.Arde_workloads.Racey.program
+    | None -> Alcotest.fail "case missing"
+  in
+  let accepted k = List.length (Arde.Instrument.spins (Arde.analyze_spins ~k case)) in
+  Alcotest.(check bool) "monotone in k" true
+    (accepted 3 <= accepted 5 && accepted 5 <= accepted 7 && accepted 7 <= accepted 9)
+
+let test_callee_counting_ablation () =
+  (* Without callee accounting, a call-conditioned loop looks tiny and is
+     accepted at k = 3; with it, only k >= 7 finds it. *)
+  let c =
+    match Arde_workloads.Racey.find "adhoc_flag_call/2" with
+    | Some c -> c.Arde_workloads.Racey.program
+    | None -> Alcotest.fail "case missing"
+  in
+  let n ?count_callees k =
+    List.length (Arde.Instrument.spins (Arde.Instrument.analyze ?count_callees ~k c))
+  in
+  Alcotest.(check bool) "counted: invisible at k=3" true (n 3 < n 7);
+  Alcotest.(check int) "uncounted: found already at k=3" (n 7)
+    (n ~count_callees:false 3)
+
+let test_instrument_lookups () =
+  let p = prog_with [ fn_loop ] in
+  let inst = Arde.analyze_spins ~k:7 p in
+  Alcotest.(check bool) "flag is a sync base" true
+    (Arde.Instrument.is_sync_base inst "flag");
+  Alcotest.(check bool) "x is not" false (Arde.Instrument.is_sync_base inst "x");
+  match Arde.Instrument.header_at inst ~fname:"l" ~lbl:"head" with
+  | Some id ->
+      Alcotest.(check bool) "head in its own loop" true
+        (Arde.Instrument.in_loop inst ~fname:"l" ~lbl:"head" id);
+      Alcotest.(check bool) "body in loop" true
+        (Arde.Instrument.in_loop inst ~fname:"l" ~lbl:"body" id);
+      Alcotest.(check bool) "out not in loop" false
+        (Arde.Instrument.in_loop inst ~fname:"l" ~lbl:"out" id);
+      let marked =
+        Arde.Instrument.marked_loops_at inst
+          { Arde.Types.lfunc = "l"; lblk = "head"; lidx = 0 }
+      in
+      Alcotest.(check (list int)) "condition load marked" [ id ] marked
+  | None -> Alcotest.fail "header not found"
+
+let suite =
+  [
+    Alcotest.test_case "graph edges" `Quick test_graph_edges;
+    Alcotest.test_case "graph reachability" `Quick test_graph_reachability;
+    Alcotest.test_case "dominators on a diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "natural loop detection" `Quick test_natural_loop;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "same-header loops merge" `Quick test_merged_same_header;
+    Alcotest.test_case "classifier accepts a flag loop" `Quick
+      test_accept_simple_flag_loop;
+    Alcotest.test_case "classifier rejects: no memory load" `Quick
+      test_reject_no_load;
+    Alcotest.test_case "classifier rejects: writes its condition" `Quick
+      test_reject_writes_condition;
+    Alcotest.test_case "classifier rejects: window exceeded" `Quick
+      test_reject_too_large;
+    Alcotest.test_case "classifier rejects: function pointer" `Quick
+      test_reject_indirect;
+    Alcotest.test_case "classifier rejects: recursive condition" `Quick
+      test_recursive_condition_opaque;
+    Alcotest.test_case "condition-call blocks count toward the window" `Quick
+      test_call_blocks_counted;
+    Alcotest.test_case "acceptance is monotone in k" `Quick test_window_monotone;
+    Alcotest.test_case "instrument lookup structures" `Quick
+      test_instrument_lookups;
+    Alcotest.test_case "callee-counting ablation" `Quick
+      test_callee_counting_ablation;
+  ]

@@ -1,0 +1,294 @@
+(* Detector components (lockset, state machine, reports) and end-to-end
+   detector behaviour on crafted programs. *)
+
+open Arde.Builder
+module Lockset = Arde.Lockset
+module Msm = Arde.Msm
+module Report = Arde.Report
+
+(* ---- lockset ---- *)
+
+let test_lockset_top () =
+  Alcotest.(check bool) "top is not empty" false (Lockset.is_empty Lockset.top);
+  Alcotest.(check bool) "top contains anything" true
+    (Lockset.mem ("m", 0) Lockset.top)
+
+let test_lockset_inter () =
+  let a = Lockset.of_list [ ("m", 0); ("n", 0) ] in
+  let b = Lockset.of_list [ ("n", 0); ("p", 1) ] in
+  let i = Lockset.inter a b in
+  Alcotest.(check (option (list (pair string int)))) "intersection"
+    (Some [ ("n", 0) ]) (Lockset.to_list i);
+  Alcotest.(check bool) "inter with top is identity" true
+    (Lockset.to_list (Lockset.inter Lockset.top a) = Lockset.to_list a)
+
+let test_lockset_empty () =
+  let e = Lockset.of_list [] in
+  Alcotest.(check bool) "empty set is empty" true (Lockset.is_empty e);
+  Alcotest.(check bool) "disjoint sets intersect to empty" true
+    (Lockset.is_empty
+       (Lockset.inter (Lockset.of_list [ ("a", 0) ]) (Lockset.of_list [ ("b", 0) ])))
+
+let test_held_tracking () =
+  let h = Lockset.Held.create () in
+  Lockset.Held.acquire h 1 ("m", 0);
+  Lockset.Held.acquire h 1 ("n", 0);
+  Lockset.Held.release h 1 ("m", 0);
+  Alcotest.(check (option (list (pair string int)))) "held after release"
+    (Some [ ("n", 0) ])
+    (Lockset.to_list (Lockset.Held.current h 1));
+  Alcotest.(check bool) "other thread holds nothing" true
+    (Lockset.is_empty (Lockset.Held.current h 2))
+
+(* ---- memory state machine ---- *)
+
+let test_msm_transitions () =
+  let t = Msm.transition in
+  Alcotest.(check bool) "virgin -> exclusive" true
+    (t Msm.Virgin ~tid:3 ~write:true ~ordered:false = Msm.Exclusive 3);
+  Alcotest.(check bool) "exclusive stays with owner" true
+    (t (Msm.Exclusive 3) ~tid:3 ~write:true ~ordered:false = Msm.Exclusive 3);
+  Alcotest.(check bool) "ordered handover transfers ownership" true
+    (t (Msm.Exclusive 3) ~tid:4 ~write:true ~ordered:true = Msm.Exclusive 4);
+  Alcotest.(check bool) "unordered read shares" true
+    (t (Msm.Exclusive 3) ~tid:4 ~write:false ~ordered:false = Msm.Shared_read);
+  Alcotest.(check bool) "unordered write modifies" true
+    (t (Msm.Exclusive 3) ~tid:4 ~write:true ~ordered:false = Msm.Shared_modified);
+  Alcotest.(check bool) "shared-read + write escalates" true
+    (t Msm.Shared_read ~tid:5 ~write:true ~ordered:false = Msm.Shared_modified);
+  Alcotest.(check bool) "shared-modified absorbs" true
+    (t Msm.Shared_modified ~tid:5 ~write:false ~ordered:true = Msm.Shared_modified)
+
+(* ---- reports ---- *)
+
+let mk_race ?(base = "x") ?(idx = 0) ?(l1 = "a") ?(l2 = "b") () =
+  {
+    Report.r_base = base;
+    r_idx = idx;
+    r_first_tid = 1;
+    r_first_loc = { Arde.Types.lfunc = "f"; lblk = l1; lidx = 0 };
+    r_first_write = true;
+    r_second_tid = 2;
+    r_second_loc = { Arde.Types.lfunc = "f"; lblk = l2; lidx = 0 };
+    r_second_write = false;
+  }
+
+let test_report_dedup () =
+  let t = Report.create () in
+  Report.add t (mk_race ());
+  Report.add t (mk_race ());
+  Alcotest.(check int) "same context counted once" 1 (Report.n_contexts t)
+
+let test_report_symmetric_context () =
+  let t = Report.create () in
+  Report.add t (mk_race ~l1:"a" ~l2:"b" ());
+  Report.add t (mk_race ~l1:"b" ~l2:"a" ());
+  Alcotest.(check int) "unordered pair" 1 (Report.n_contexts t)
+
+let test_report_cap () =
+  let t = Report.create ~cap:3 () in
+  for i = 0 to 9 do
+    Report.add t (mk_race ~idx:i ~l1:(string_of_int i) ())
+  done;
+  Alcotest.(check int) "capped at 3" 3 (Report.n_contexts t);
+  Alcotest.(check bool) "cap flagged" true (Report.capped t)
+
+let test_report_merge () =
+  let a = Report.create () and b = Report.create () in
+  Report.add a (mk_race ~l1:"p" ());
+  Report.add b (mk_race ~l1:"p" ());
+  Report.add b (mk_race ~l1:"q" ());
+  Report.merge_into a b;
+  Alcotest.(check int) "merge dedups" 2 (Report.n_contexts a)
+
+let test_racy_bases_sorted () =
+  let t = Report.create () in
+  Report.add t (mk_race ~base:"zz" ());
+  Report.add t (mk_race ~base:"aa" ());
+  Alcotest.(check (list string)) "sorted unique" [ "aa"; "zz" ] (Report.racy_bases t)
+
+(* ---- classification ---- *)
+
+let test_classify () =
+  let open Arde.Classify in
+  let v = classify (Racy [ "x"; "y" ]) ~reported:[ "x"; "z" ] in
+  Alcotest.(check (list string)) "false" [ "z" ] v.false_bases;
+  Alcotest.(check (list string)) "missed" [ "y" ] v.missed_bases;
+  Alcotest.(check bool) "false alarm dominates" true
+    (outcome_of v = False_alarm);
+  Alcotest.(check bool) "pure miss" true
+    (outcome_of (classify (Racy [ "x" ]) ~reported:[]) = Missed_race);
+  Alcotest.(check bool) "clean" true
+    (outcome_of (classify Race_free ~reported:[]) = Correct)
+
+(* ---- end-to-end detector behaviour ---- *)
+
+let detect_bases ?(mode = Arde.Config.Helgrind_lib) ?(seeds = [ 1; 2; 3 ]) p =
+  let options = { Arde.Driver.default_options with Arde.Driver.seeds } in
+  Arde.Driver.racy_bases (Arde.detect ~options mode p)
+
+let two_workers ?(globals = []) body1 body2 =
+  program
+    ~globals:(global "x" () :: globals)
+    ~entry:"main"
+    [
+      func "main"
+        [
+          blk "e" [ spawn "a" "w1" []; spawn "b" "w2" [] ] (goto "j");
+          blk "j" [ join (r "a"); join (r "b") ] exit_t;
+        ];
+      func "w1" [ blk "e" body1 exit_t ];
+      func "w2" [ blk "e" body2 exit_t ];
+    ]
+
+let bump_x = [ load "v" (g "x"); addi "v1" (r "v") (imm 1); store (g "x") (r "v1") ]
+
+let test_detects_plain_race () =
+  let p = two_workers bump_x bump_x in
+  List.iter
+    (fun mode ->
+      Alcotest.(check (list string))
+        (Arde.Config.mode_name mode ^ " reports x")
+        [ "x" ]
+        (detect_bases ~mode p))
+    [
+      Arde.Config.Helgrind_lib; Arde.Config.Helgrind_spin 7;
+      Arde.Config.Nolib_spin 7; Arde.Config.Drd;
+    ]
+
+let test_lock_protected_clean () =
+  let locked = (lock (g "m") :: bump_x) @ [ unlock (g "m") ] in
+  let p = two_workers ~globals:[ global "m" () ] locked locked in
+  List.iter
+    (fun mode ->
+      Alcotest.(check (list string))
+        (Arde.Config.mode_name mode ^ " stays quiet")
+        []
+        (detect_bases ~mode p))
+    [
+      Arde.Config.Helgrind_lib; Arde.Config.Helgrind_spin 7;
+      Arde.Config.Nolib_spin 7; Arde.Config.Drd;
+    ]
+
+let test_join_ordering_clean () =
+  (* main reads the worker's value only after joining *)
+  let p =
+    program
+      ~globals:[ global "x" () ]
+      ~entry:"main"
+      [
+        func "main"
+          [
+            blk "e" [ spawn "a" "w1" [] ] (goto "j");
+            blk "j" [ join (r "a"); load "v" (g "x"); store (g "x") (r "v") ] exit_t;
+          ];
+        func "w1" [ blk "e" bump_x exit_t ];
+      ]
+  in
+  List.iter
+    (fun mode ->
+      Alcotest.(check (list string))
+        (Arde.Config.mode_name mode ^ " respects join")
+        []
+        (detect_bases ~mode p))
+    [ Arde.Config.Helgrind_lib; Arde.Config.Nolib_spin 7; Arde.Config.Drd ]
+
+let test_lock_flag_asymmetry () =
+  (* Publication via a flag written under a lock and polled under the
+     lock: DRD is quiet (lock edges), the spin-less hybrid reports the
+     payload, the spin-aware hybrid recovers the loop. *)
+  let c =
+    match Arde_workloads.Racey.find "lock_flag_spin/2" with
+    | Some c -> c.Arde_workloads.Racey.program
+    | None -> Alcotest.fail "case missing"
+  in
+  Alcotest.(check bool) "hybrid lib reports data" true
+    (List.mem "data" (detect_bases ~mode:Arde.Config.Helgrind_lib c));
+  Alcotest.(check (list string)) "drd quiet" [] (detect_bases ~mode:Arde.Config.Drd c);
+  Alcotest.(check (list string)) "hybrid+spin quiet" []
+    (detect_bases ~mode:(Arde.Config.Helgrind_spin 7) c)
+
+let test_sync_race_suppressed_only_with_spin () =
+  (* The flag itself: a synchronization race in lib mode, suppressed once
+     the loop is detected and the flag marked. *)
+  let c =
+    match Arde_workloads.Racey.find "racy_adhoc_broken/2" with
+    | Some c -> c.Arde_workloads.Racey.program
+    | None -> Alcotest.fail "case missing"
+  in
+  Alcotest.(check bool) "lib mode reports the flag too" true
+    (List.mem "flag" (detect_bases ~mode:Arde.Config.Helgrind_lib c));
+  let spin_bases = detect_bases ~mode:(Arde.Config.Helgrind_spin 7) c in
+  Alcotest.(check bool) "spin mode suppresses the flag" false
+    (List.mem "flag" spin_bases);
+  Alcotest.(check bool) "but still reports the real race on data" true
+    (List.mem "data" spin_bases)
+
+let test_spin_edges_counted () =
+  let c =
+    match Arde_workloads.Racey.find "adhoc_flag_w2/2" with
+    | Some c -> c.Arde_workloads.Racey.program
+    | None -> Alcotest.fail "case missing"
+  in
+  let options = { Arde.Driver.default_options with Arde.Driver.seeds = [ 1 ] } in
+  let res = Arde.detect ~options (Arde.Config.Helgrind_spin 7) c in
+  let edges =
+    List.fold_left (fun acc s -> acc + s.Arde.Driver.sr_spin_edges) 0
+      res.Arde.Driver.runs
+  in
+  Alcotest.(check bool) "at least one spin edge drawn" true (edges > 0)
+
+let test_short_vs_long_sensitivity () =
+  (* One unsynchronized conflicting pair: the short-running machine
+     reports it, the long-running machine only arms. *)
+  let p = two_workers [ store (g "x") (imm 1) ] [ store (g "x") (imm 2) ] in
+  let with_sens sensitivity =
+    let options =
+      { Arde.Driver.default_options with Arde.Driver.seeds = [ 1; 2; 3; 4; 5 ]; sensitivity }
+    in
+    Arde.Driver.racy_bases (Arde.detect ~options Arde.Config.Helgrind_lib p)
+  in
+  Alcotest.(check (list string)) "short-running reports" [ "x" ]
+    (with_sens Arde.Msm.Short_running);
+  Alcotest.(check (list string)) "long-running misses the single pair" []
+    (with_sens Arde.Msm.Long_running)
+
+let test_atomics_never_reported () =
+  let body = [ rmw Rmw_add "o" (g "x") (imm 1) ] in
+  let p = two_workers body body in
+  List.iter
+    (fun mode ->
+      Alcotest.(check (list string))
+        (Arde.Config.mode_name mode ^ " ignores atomics")
+        []
+        (detect_bases ~mode p))
+    [ Arde.Config.Helgrind_lib; Arde.Config.Drd; Arde.Config.Helgrind_spin 7 ]
+
+let suite =
+  [
+    Alcotest.test_case "lockset: top" `Quick test_lockset_top;
+    Alcotest.test_case "lockset: intersection" `Quick test_lockset_inter;
+    Alcotest.test_case "lockset: emptiness" `Quick test_lockset_empty;
+    Alcotest.test_case "lockset: held tracking" `Quick test_held_tracking;
+    Alcotest.test_case "msm transitions" `Quick test_msm_transitions;
+    Alcotest.test_case "report dedup" `Quick test_report_dedup;
+    Alcotest.test_case "report symmetric contexts" `Quick
+      test_report_symmetric_context;
+    Alcotest.test_case "report cap" `Quick test_report_cap;
+    Alcotest.test_case "report merge" `Quick test_report_merge;
+    Alcotest.test_case "racy bases sorted" `Quick test_racy_bases_sorted;
+    Alcotest.test_case "classification" `Quick test_classify;
+    Alcotest.test_case "plain race detected by all modes" `Quick
+      test_detects_plain_race;
+    Alcotest.test_case "lock protection respected by all modes" `Quick
+      test_lock_protected_clean;
+    Alcotest.test_case "join ordering respected" `Quick test_join_ordering_clean;
+    Alcotest.test_case "lock+flag: DRD quiet, hybrid needs spin" `Quick
+      test_lock_flag_asymmetry;
+    Alcotest.test_case "sync races suppressed only with spin" `Quick
+      test_sync_race_suppressed_only_with_spin;
+    Alcotest.test_case "spin edges are drawn" `Quick test_spin_edges_counted;
+    Alcotest.test_case "short vs long sensitivity" `Quick
+      test_short_vs_long_sensitivity;
+    Alcotest.test_case "atomics never reported" `Quick test_atomics_never_reported;
+  ]

@@ -1,0 +1,234 @@
+(* Happens-before edge correctness per synchronization primitive, checked
+   end-to-end: a program that is race-free only through primitive X must
+   stay quiet in the modes that can see X, including the universal
+   detector over the lowered form. *)
+
+open Arde.Builder
+
+let bases ?(mode = Arde.Config.Nolib_spin 7) ?(seeds = 5) p =
+  let options =
+    {
+      Arde.Driver.default_options with
+      Arde.Driver.seeds = List.init seeds (fun i -> i + 1);
+    }
+  in
+  Arde.Driver.racy_bases (Arde.detect ~options mode p)
+
+let all_modes =
+  [
+    Arde.Config.Helgrind_lib; Arde.Config.Helgrind_spin 7;
+    Arde.Config.Nolib_spin 7; Arde.Config.Drd;
+  ]
+
+(* Barrier ordering must be all-to-all: after the barrier each thread
+   reads its neighbour's pre-barrier cell. *)
+let barrier_all_to_all =
+  let n = 4 in
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "e"
+          [
+            muli "v" (r "i") (imm 11);
+            store (gi "a" (r "i")) (r "v");
+            barrier_wait (g "bar");
+            addi "j0" (r "i") (imm 1);
+            modi "j" (r "j0") (imm n);
+            load "nb" (gi "a" (r "j"));
+            store (gi "out" (r "i")) (r "nb");
+          ]
+          exit_t;
+      ]
+  in
+  Arde_workloads.Racey_base.harness
+    ~globals:[ global "bar" (); global "a" ~size:n (); global "out" ~size:n () ]
+    ~before:[ barrier_init (g "bar") (imm n) ]
+    ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+    [ w ]
+
+let test_barrier_all_to_all () =
+  List.iter
+    (fun mode ->
+      Alcotest.(check (list string))
+        (Arde.Config.mode_name mode)
+        [] (bases ~mode barrier_all_to_all))
+    all_modes
+
+(* Semaphore hand-off: the post's pre-history must cover the waiter. *)
+let sem_handoff =
+  let producer =
+    func "producer"
+      [ blk "e" [ store (g "payload") (imm 3); sem_post (g "s") ] exit_t ]
+  in
+  let consumer =
+    func "consumer"
+      [
+        blk "e"
+          [
+            sem_wait (g "s");
+            load "v" (g "payload");
+            addi "v1" (r "v") (imm 1);
+            store (g "payload") (r "v1");
+          ]
+          exit_t;
+      ]
+  in
+  Arde_workloads.Racey_base.harness
+    ~globals:[ global "s" (); global "payload" () ]
+    ~workers:[ ("producer", []); ("consumer", []) ]
+    [ producer; consumer ]
+
+let test_sem_handoff () =
+  List.iter
+    (fun mode ->
+      Alcotest.(check (list string))
+        (Arde.Config.mode_name mode)
+        [] (bases ~mode sem_handoff))
+    all_modes
+
+(* Broadcast must wake and order every waiter, not just one. *)
+let broadcast_gate =
+  let n = 5 in
+  let w =
+    func "w" ~params:[ "i" ]
+      [
+        blk "e" [ lock (g "m") ] (goto "t");
+        blk "t" [ load "go" (g "go") ] (br (r "go") "run" "sl");
+        blk "sl" [ wait (g "cv") (g "m") ] (goto "t");
+        blk "run"
+          [ unlock (g "m"); load "d" (g "data"); store (gi "out" (r "i")) (r "d") ]
+          exit_t;
+      ]
+  in
+  Arde_workloads.Racey_base.harness
+    ~globals:
+      [
+        global "m" (); global "cv" (); global "go" (); global "data" ();
+        global "out" ~size:n ();
+      ]
+    ~before:
+      [
+        store (g "data") (imm 77);
+        lock (g "m");
+        store (g "go") (imm 1);
+        unlock (g "m");
+        broadcast (g "cv");
+      ]
+    ~workers:(List.init n (fun i -> ("w", [ imm i ])))
+    [ w ]
+
+let test_broadcast_orders_all_waiters () =
+  List.iter
+    (fun mode ->
+      Alcotest.(check (list string))
+        (Arde.Config.mode_name mode)
+        [] (bases ~mode broadcast_gate))
+    all_modes
+
+(* Spawn edges are kernel-level and survive even in nolib mode. *)
+let spawn_edge =
+  let w =
+    func "w"
+      [ blk "e" [ load "v" (g "cfg"); store (g "cfg") (r "v") ] exit_t ]
+  in
+  Arde_workloads.Racey_base.harness
+    ~globals:[ global "cfg" () ]
+    ~before:[ store (g "cfg") (imm 9) ]
+    ~workers:[ ("w", []) ]
+    [ w ]
+
+let test_spawn_edge_in_nolib () =
+  Alcotest.(check (list string)) "parent's pre-spawn writes are ordered" []
+    (bases spawn_edge)
+
+(* A spin edge orders only the spinning thread, never bystanders: T3
+   races with T2 on y and must stay reported in every mode. *)
+let bystander =
+  let producer =
+    func "producer" [ blk "e" [ store (g "flag") (imm 1) ] exit_t ]
+  in
+  let spinner =
+    func "spinner"
+      (blk "e" [] (goto "sp_t")
+      :: Arde_workloads.Racey_base.spin_flag ~tag:"sp" ~flag:(g "flag") ~window:2
+           ~exit_lbl:"work"
+      @ [ blk "work" (Arde_workloads.Racey_base.bump (g "y")) exit_t ])
+  in
+  let third = func "third" [ blk "e" (Arde_workloads.Racey_base.bump (g "y")) exit_t ] in
+  Arde_workloads.Racey_base.harness
+    ~globals:[ global "flag" (); global "y" () ]
+    ~workers:[ ("producer", []); ("spinner", []); ("third", []) ]
+    [ producer; spinner; third ]
+
+let test_spin_edge_does_not_cover_bystanders () =
+  List.iter
+    (fun mode ->
+      Alcotest.(check bool)
+        (Arde.Config.mode_name mode ^ " still reports y")
+        true
+        (List.mem "y" (bases ~mode bystander)))
+    [ Arde.Config.Helgrind_spin 7; Arde.Config.Nolib_spin 7 ]
+
+(* Lowered joins stay recoverable even under the futex style. *)
+let test_futex_join_recovered () =
+  let p = spawn_edge in
+  let options =
+    {
+      Arde.Driver.default_options with
+      Arde.Driver.seeds = [ 1; 2; 3 ];
+      lower_style = Arde.Lower.Futex;
+    }
+  in
+  (* main reads nothing after join here, so extend: worker writes, main
+     checks after join through the harness [after] — reuse join_result. *)
+  ignore p;
+  let c =
+    match Arde_workloads.Racey.find "join_result/2" with
+    | Some c -> c.Arde_workloads.Racey.program
+    | None -> Alcotest.fail "case missing"
+  in
+  Alcotest.(check (list string)) "join ordered under futex lowering" []
+    (Arde.Driver.racy_bases (Arde.detect ~options (Arde.Config.Nolib_spin 7) c))
+
+(* Detector memory accounting grows with distinct cells touched. *)
+let test_memory_accounting_monotone () =
+  let prog cells =
+    let stores =
+      List.concat_map
+        (fun i -> [ store (gi "a" (imm i)) (imm i) ])
+        (List.init cells Fun.id)
+    in
+    program
+      ~globals:[ global "a" ~size:64 () ]
+      ~entry:"main"
+      [ func "main" [ blk "e" stores exit_t ] ]
+  in
+  let words cells =
+    let engine =
+      Arde.Engine.create (Arde.Config.make Arde.Config.Helgrind_lib)
+        ~instrument:None
+    in
+    let cfg =
+      { Arde.Machine.default_config with observer = Arde.Engine.observer engine }
+    in
+    ignore (Arde.Machine.run_program cfg (prog cells));
+    (Arde.Engine.memory_words engine, Arde.Engine.n_shadow_cells engine)
+  in
+  let w8, c8 = words 8 and w48, c48 = words 48 in
+  Alcotest.(check int) "cells tracked (small)" 9 c8 (* + __thread_done[0] *);
+  Alcotest.(check int) "cells tracked (large)" 49 c48;
+  Alcotest.(check bool) "footprint grows" true (w48 > w8)
+
+let suite =
+  [
+    Alcotest.test_case "barrier is all-to-all" `Quick test_barrier_all_to_all;
+    Alcotest.test_case "semaphore hand-off" `Quick test_sem_handoff;
+    Alcotest.test_case "broadcast orders all waiters" `Quick
+      test_broadcast_orders_all_waiters;
+    Alcotest.test_case "spawn edge survives nolib" `Quick test_spawn_edge_in_nolib;
+    Alcotest.test_case "spin edges don't cover bystanders" `Quick
+      test_spin_edge_does_not_cover_bystanders;
+    Alcotest.test_case "futex join recovered" `Quick test_futex_join_recovered;
+    Alcotest.test_case "memory accounting monotone" `Quick
+      test_memory_accounting_monotone;
+  ]

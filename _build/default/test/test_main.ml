@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "arde"
+    [
+      ("util", Test_util.suite);
+      ("vclock", Test_vclock.suite);
+      ("tir", Test_tir.suite);
+      ("cfg", Test_cfg.suite);
+      ("parse", Test_parse.suite);
+      ("runtime", Test_runtime.suite);
+      ("machine-edge", Test_machine_edge.suite);
+      ("detect", Test_detect.suite);
+      ("extensions", Test_extensions.suite);
+      ("spin-runtime", Test_spin_runtime.suite);
+      ("hb-edges", Test_hb_edges.suite);
+      ("smoke", Test_smoke.suite);
+      ("workloads", Test_workloads.suite);
+      ("props", Test_props.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("harness", Test_harness.suite);
+      ("integration", Test_integration.suite);
+    ]

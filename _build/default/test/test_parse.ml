@@ -1,0 +1,136 @@
+(* The textual TIR parser: hand-written cases plus the round-trip law
+   parse(pretty(p)) = p over the entire bundled corpus. *)
+
+let simple_source =
+  {|
+# the paper's motivating example
+global flag[1] = 0
+global data[1] = 0
+entry = main
+
+func main():
+entry:
+  %t1 <- spawn producer()
+  %t2 <- spawn consumer()
+  goto wait
+wait:
+  join %t1
+  join %t2
+  exit
+
+func producer():
+entry:
+  store @data, 42
+  store @flag, 1
+  exit
+
+func consumer():
+entry:
+  goto spin
+spin:
+  %f <- load @flag
+  br %f ? work : spin
+work:
+  %d <- load @data
+  %d1 <- add %d, -1
+  store @data, %d1
+  exit
+|}
+
+let test_parse_and_run () =
+  let p = Arde.Parse.program_exn simple_source in
+  Arde.Validate.check_exn p;
+  let res = Arde.Machine.run_program Arde.Machine.default_config p in
+  Alcotest.(check bool) "finished" true
+    (res.Arde.Machine.outcome = Arde.Machine.Finished);
+  Alcotest.(check int) "data handed off" 41 (Arde.Machine.read_global res "data" 0)
+
+let test_parse_detect () =
+  let p = Arde.Parse.program_exn simple_source in
+  Alcotest.(check bool) "lib mode flags data" true
+    (List.mem "data"
+       (Arde.Driver.racy_bases (Arde.detect Arde.Config.Helgrind_lib p)));
+  Alcotest.(check (list string)) "spin mode clean" []
+    (Arde.Driver.racy_bases (Arde.detect (Arde.Config.Helgrind_spin 7) p))
+
+let expect_error ~line source =
+  match Arde.Parse.program source with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> Alcotest.(check int) "error line" line e.Arde.Parse.line
+
+let test_error_positions () =
+  expect_error ~line:3
+    "entry = main\n\nfunc main(:\nentry:\n  exit\n";
+  expect_error ~line:4 "entry = main\n\nfunc main():\n  %x <- load @g\n";
+  (* instruction outside a block *)
+  expect_error ~line:5 "entry = main\n\nfunc main():\nentry:\n  %x <- bogus @g\n"
+
+let test_missing_terminator () =
+  match Arde.Parse.program "entry = main\nfunc main():\nentry:\n  nop\n" with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error _ -> ()
+
+let test_missing_entry () =
+  match Arde.Parse.program "func main():\nentry:\n  exit\n" with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error _ -> ()
+
+let test_comments_and_blanks () =
+  let p =
+    Arde.Parse.program_exn
+      "# header\n\nentry = main\n\nfunc main():\nentry:\n  nop  # trailing\n  exit\n"
+  in
+  Arde.Validate.check_exn p
+
+let test_string_escapes () =
+  let p =
+    Arde.Parse.program_exn
+      "entry = main\nfunc main():\nentry:\n  %v <- 0\n  check %v \"with \\\"quotes\\\"\"\n  exit\n"
+  in
+  let res = Arde.Machine.run_program Arde.Machine.default_config p in
+  match res.Arde.Machine.check_failures with
+  | [ (_, msg) ] -> Alcotest.(check string) "unescaped" "with \"quotes\"" msg
+  | _ -> Alcotest.fail "check not recorded"
+
+(* Round-trip over the whole corpus: every bundled program (native and
+   lowered, which exercises helper names containing ':') survives
+   pretty -> parse structurally intact. *)
+let roundtrip p =
+  let printed = Arde.Pretty.program_to_string p in
+  match Arde.Parse.program printed with
+  | Error e -> Alcotest.failf "re-parse failed: %s" (Arde.Parse.error_to_string e)
+  | Ok p' ->
+      if p <> p' then begin
+        let printed' = Arde.Pretty.program_to_string p' in
+        if printed <> printed' then
+          Alcotest.failf "round-trip mismatch:\n%s\nvs\n%s" printed printed'
+        else Alcotest.fail "round-trip differs structurally but prints equal"
+      end
+
+let test_roundtrip_suite () =
+  List.iter
+    (fun c -> roundtrip c.Arde_workloads.Racey.program)
+    (Arde_workloads.Racey.all ())
+
+let test_roundtrip_lowered () =
+  List.iter
+    (fun c -> roundtrip (Arde.Lower.lower c.Arde_workloads.Racey.program))
+    (Arde_workloads.Racey.all ())
+
+let test_roundtrip_parsec () =
+  List.iter (fun (_, p) -> roundtrip p) (Arde_workloads.Parsec.all ())
+
+let suite =
+  [
+    Alcotest.test_case "parse and execute" `Quick test_parse_and_run;
+    Alcotest.test_case "parse and detect" `Quick test_parse_detect;
+    Alcotest.test_case "error positions" `Quick test_error_positions;
+    Alcotest.test_case "missing terminator rejected" `Quick
+      test_missing_terminator;
+    Alcotest.test_case "missing entry rejected" `Quick test_missing_entry;
+    Alcotest.test_case "comments and blank lines" `Quick test_comments_and_blanks;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "round-trip: unit suite" `Slow test_roundtrip_suite;
+    Alcotest.test_case "round-trip: lowered suite" `Slow test_roundtrip_lowered;
+    Alcotest.test_case "round-trip: parsec programs" `Slow test_roundtrip_parsec;
+  ]

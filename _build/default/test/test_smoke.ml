@@ -1,0 +1,97 @@
+(* End-to-end smoke tests on the paper's canonical example:
+
+     Thread 1: DATA++; FLAG = 1
+     Thread 2: while (FLAG == 0) {}; DATA--
+
+   Without spin detection the hybrid detector false-positives on DATA;
+   with it, the happens-before edge from the FLAG store to the loop exit
+   removes the warning. *)
+
+open Arde.Builder
+
+let flag_program =
+  let worker1 =
+    func "producer"
+      [
+        blk "entry"
+          [
+            load "d" (g "data");
+            addi "d1" (r "d") (imm 1);
+            store (g "data") (r "d1");
+            store (g "flag") (imm 1);
+          ]
+          exit_t;
+      ]
+  in
+  let worker2 =
+    func "consumer"
+      [
+        blk "entry" [] (goto "spin");
+        blk "spin" [ load "f" (g "flag") ] (br (r "f") "work" "spin");
+        blk "work"
+          [
+            load "d" (g "data");
+            subi "d1" (r "d") (imm 1);
+            store (g "data") (r "d1");
+          ]
+          exit_t;
+      ]
+  in
+  let main =
+    func "main"
+      [
+        blk "entry"
+          [ spawn "t1" "producer" []; spawn "t2" "consumer" [] ]
+          (goto "wait");
+        blk "wait" [ join (r "t1"); join (r "t2") ] exit_t;
+      ]
+  in
+  program
+    ~globals:[ global "data" (); global "flag" () ]
+    ~entry:"main" [ main; worker1; worker2 ]
+
+let detect mode = Arde.detect mode flag_program
+
+let test_runs_clean () =
+  let res = Arde.Machine.run_program Arde.Machine.default_config flag_program in
+  Alcotest.(check bool)
+    "finished" true
+    (res.Arde.Machine.outcome = Arde.Machine.Finished);
+  Alcotest.(check int) "data is 0 at the end" 0
+    (Arde.Machine.read_global res "data" 0)
+
+let test_spin_loop_found () =
+  let inst = Arde.analyze_spins ~k:7 flag_program in
+  let spins = Arde.Instrument.spins inst in
+  Alcotest.(check int) "one spinning read loop" 1 (List.length spins);
+  let c = (List.hd spins).Arde.Instrument.s_cand in
+  Alcotest.(check (list string)) "condition base" [ "flag" ] c.Arde.Spin.c_bases
+
+let test_lib_mode_false_positive () =
+  let res = detect Arde.Config.Helgrind_lib in
+  let bases = Arde.Driver.racy_bases res in
+  Alcotest.(check bool) "hybrid without spin warns about data" true
+    (List.mem "data" bases)
+
+let test_spin_mode_clean () =
+  let res = detect (Arde.Config.Helgrind_spin 7) in
+  Alcotest.(check (list string)) "no warnings with spin detection" []
+    (Arde.Driver.racy_bases res)
+
+let test_nolib_mode_clean () =
+  let res = detect (Arde.Config.Nolib_spin 7) in
+  Alcotest.(check (list string)) "universal detector is clean too" []
+    (Arde.Driver.racy_bases res)
+
+let suite =
+  [
+    Alcotest.test_case "machine runs the flag program" `Quick test_runs_clean;
+    Alcotest.test_case "instrumentation finds the spin loop" `Quick
+      test_spin_loop_found;
+    Alcotest.test_case "lib mode false-positives on data" `Quick
+      test_lib_mode_false_positive;
+    Alcotest.test_case "lib+spin(7) removes the warning" `Quick
+      test_spin_mode_clean;
+    Alcotest.test_case "nolib+spin(7) removes the warning" `Quick
+      test_nolib_mode_clean;
+  ]

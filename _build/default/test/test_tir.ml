@@ -1,0 +1,297 @@
+(* TIR: validation, pretty-printing and the lowering pass. *)
+
+open Arde.Builder
+
+let ok_program =
+  program
+    ~globals:[ global "x" (); global "a" ~size:4 () ]
+    ~entry:"main"
+    [
+      func "main"
+        [
+          blk "entry" [ mov "v" (imm 1); store (g "x") (r "v") ] (goto "next");
+          blk "next" [ load "w" (gi "a" (imm 2)) ] exit_t;
+        ];
+    ]
+
+let expect_invalid what p =
+  match Arde.Validate.check p with
+  | Ok () -> Alcotest.failf "%s: expected a validation error" what
+  | Error _ -> ()
+
+let test_valid_program () =
+  match Arde.Validate.check ok_program with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "; " (List.map Arde.Validate.error_to_string es))
+
+let test_unknown_label () =
+  expect_invalid "unknown label"
+    (program ~entry:"main"
+       [ func "main" [ blk "entry" [] (goto "nowhere") ] ])
+
+let test_unknown_global () =
+  expect_invalid "unknown global"
+    (program ~entry:"main"
+       [ func "main" [ blk "entry" [ load "v" (g "ghost") ] exit_t ] ])
+
+let test_unknown_function () =
+  expect_invalid "unknown function"
+    (program ~entry:"main"
+       [ func "main" [ blk "entry" [ call "missing" [] ] exit_t ] ])
+
+let test_arity_mismatch () =
+  expect_invalid "arity mismatch"
+    (program ~entry:"main"
+       [
+         func "main" [ blk "entry" [ call "f" [ imm 1 ] ] exit_t ];
+         func "f" ~params:[ "a"; "b" ] [ blk "entry" [] ret0 ];
+       ])
+
+let test_unassigned_register () =
+  expect_invalid "unassigned register"
+    (program
+       ~globals:[ global "x" () ]
+       ~entry:"main"
+       [ func "main" [ blk "entry" [ store (g "x") (r "never") ] exit_t ] ])
+
+let test_missing_entry () =
+  expect_invalid "missing entry"
+    (program ~entry:"nope" [ func "main" [ blk "entry" [] exit_t ] ])
+
+let test_entry_with_params () =
+  expect_invalid "entry with params"
+    (program ~entry:"main" [ func "main" ~params:[ "x" ] [ blk "e" [] exit_t ] ])
+
+let test_duplicate_label () =
+  expect_invalid "duplicate label"
+    (program ~entry:"main"
+       [ func "main" [ blk "e" [] (goto "e"); blk "e" [] exit_t ] ])
+
+let test_duplicate_function () =
+  expect_invalid "duplicate function"
+    (program ~entry:"main"
+       [ func "main" [ blk "e" [] exit_t ]; func "main" [ blk "e" [] exit_t ] ])
+
+let test_bad_func_table () =
+  expect_invalid "func table entry missing"
+    (program ~entry:"main" ~func_table:[ "ghost" ]
+       [ func "main" [ blk "e" [] exit_t ] ])
+
+let test_pretty_contains_instrs () =
+  let s = Arde.Pretty.program_to_string ok_program in
+  let has affix =
+    let n = String.length s and m = String.length affix in
+    let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "store printed" true (has "store @x");
+  Alcotest.(check bool) "load printed" true (has "%w <- load @a[2]");
+  Alcotest.(check bool) "entry printed" true (has "entry = main")
+
+(* ---- lowering ---- *)
+
+let sync_program =
+  program
+    ~globals:
+      [
+        global "m" (); global "cv" (); global "bar" (); global "s" ();
+        global "x" ();
+      ]
+    ~entry:"main"
+    [
+      func "main"
+        [
+          blk "entry"
+            [
+              barrier_init (g "bar") (imm 1);
+              sem_init (g "s") (imm 1);
+              spawn "t" "w" [];
+              lock (g "m");
+              signal (g "cv");
+              unlock (g "m");
+              barrier_wait (g "bar");
+              sem_wait (g "s");
+              sem_post (g "s");
+              join (r "t");
+            ]
+            exit_t;
+        ];
+      func "w" [ blk "entry" [ store (g "x") (imm 1) ] exit_t ];
+    ]
+
+let has_native_sync p =
+  List.exists
+    (fun f ->
+      List.exists
+        (fun b ->
+          List.exists
+            (function
+              | Arde.Types.Lock _ | Arde.Types.Unlock _ | Arde.Types.Cond_wait _
+              | Arde.Types.Cond_signal _ | Arde.Types.Cond_broadcast _
+              | Arde.Types.Barrier_init _ | Arde.Types.Barrier_wait _
+              | Arde.Types.Sem_init _ | Arde.Types.Sem_post _
+              | Arde.Types.Sem_wait _ | Arde.Types.Join _ ->
+                  true
+              | _ -> false)
+            b.Arde.Types.ins)
+        f.Arde.Types.blocks)
+    p.Arde.Types.funcs
+
+let test_lower_removes_native_ops () =
+  let low = Arde.Lower.lower sync_program in
+  Alcotest.(check bool) "no native sync left" false (has_native_sync low);
+  Arde.Validate.check_exn low
+
+let test_lower_futex_keeps_locks_native () =
+  let low = Arde.Lower.lower ~style:Arde.Lower.Futex sync_program in
+  Arde.Validate.check_exn low;
+  let lock_count =
+    List.fold_left
+      (fun acc f ->
+        List.fold_left
+          (fun acc b ->
+            List.fold_left
+              (fun acc i ->
+                match i with Arde.Types.Lock _ -> acc + 1 | _ -> acc)
+              acc b.Arde.Types.ins)
+          acc f.Arde.Types.blocks)
+      0 low.Arde.Types.funcs
+  in
+  Alcotest.(check bool) "native locks remain under futex" true (lock_count > 0)
+
+let test_lower_compact_validates () =
+  Arde.Validate.check_exn (Arde.Lower.lower ~style:Arde.Lower.Compact sync_program)
+
+let test_lower_idempotent_on_lowered () =
+  let once = Arde.Lower.lower sync_program in
+  let twice = Arde.Lower.lower once in
+  Alcotest.(check int) "same function count"
+    (List.length once.Arde.Types.funcs)
+    (List.length twice.Arde.Types.funcs)
+
+let test_lower_helper_naming () =
+  Alcotest.(check bool) "helper prefix recognized" true
+    (Arde.Lower.is_lowered_helper "__lock:m");
+  Alcotest.(check bool) "user names not helpers" false
+    (Arde.Lower.is_lowered_helper "main")
+
+let run_both p seed =
+  let run prog =
+    let cfg = { Arde.Machine.default_config with Arde.Machine.seed } in
+    Arde.Machine.run_program cfg prog
+  in
+  (run p, run (Arde.Lower.lower p))
+
+let test_lower_preserves_semantics () =
+  (* A deterministic data-race-free program must compute the same final
+     memory natively and lowered, for several seeds. *)
+  List.iter
+    (fun seed ->
+      let native, lowered = run_both sync_program seed in
+      Alcotest.(check bool) "native finished" true
+        (native.Arde.Machine.outcome = Arde.Machine.Finished);
+      Alcotest.(check bool) "lowered finished" true
+        (lowered.Arde.Machine.outcome = Arde.Machine.Finished);
+      Alcotest.(check int) "same x"
+        (Arde.Machine.read_global native "x" 0)
+        (Arde.Machine.read_global lowered "x" 0))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* A program with an actual cond_wait (lost-signal-safe gate), so the
+   lowering generates the wait helper. *)
+let wait_program =
+  program
+    ~globals:[ global "m" (); global "cv" (); global "ready" () ]
+    ~entry:"main"
+    [
+      func "main"
+        [
+          blk "entry"
+            [
+              spawn "t" "w" [];
+              lock (g "m");
+              store (g "ready") (imm 1);
+              unlock (g "m");
+              signal (g "cv");
+              join (r "t");
+            ]
+            exit_t;
+        ];
+      func "w"
+        [
+          blk "entry" [ lock (g "m") ] (goto "test");
+          blk "test" [ load "rd" (g "ready") ] (br (r "rd") "go" "sleep");
+          blk "sleep" [ wait (g "cv") (g "m") ] (goto "test");
+          blk "go" [ unlock (g "m") ] exit_t;
+        ];
+    ]
+
+let test_lowered_loops_found () =
+  let low = Arde.Lower.lower sync_program in
+  let inst = Arde.analyze_spins ~k:7 low in
+  let bases =
+    List.concat_map
+      (fun s -> s.Arde.Instrument.s_cand.Arde.Spin.c_bases)
+      (Arde.Instrument.spins inst)
+  in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) (b ^ " is a recovered sync base") true
+        (List.mem b bases))
+    [ "m"; "bar__gen"; "s"; "__thread_done" ];
+  let low_wait = Arde.Lower.lower wait_program in
+  let inst = Arde.analyze_spins ~k:7 low_wait in
+  let bases =
+    List.concat_map
+      (fun s -> s.Arde.Instrument.s_cand.Arde.Spin.c_bases)
+      (Arde.Instrument.spins inst)
+  in
+  Alcotest.(check bool) "cv seq counter recovered" true (List.mem "cv" bases)
+
+let test_futex_loops_too_large () =
+  let low = Arde.Lower.lower ~style:Arde.Lower.Futex wait_program in
+  let inst = Arde.analyze_spins ~k:7 low in
+  let bases =
+    List.concat_map
+      (fun s -> s.Arde.Instrument.s_cand.Arde.Spin.c_bases)
+      (Arde.Instrument.spins inst)
+  in
+  Alcotest.(check bool) "cv loop not recovered under futex" false
+    (List.mem "cv" bases);
+  Alcotest.(check bool) "join still recovered" true
+    (List.mem "__thread_done" bases)
+
+let suite =
+  [
+    Alcotest.test_case "validate accepts a good program" `Quick test_valid_program;
+    Alcotest.test_case "validate: unknown label" `Quick test_unknown_label;
+    Alcotest.test_case "validate: unknown global" `Quick test_unknown_global;
+    Alcotest.test_case "validate: unknown function" `Quick test_unknown_function;
+    Alcotest.test_case "validate: arity mismatch" `Quick test_arity_mismatch;
+    Alcotest.test_case "validate: unassigned register" `Quick
+      test_unassigned_register;
+    Alcotest.test_case "validate: missing entry" `Quick test_missing_entry;
+    Alcotest.test_case "validate: entry with params" `Quick test_entry_with_params;
+    Alcotest.test_case "validate: duplicate label" `Quick test_duplicate_label;
+    Alcotest.test_case "validate: duplicate function" `Quick
+      test_duplicate_function;
+    Alcotest.test_case "validate: bad func table" `Quick test_bad_func_table;
+    Alcotest.test_case "pretty shows the code" `Quick test_pretty_contains_instrs;
+    Alcotest.test_case "lower removes native sync" `Quick
+      test_lower_removes_native_ops;
+    Alcotest.test_case "lower(futex) keeps locks native" `Quick
+      test_lower_futex_keeps_locks_native;
+    Alcotest.test_case "lower(compact) validates" `Quick
+      test_lower_compact_validates;
+    Alcotest.test_case "lower is idempotent on lowered code" `Quick
+      test_lower_idempotent_on_lowered;
+    Alcotest.test_case "helper naming convention" `Quick test_lower_helper_naming;
+    Alcotest.test_case "lower preserves race-free semantics" `Slow
+      test_lower_preserves_semantics;
+    Alcotest.test_case "lowered primitives become spin loops" `Quick
+      test_lowered_loops_found;
+    Alcotest.test_case "futex loops exceed the window" `Quick
+      test_futex_loops_too_large;
+  ]

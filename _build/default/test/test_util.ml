@@ -1,0 +1,149 @@
+(* Unit tests for the util library: PRNG determinism and table layout. *)
+
+module Prng = Arde_util.Prng
+module Table = Arde_util.Table
+
+let contains s affix =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  go 0
+
+let test_same_seed_same_stream () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_different_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 4)
+
+let test_int_bounds () =
+  let t = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_rejects_bad_bound () =
+  let t = Prng.create 1 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int t 0))
+
+let test_int_covers_range () =
+  let t = Prng.create 3 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 400 do
+    seen.(Prng.int t 8) <- true
+  done;
+  Alcotest.(check bool) "all 8 values appear" true (Array.for_all Fun.id seen)
+
+let test_copy_is_independent () =
+  let a = Prng.create 5 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let test_split_diverges () =
+  let a = Prng.create 9 in
+  let b = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "split stream is distinct" true (!same < 4)
+
+let test_shuffle_permutes () =
+  let t = Prng.create 11 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 Fun.id) sorted
+
+let test_bool_is_fair_enough () =
+  let t = Prng.create 13 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Prng.bool t then incr trues
+  done;
+  Alcotest.(check bool) "roughly fair" true (!trues > 400 && !trues < 600)
+
+let test_float_bounds () =
+  let t = Prng.create 17 in
+  for _ = 1 to 100 do
+    let f = Prng.float t 2.5 in
+    if f < 0. || f >= 2.5 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_pick () =
+  let t = Prng.create 19 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 20 do
+    let x = Prng.pick t arr in
+    Alcotest.(check bool) "member" true (Array.mem x arr)
+  done
+
+(* ---- tables ---- *)
+
+let test_table_render () =
+  let t = Table.create [ "name"; "n" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (contains s "name");
+  Alcotest.(check bool) "right-aligns numbers" true
+    (contains s "|  1 |")
+
+let test_table_pads_short_rows () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_table_rejects_long_rows () =
+  let t = Table.create [ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let test_cell_float () =
+  Alcotest.(check string) "integral" "153" (Table.cell_float 153.0);
+  Alcotest.(check string) "fractional" "153.4" (Table.cell_float 153.4)
+
+let test_table_separator () =
+  let t = Table.create [ "a" ] in
+  Table.add_row t [ "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "2" ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "7 lines with separator" 7
+    (List.length (List.filter (fun l -> l <> "") lines))
+
+let suite =
+  [
+    Alcotest.test_case "prng: same seed, same stream" `Quick test_same_seed_same_stream;
+    Alcotest.test_case "prng: different seeds differ" `Quick test_different_seeds_differ;
+    Alcotest.test_case "prng: int stays in bounds" `Quick test_int_bounds;
+    Alcotest.test_case "prng: int rejects bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "prng: int covers its range" `Quick test_int_covers_range;
+    Alcotest.test_case "prng: copy is independent" `Quick test_copy_is_independent;
+    Alcotest.test_case "prng: split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "prng: shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "prng: bool is fair" `Quick test_bool_is_fair_enough;
+    Alcotest.test_case "prng: float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "prng: pick members" `Quick test_pick;
+    Alcotest.test_case "table: renders and aligns" `Quick test_table_render;
+    Alcotest.test_case "table: pads short rows" `Quick test_table_pads_short_rows;
+    Alcotest.test_case "table: rejects long rows" `Quick test_table_rejects_long_rows;
+    Alcotest.test_case "table: float cells" `Quick test_cell_float;
+    Alcotest.test_case "table: separators" `Quick test_table_separator;
+  ]

@@ -1,0 +1,72 @@
+(* Vector clocks: unit tests plus qcheck lattice laws. *)
+
+module Vc = Arde_vclock.Vector_clock
+
+let vc = Alcotest.testable Vc.pp Vc.equal
+
+let test_bottom () =
+  Alcotest.(check bool) "bottom is bottom" true (Vc.is_bottom Vc.bottom);
+  Alcotest.(check int) "bottom components are 0" 0 (Vc.get Vc.bottom 5)
+
+let test_inc_get () =
+  let c = Vc.inc (Vc.inc Vc.bottom 2) 2 in
+  Alcotest.(check int) "incremented twice" 2 (Vc.get c 2);
+  Alcotest.(check int) "others still 0" 0 (Vc.get c 0)
+
+let test_set_trims () =
+  let c = Vc.set (Vc.set Vc.bottom 4 7) 4 0 in
+  Alcotest.(check bool) "trailing zeros trimmed to bottom" true (Vc.is_bottom c)
+
+let test_join () =
+  let a = Vc.of_list [ 1; 5; 0; 2 ] and b = Vc.of_list [ 3; 1; 4 ] in
+  Alcotest.check vc "pointwise max" (Vc.of_list [ 3; 5; 4; 2 ]) (Vc.join a b)
+
+let test_leq () =
+  let a = Vc.of_list [ 1; 2 ] and b = Vc.of_list [ 1; 3; 1 ] in
+  Alcotest.(check bool) "a <= b" true (Vc.leq a b);
+  Alcotest.(check bool) "not b <= a" false (Vc.leq b a)
+
+let test_size_words () =
+  Alcotest.(check bool) "longer clocks cost more" true
+    (Vc.size_words (Vc.of_list [ 1; 1; 1; 1 ]) > Vc.size_words Vc.bottom)
+
+(* qcheck generators and laws *)
+
+let gen_vc =
+  QCheck2.Gen.(map Vc.of_list (list_size (int_bound 8) (int_bound 20)))
+
+let law name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
+
+let props =
+  [
+    law "join is commutative" (QCheck2.Gen.pair gen_vc gen_vc) (fun (a, b) ->
+        Vc.equal (Vc.join a b) (Vc.join b a));
+    law "join is associative"
+      (QCheck2.Gen.triple gen_vc gen_vc gen_vc)
+      (fun (a, b, c) ->
+        Vc.equal (Vc.join a (Vc.join b c)) (Vc.join (Vc.join a b) c));
+    law "join is idempotent" gen_vc (fun a -> Vc.equal (Vc.join a a) a);
+    law "bottom is the unit" gen_vc (fun a -> Vc.equal (Vc.join a Vc.bottom) a);
+    law "operands precede their join" (QCheck2.Gen.pair gen_vc gen_vc)
+      (fun (a, b) -> Vc.leq a (Vc.join a b) && Vc.leq b (Vc.join a b));
+    law "leq is reflexive" gen_vc (fun a -> Vc.leq a a);
+    law "leq is antisymmetric" (QCheck2.Gen.pair gen_vc gen_vc) (fun (a, b) ->
+        (not (Vc.leq a b && Vc.leq b a)) || Vc.equal a b);
+    law "inc strictly increases" (QCheck2.Gen.pair gen_vc (QCheck2.Gen.int_bound 7))
+      (fun (a, t) ->
+        let b = Vc.inc a t in
+        Vc.leq a b && not (Vc.leq b a));
+    law "to_list round-trips" gen_vc (fun a ->
+        Vc.equal a (Vc.of_list (Vc.to_list a)));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "bottom" `Quick test_bottom;
+    Alcotest.test_case "inc/get" `Quick test_inc_get;
+    Alcotest.test_case "set trims" `Quick test_set_trims;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "leq" `Quick test_leq;
+    Alcotest.test_case "size accounting" `Quick test_size_words;
+  ]
+  @ props

@@ -1,0 +1,97 @@
+(* The unit suite's own sanity: 120 cases, all valid TIR, all executable
+   to completion (no deadlock/fault/fuel except where a case is a known
+   lost-signal bug), and runtime self-checks green on race-free cases. *)
+
+module W = Arde_workloads
+
+let cases = W.Racey.all ()
+
+(* Cases that may legitimately deadlock (lost-signal bugs by design). *)
+let may_deadlock name =
+  List.exists
+    (fun p -> String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+    [ "racy_cv_unlocked_pred" ]
+
+let test_count () = Alcotest.(check int) "exactly 120 cases" 120 (List.length cases)
+
+let test_unique_names () =
+  let names = List.map (fun c -> c.W.Racey.name) cases in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_all_validate () =
+  List.iter
+    (fun c ->
+      match Arde.Validate.check c.W.Racey.program with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "%s: %s" c.W.Racey.name
+            (String.concat "; " (List.map Arde.Validate.error_to_string es)))
+    cases
+
+let test_all_lowered_validate () =
+  List.iter
+    (fun c ->
+      let lowered = Arde.Lower.lower c.W.Racey.program in
+      match Arde.Validate.check lowered with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "%s (lowered): %s" c.W.Racey.name
+            (String.concat "; " (List.map Arde.Validate.error_to_string es)))
+    cases
+
+let run_case ?(lowered = false) c seed =
+  let program =
+    if lowered then Arde.Lower.lower c.W.Racey.program else c.W.Racey.program
+  in
+  let cfg = { Arde.Machine.default_config with seed } in
+  Arde.Machine.run_program cfg program
+
+let test_all_run () =
+  List.iter
+    (fun c ->
+      let res = run_case c 3 in
+      match res.Arde.Machine.outcome with
+      | Arde.Machine.Finished ->
+          if c.W.Racey.category <> "racy" then
+            List.iter
+              (fun (loc, msg) ->
+                Alcotest.failf "%s: check failed at %s: %s" c.W.Racey.name
+                  (Arde.Pretty.loc_to_string loc) msg)
+              res.Arde.Machine.check_failures
+      | Arde.Machine.Deadlock _ when may_deadlock c.W.Racey.name -> ()
+      | o ->
+          Alcotest.failf "%s: %s" c.W.Racey.name
+            (Format.asprintf "%a" Arde.Machine.pp_outcome o))
+    cases
+
+let test_all_run_lowered () =
+  List.iter
+    (fun c ->
+      let res = run_case ~lowered:true c 4 in
+      match res.Arde.Machine.outcome with
+      | Arde.Machine.Finished -> ()
+      | Arde.Machine.Deadlock _ when may_deadlock c.W.Racey.name -> ()
+      | o ->
+          Alcotest.failf "%s (lowered): %s" c.W.Racey.name
+            (Format.asprintf "%a" Arde.Machine.pp_outcome o))
+    cases
+
+let test_categories () =
+  let cats = W.Racey.categories cases in
+  Alcotest.(check (list (pair string int)))
+    "category histogram"
+    [ ("adhoc", 38); ("lib", 44); ("racy", 38) ]
+    cats
+
+let suite =
+  [
+    Alcotest.test_case "120 cases" `Quick test_count;
+    Alcotest.test_case "unique names" `Quick test_unique_names;
+    Alcotest.test_case "category histogram" `Quick test_categories;
+    Alcotest.test_case "all cases validate" `Quick test_all_validate;
+    Alcotest.test_case "all cases validate after lowering" `Quick
+      test_all_lowered_validate;
+    Alcotest.test_case "all cases run to completion" `Slow test_all_run;
+    Alcotest.test_case "all cases run lowered" `Slow test_all_run_lowered;
+  ]
