@@ -65,6 +65,34 @@ let mode_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Arde.Config.parse_mode s) in
   Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Arde.Config.mode_name m))
 
+(* Scheduler policies: "rr:N", "uniform", "chunked:N". *)
+let policy_conv =
+  let parse s =
+    let int_suffix prefix =
+      let plen = String.length prefix in
+      if String.length s > plen && String.sub s 0 plen = prefix then
+        int_of_string_opt (String.sub s plen (String.length s - plen))
+      else None
+    in
+    match s with
+    | "uniform" -> Ok Arde.Sched.Uniform
+    | _ -> (
+        match (int_suffix "rr:", int_suffix "chunked:") with
+        | Some q, _ when q > 0 -> Ok (Arde.Sched.Round_robin q)
+        | _, Some n when n > 0 -> Ok (Arde.Sched.Chunked n)
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown policy %S (use rr:N, uniform or chunked:N)" s)))
+  in
+  let print ppf = function
+    | Arde.Sched.Round_robin q -> Format.fprintf ppf "rr:%d" q
+    | Arde.Sched.Uniform -> Format.pp_print_string ppf "uniform"
+    | Arde.Sched.Chunked n -> Format.fprintf ppf "chunked:%d" n
+  in
+  Arg.conv (parse, print)
+
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
 
@@ -93,6 +121,42 @@ let k_arg =
   Arg.(
     value & opt int 7
     & info [ "k" ] ~docv:"K" ~doc:"Spin window in basic blocks.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"STEPS"
+        ~doc:
+          "Maximum machine steps per seed before the run is declared \
+           exhausted (fuel-starvation scenarios).")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some policy_conv) None
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Scheduler policy: rr:N, uniform or chunked:N.")
+
+let override_options base seeds fuel policy =
+  let base =
+    { base with Arde.Driver.seeds = List.init seeds (fun i -> i + 1) }
+  in
+  let base =
+    match fuel with None -> base | Some f -> { base with Arde.Driver.fuel = f }
+  in
+  match policy with
+  | None -> base
+  | Some p -> { base with Arde.Driver.policy = p }
+
+(* Exit codes shared by run/suite/chaos: 0 clean, 1 races reported,
+   2 degraded (some seed deadlocked / livelocked / starved / crashed),
+   3 failed (nothing ran). *)
+let exit_code ~races (health : Arde.Driver.health) =
+  match health.Arde.Driver.h_verdict with
+  | Arde.Driver.Failed -> 3
+  | Arde.Driver.Degraded -> 2
+  | Arde.Driver.Healthy -> if races then 1 else 0
 
 (* ---- list ---- *)
 
@@ -153,17 +217,14 @@ let spin_report_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run name mode seeds =
+  let run name mode seeds fuel policy =
     match find_program name with
     | Error e ->
         prerr_endline e;
         exit 1
-    | Ok (p, case) -> (
+    | Ok (p, case) ->
         let options =
-          {
-            Arde.Driver.default_options with
-            Arde.Driver.seeds = List.init seeds (fun i -> i + 1);
-          }
+          override_options Arde.Driver.default_options seeds fuel policy
         in
         let result = Arde.detect ~options mode p in
         Printf.printf "mode: %s   spin loops found: %d\n"
@@ -172,7 +233,7 @@ let run_cmd =
         List.iter
           (fun sr ->
             Format.printf "seed %d: %a, %d steps, %d contexts, %d spin edges@."
-              sr.Arde.Driver.sr_seed Arde.Machine.pp_outcome
+              sr.Arde.Driver.sr_seed Arde.Driver.pp_seed_outcome
               sr.Arde.Driver.sr_outcome sr.Arde.Driver.sr_steps
               sr.Arde.Driver.sr_contexts sr.Arde.Driver.sr_spin_edges)
           result.Arde.Driver.runs;
@@ -189,7 +250,7 @@ let run_cmd =
                   Arde.Cv_checker.pp_diagnostic d)
               sr.Arde.Driver.sr_cv_diagnostics)
           result.Arde.Driver.runs;
-        match case with
+        (match case with
         | None -> ()
         | Some c ->
             let verdict =
@@ -201,11 +262,20 @@ let run_cmd =
               | Arde.Classify.Correct -> "correctly analyzed"
               | Arde.Classify.False_alarm -> "FALSE ALARM"
               | Arde.Classify.Missed_race -> "MISSED RACE")
-              Arde.Classify.pp_verdict verdict)
+              Arde.Classify.pp_verdict verdict);
+        let health = result.Arde.Driver.health in
+        Format.printf "health: %a@." Arde.Driver.pp_health health;
+        exit
+          (exit_code
+             ~races:(Arde.Report.n_contexts result.Arde.Driver.merged > 0)
+             health)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run a workload under a detector configuration.")
-    Term.(const run $ name_arg $ mode_arg $ seeds_arg)
+    (Cmd.info "run"
+       ~doc:
+         "Run a workload under a detector configuration.  Exit codes: 0 \
+          clean, 1 races reported, 2 degraded run, 3 failed run.")
+    Term.(const run $ name_arg $ mode_arg $ seeds_arg $ fuel_arg $ policy_arg)
 
 (* ---- trace ---- *)
 
@@ -323,8 +393,23 @@ let suite_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "failures" ] ~doc:"List per-case failures.")
   in
-  let run verbose =
-    let rows, rendered = Arde_harness.Suite_experiment.table1 () in
+  let suite_seeds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "s"; "seeds" ] ~docv:"N"
+          ~doc:"Number of scheduler seeds per case (default 3).")
+  in
+  let run verbose seeds fuel policy =
+    let base = Arde_harness.Suite_experiment.suite_options in
+    let options =
+      override_options base
+        (match seeds with
+        | Some n -> n
+        | None -> List.length base.Arde.Driver.seeds)
+        fuel policy
+    in
+    let rows, rendered = Arde_harness.Suite_experiment.table1 ~options () in
     print_string rendered;
     if verbose then
       List.iter
@@ -334,7 +419,47 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Reproduce Table 1 over the 120-case unit suite.")
-    Term.(const run $ verbose_arg)
+    Term.(const run $ verbose_arg $ suite_seeds_arg $ fuel_arg $ policy_arg)
+
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let runs_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of perturbed executions.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed the perturbation stream derives from.")
+  in
+  let run name mode seeds fuel policy runs chaos_seed =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok (p, _) ->
+        let options =
+          override_options Arde.Driver.default_options seeds fuel policy
+        in
+        let report =
+          Arde.Chaos.storm ~options ~runs ~seed:chaos_seed mode p
+        in
+        Format.printf "%a@." Arde.Chaos.pp_report report;
+        exit (if report.Arde.Chaos.ch_escaped = [] then 0 else 3)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep deterministic fault injections (adversarial schedulers, \
+          spurious wakeups, injected faults and crashes, fuel starvation) \
+          through the detection pipeline and verify that no exception ever \
+          escapes the per-seed sandbox.  Exit code 3 if one does.")
+    Term.(
+      const run $ name_arg $ mode_arg $ seeds_arg $ fuel_arg $ policy_arg
+      $ runs_arg $ chaos_seed_arg)
 
 (* ---- parsec ---- *)
 
@@ -364,5 +489,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; show_cmd; spin_report_cmd; run_cmd; trace_cmd; fmt_cmd;
-            compare_cmd; suite_cmd; parsec_cmd;
+            compare_cmd; suite_cmd; parsec_cmd; chaos_cmd;
           ]))

@@ -1,0 +1,134 @@
+(* Deterministic perturbation of detector runs.  Everything here flows
+   from a single PRNG seed so a failing chaos case replays exactly. *)
+
+module Machine = Arde_runtime.Machine
+module Sched = Arde_runtime.Sched
+module Driver = Arde_detect.Driver
+module Config = Arde_detect.Config
+module Prng = Arde_util.Prng
+
+type perturbation =
+  | Adversarial_policy of Sched.policy
+  | Spurious_wakeups
+  | Fault_at of int
+  | Crash_at of int
+  | Starve_fuel of int
+  | Shift_seeds of int
+
+exception Chaos_crash of string
+
+let pp_perturbation ppf = function
+  | Adversarial_policy (Sched.Round_robin q) ->
+      Format.fprintf ppf "policy rr:%d" q
+  | Adversarial_policy Sched.Uniform -> Format.pp_print_string ppf "policy uniform"
+  | Adversarial_policy (Sched.Chunked n) -> Format.fprintf ppf "policy chunked:%d" n
+  | Spurious_wakeups -> Format.pp_print_string ppf "spurious wakeups"
+  | Fault_at n -> Format.fprintf ppf "machine fault at event %d" n
+  | Crash_at n -> Format.fprintf ppf "internal crash at event %d" n
+  | Starve_fuel f -> Format.fprintf ppf "fuel starved to %d" f
+  | Shift_seeds k -> Format.fprintf ppf "seeds shifted by %d" k
+
+let chaos_loc n =
+  { Arde_tir.Types.lfunc = "<chaos>"; lblk = "inject"; lidx = n }
+
+(* Per-seed observer that blows up at the [n]th event it sees. *)
+let at_event n blow =
+  fun ~seed:_ ->
+    let count = ref 0 in
+    fun _ev ->
+      incr count;
+      if !count = n then blow ()
+
+let apply (options : Driver.options) = function
+  | Adversarial_policy policy -> { options with Driver.policy }
+  | Spurious_wakeups -> { options with Driver.spurious_wakeups = true }
+  | Starve_fuel fuel -> { options with Driver.fuel }
+  | Shift_seeds k ->
+      { options with Driver.seeds = List.map (( + ) k) options.Driver.seeds }
+  | Fault_at n ->
+      {
+        options with
+        Driver.inject =
+          Some
+            (at_event n (fun () ->
+                 raise (Machine.Fault_exn (chaos_loc n, "chaos: injected fault"))));
+      }
+  | Crash_at n ->
+      {
+        options with
+        Driver.inject =
+          Some
+            (at_event n (fun () ->
+                 raise (Chaos_crash "chaos: injected internal crash")));
+      }
+
+let benign = function
+  | Adversarial_policy _ | Shift_seeds _ -> true
+  | Spurious_wakeups | Fault_at _ | Crash_at _ | Starve_fuel _ -> false
+
+let policies =
+  [|
+    Sched.Round_robin 1;
+    Sched.Round_robin 13;
+    Sched.Uniform;
+    Sched.Chunked 1;
+    Sched.Chunked 64;
+  |]
+
+let gen rng =
+  match Prng.int rng 6 with
+  | 0 -> Adversarial_policy (Prng.pick rng policies)
+  | 1 -> Spurious_wakeups
+  | 2 -> Fault_at (1 + Prng.int rng 500)
+  | 3 -> Crash_at (1 + Prng.int rng 500)
+  | 4 -> Starve_fuel (Prng.int rng 3_000)
+  | _ -> Shift_seeds (1 + Prng.int rng 1_000)
+
+type report = {
+  ch_runs : int;
+  ch_healthy : int;
+  ch_degraded : int;
+  ch_failed : int;
+  ch_escaped : (perturbation * string) list;
+}
+
+let run_one ?(options = Driver.default_options) mode program p =
+  match Driver.run ~options:(apply options p) mode program with
+  | result -> Ok result
+  | exception e -> Error (Printexc.to_string e)
+
+let storm ?(options = Driver.default_options) ?(runs = 50) ~seed mode program =
+  let rng = Prng.create seed in
+  let healthy = ref 0
+  and degraded = ref 0
+  and failed = ref 0
+  and escaped = ref [] in
+  for _ = 1 to runs do
+    let p = gen rng in
+    match run_one ~options mode program p with
+    | Ok r -> (
+        match r.Driver.health.Driver.h_verdict with
+        | Driver.Healthy -> incr healthy
+        | Driver.Degraded -> incr degraded
+        | Driver.Failed -> incr failed)
+    | Error msg -> escaped := (p, msg) :: !escaped
+  done;
+  {
+    ch_runs = runs;
+    ch_healthy = !healthy;
+    ch_degraded = !degraded;
+    ch_failed = !failed;
+    ch_escaped = List.rev !escaped;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d perturbed runs: %d healthy, %d degraded, %d failed, %d escaped \
+     exception%s"
+    r.ch_runs r.ch_healthy r.ch_degraded r.ch_failed
+    (List.length r.ch_escaped)
+    (if List.length r.ch_escaped = 1 then "" else "s");
+  List.iter
+    (fun (p, msg) ->
+      Format.fprintf ppf "@\n  ESCAPED under %a: %s" pp_perturbation p msg)
+    r.ch_escaped

@@ -1,0 +1,78 @@
+(** Deterministic fault injection for the detection pipeline.
+
+    The paper's detector has to survive programs it was never taught
+    about; this module makes sure the {e pipeline} survives runs it was
+    never taught about.  A {!perturbation} is a single deterministic
+    distortion of a detector run — an adversarial scheduler, forced
+    spurious wakeups, a machine fault or internal crash injected at the
+    Nth observed event, fuel starvation, a shifted seed set.  {!storm}
+    sweeps many perturbations (all derived from one PRNG seed, so every
+    storm is replayable) through [Driver.run] and reports whether any
+    exception ever escaped the sandbox — the property the robustness
+    suite pins down: the pipeline never raises and always yields a health
+    record. *)
+
+type perturbation =
+  | Adversarial_policy of Arde_runtime.Sched.policy
+      (** Replace the scheduling policy wholesale. *)
+  | Spurious_wakeups  (** Force the machine's spurious-wakeup injection. *)
+  | Fault_at of int
+      (** Raise [Machine.Fault_exn] from the observer at the Nth event of
+          each seed: the machine converts mid-step faults into a [Fault]
+          outcome. *)
+  | Crash_at of int
+      (** Raise {!Chaos_crash} at the Nth event: an exception the machine
+          does not understand, which must be caught by the driver's
+          per-seed sandbox and surface as [Crashed]. *)
+  | Starve_fuel of int  (** Run with this (tiny) fuel budget. *)
+  | Shift_seeds of int  (** Add a constant to every scheduler seed. *)
+
+exception Chaos_crash of string
+(** The injected "detector bug" used by [Crash_at]. *)
+
+val pp_perturbation : Format.formatter -> perturbation -> unit
+
+val apply :
+  Arde_detect.Driver.options -> perturbation -> Arde_detect.Driver.options
+(** Distort a set of driver options with one perturbation. *)
+
+val benign : perturbation -> bool
+(** Can the perturbation, by construction, make a seed unhealthy?
+    Schedule-shaped perturbations (policy, seed shift) are benign: every
+    seed still runs to completion, so a detector whose verdicts are
+    schedule-robust must not flip them. *)
+
+val gen : Arde_util.Prng.t -> perturbation
+(** Draw a perturbation deterministically from the generator. *)
+
+type report = {
+  ch_runs : int;
+  ch_healthy : int;
+  ch_degraded : int;
+  ch_failed : int;
+  ch_escaped : (perturbation * string) list;
+      (** Exceptions that escaped [Driver.run] — always a bug; the
+          sandbox exists so this list stays empty. *)
+}
+
+val run_one :
+  ?options:Arde_detect.Driver.options ->
+  Arde_detect.Config.mode ->
+  Arde_tir.Types.program ->
+  perturbation ->
+  (Arde_detect.Driver.result, string) Result.t
+(** One perturbed detector run; [Error] carries the message of an
+    exception that escaped the pipeline (which should never happen). *)
+
+val storm :
+  ?options:Arde_detect.Driver.options ->
+  ?runs:int ->
+  seed:int ->
+  Arde_detect.Config.mode ->
+  Arde_tir.Types.program ->
+  report
+(** [storm ~seed mode program] executes [runs] (default 50) perturbed
+    detector runs, perturbations drawn from [Prng.create seed], and
+    tallies the resulting health verdicts. *)
+
+val pp_report : Format.formatter -> report -> unit

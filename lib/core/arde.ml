@@ -48,6 +48,9 @@ module Engine = Arde_detect.Engine
 module Cv_checker = Arde_detect.Cv_checker
 module Driver = Arde_detect.Driver
 
+(* Robustness: deterministic fault injection for the pipeline itself. *)
+module Chaos = Arde_chaos.Chaos
+
 (* Result classification for labelled test cases. *)
 module Classify = Classify
 

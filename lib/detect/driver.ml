@@ -11,6 +11,9 @@ type options = {
   lower_style : Arde_tir.Lower.style;
   spurious_wakeups : bool;
   count_callee_blocks : bool; (* spin-window accounting ablation *)
+  inject : (seed:int -> Arde_runtime.Event.t -> unit) option;
+      (* extra per-seed observer, teed in ahead of the engine; may raise
+         (fault/chaos injection) *)
 }
 
 let default_options =
@@ -23,11 +26,16 @@ let default_options =
     lower_style = Arde_tir.Lower.Realistic;
     spurious_wakeups = false;
     count_callee_blocks = true;
+    inject = None;
   }
+
+type seed_outcome =
+  | Completed of Machine.outcome
+  | Crashed of loc option * string
 
 type seed_run = {
   sr_seed : int;
-  sr_outcome : Machine.outcome;
+  sr_outcome : seed_outcome;
   sr_steps : int;
   sr_contexts : int;
   sr_capped : bool;
@@ -37,6 +45,20 @@ type seed_run = {
   sr_cv_diagnostics : Cv_checker.diagnostic list;
 }
 
+type health_verdict = Healthy | Degraded | Failed
+
+type health = {
+  h_seeds : int;
+  h_finished : int;
+  h_deadlocked : int;
+  h_livelocked : int;
+  h_fuel_exhausted : int;
+  h_faulted : int;
+  h_crashed : int;
+  h_verdict : health_verdict;
+  h_notes : string list;
+}
+
 type result = {
   mode : Config.mode;
   merged : Report.t;
@@ -44,9 +66,71 @@ type result = {
   n_spin_loops : int;
   static_cv_hazards : Cv_checker.diagnostic list;
       (* spurious-wakeup-unsafe waits, found statically *)
+  health : health;
 }
 
-let run ?(options = default_options) mode program =
+(* ------------------------------------------------------------------ *)
+(* Run health                                                         *)
+
+let health_of ?(notes = []) runs =
+  let finished = ref 0
+  and deadlocked = ref 0
+  and livelocked = ref 0
+  and fuel = ref 0
+  and faulted = ref 0
+  and crashed = ref 0
+  and notes = ref (List.rev notes) in
+  List.iter
+    (fun sr ->
+      match sr.sr_outcome with
+      | Completed Machine.Finished -> incr finished
+      | Completed (Machine.Deadlock _) -> incr deadlocked
+      | Completed (Machine.Livelock _) -> incr livelocked
+      | Completed Machine.Fuel_exhausted -> incr fuel
+      | Completed (Machine.Fault _) -> incr faulted
+      | Crashed (_, msg) ->
+          incr crashed;
+          notes := Printf.sprintf "seed %d crashed: %s" sr.sr_seed msg :: !notes)
+    runs;
+  let n = List.length runs in
+  let verdict =
+    if n = 0 || !crashed = n then Failed
+    else if !finished = n then Healthy
+    else Degraded
+  in
+  {
+    h_seeds = n;
+    h_finished = !finished;
+    h_deadlocked = !deadlocked;
+    h_livelocked = !livelocked;
+    h_fuel_exhausted = !fuel;
+    h_faulted = !faulted;
+    h_crashed = !crashed;
+    h_verdict = verdict;
+    h_notes = List.rev !notes;
+  }
+
+let failed_result mode msg =
+  {
+    mode;
+    merged = Report.create ~cap:max_int ();
+    runs = [];
+    n_spin_loops = 0;
+    static_cv_hazards = [];
+    health = health_of ~notes:[ "pipeline: " ^ msg ] [];
+  }
+
+let describe_exn = function
+  | Machine.Fault_exn (l, msg) -> (Some l, msg)
+  | Machine.Internal_violation msg -> (None, msg)
+  | Invalid_argument msg | Failure msg -> (None, msg)
+  | e -> (None, Printexc.to_string e)
+
+(* Everything that happens before the per-seed loop: lowering, the
+   instrumentation phase, lock inference, compilation.  A crash here means
+   no seed can run at all — the caller turns it into a [Failed] health
+   record rather than letting the exception escape [Arde.detect]. *)
+let prepare options mode program =
   let program =
     if Config.needs_lowering mode then
       Arde_tir.Lower.lower ~style:options.lower_style program
@@ -80,57 +164,101 @@ let run ?(options = default_options) mode program =
     else []
   in
   let compiled = Machine.compile program in
-  let merged = Report.create ~cap:max_int () in
+  (program, instrument, cv_mutexes, inferred_locks, compiled)
+
+(* Run one seed inside a sandbox: machine faults surface as [Completed
+   (Fault _)] (the machine catches those itself), while escaping
+   exceptions — broken machine invariants, an observer blowing up,
+   injected chaos — become a [Crashed] outcome carrying whatever partial
+   report the engine had accumulated.  One sick seed never takes down the
+   others. *)
+let run_seed options mode ~instrument ~cv_mutexes ~inferred_locks ~merged
+    compiled seed =
   let detector_cfg =
     Config.make ~sensitivity:options.sensitivity ~cap:options.cap mode
   in
-  let runs =
-    List.map
-      (fun seed ->
-        let engine =
-          Engine.create ~cv_mutexes ~inferred_locks detector_cfg ~instrument
-        in
-        let cv_checker = Cv_checker.create () in
-        let mcfg =
-          {
-            Machine.policy = options.policy;
-            seed;
-            fuel = options.fuel;
-            instrument;
-            spurious_wakeups = options.spurious_wakeups;
-            observer =
-              Arde_runtime.Trace.tee (Engine.observer engine)
-                (Cv_checker.observer cv_checker);
-          }
-        in
-        let res = Machine.run mcfg compiled in
-        let rep = Engine.report engine in
-        Report.merge_into merged rep;
-        {
-          sr_seed = seed;
-          sr_outcome = res.Machine.outcome;
-          sr_steps = res.Machine.steps;
-          sr_contexts = Report.n_contexts rep;
-          sr_capped = Report.capped rep;
-          sr_spin_edges = Engine.n_spin_edges engine;
-          sr_memory_words = Engine.memory_words engine;
-          sr_check_failures = res.Machine.check_failures;
-          sr_cv_diagnostics = Cv_checker.finalize cv_checker;
-        })
-      options.seeds
+  let engine =
+    Engine.create ~cv_mutexes ~inferred_locks detector_cfg ~instrument
   in
-  let n_spin_loops =
-    match instrument with
-    | Some inst -> List.length (Arde_cfg.Instrument.spins inst)
-    | None -> 0
+  let cv_checker = Cv_checker.create () in
+  let observer =
+    Arde_runtime.Trace.tee (Engine.observer engine)
+      (Cv_checker.observer cv_checker)
   in
-  {
-    mode;
-    merged;
-    runs;
-    n_spin_loops;
-    static_cv_hazards = Cv_checker.static_check program;
-  }
+  let observer =
+    match options.inject with
+    | None -> observer
+    | Some f -> Arde_runtime.Trace.tee (f ~seed) observer
+  in
+  let mcfg =
+    {
+      Machine.policy = options.policy;
+      seed;
+      fuel = options.fuel;
+      instrument;
+      spurious_wakeups = options.spurious_wakeups;
+      observer;
+    }
+  in
+  match Machine.run mcfg compiled with
+  | res ->
+      let rep = Engine.report engine in
+      Report.merge_into merged rep;
+      {
+        sr_seed = seed;
+        sr_outcome = Completed res.Machine.outcome;
+        sr_steps = res.Machine.steps;
+        sr_contexts = Report.n_contexts rep;
+        sr_capped = Report.capped rep;
+        sr_spin_edges = Engine.n_spin_edges engine;
+        sr_memory_words = Engine.memory_words engine;
+        sr_check_failures = res.Machine.check_failures;
+        sr_cv_diagnostics = Cv_checker.finalize cv_checker;
+      }
+  | exception e ->
+      let floc, msg = describe_exn e in
+      (* Salvage what the engine saw before the crash; warnings found on
+         the trace prefix are still valid observations. *)
+      let rep = try Some (Engine.report engine) with _ -> None in
+      Option.iter (fun r -> try Report.merge_into merged r with _ -> ()) rep;
+      {
+        sr_seed = seed;
+        sr_outcome = Crashed (floc, msg);
+        sr_steps = 0;
+        sr_contexts =
+          (match rep with Some r -> Report.n_contexts r | None -> 0);
+        sr_capped = (match rep with Some r -> Report.capped r | None -> false);
+        sr_spin_edges = (try Engine.n_spin_edges engine with _ -> 0);
+        sr_memory_words = (try Engine.memory_words engine with _ -> 0);
+        sr_check_failures = [];
+        sr_cv_diagnostics = (try Cv_checker.finalize cv_checker with _ -> []);
+      }
+
+let run ?(options = default_options) mode program =
+  match prepare options mode program with
+  | exception e -> failed_result mode (snd (describe_exn e))
+  | program, instrument, cv_mutexes, inferred_locks, compiled ->
+      let merged = Report.create ~cap:max_int () in
+      let runs =
+        List.map
+          (run_seed options mode ~instrument ~cv_mutexes ~inferred_locks
+             ~merged compiled)
+          options.seeds
+      in
+      let n_spin_loops =
+        match instrument with
+        | Some inst -> List.length (Arde_cfg.Instrument.spins inst)
+        | None -> 0
+      in
+      {
+        mode;
+        merged;
+        runs;
+        n_spin_loops;
+        static_cv_hazards =
+          (try Cv_checker.static_check program with _ -> []);
+        health = health_of runs;
+      }
 
 let mean_contexts r =
   match r.runs with
@@ -145,9 +273,30 @@ let any_bad_outcome r =
   List.find_map
     (fun s ->
       match s.sr_outcome with
-      | Machine.Finished -> None
+      | Completed Machine.Finished -> None
       | o -> Some o)
     r.runs
+
+let pp_seed_outcome ppf = function
+  | Completed o -> Machine.pp_outcome ppf o
+  | Crashed (Some l, msg) ->
+      Format.fprintf ppf "crashed at %a: %s" Arde_tir.Pretty.loc l msg
+  | Crashed (None, msg) -> Format.fprintf ppf "crashed: %s" msg
+
+let verdict_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Failed -> "failed"
+
+let pp_health ppf h =
+  Format.fprintf ppf
+    "%s (%d seed%s: %d finished, %d deadlocked, %d livelocked, %d \
+     fuel-exhausted, %d faulted, %d crashed)"
+    (verdict_name h.h_verdict) h.h_seeds
+    (if h.h_seeds = 1 then "" else "s")
+    h.h_finished h.h_deadlocked h.h_livelocked h.h_fuel_exhausted h.h_faulted
+    h.h_crashed;
+  List.iter (fun n -> Format.fprintf ppf "@\n  %s" n) h.h_notes
 
 (* ------------------------------------------------------------------ *)
 (* Same-trace comparison                                              *)

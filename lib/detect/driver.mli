@@ -20,15 +20,28 @@ type options = {
   count_callee_blocks : bool;
       (* count condition-helper callee blocks toward the spin window (the
          paper's accounting); false is the ablation *)
+  inject : (seed:int -> Arde_runtime.Event.t -> unit) option;
+      (* extra per-seed observer, teed in ahead of the engine.  It may
+         raise: [Machine.Fault_exn] becomes a machine [Fault] outcome,
+         anything else crashes that seed's sandbox (chaos testing). *)
 }
 
 val default_options : options
 (** Seeds 1–5, [Chunked 6], 2M fuel, short-running, cap 1000, realistic
-    lowering, no spurious wakeups. *)
+    lowering, no spurious wakeups, no injection. *)
+
+type seed_outcome =
+  | Completed of Arde_runtime.Machine.outcome
+      (** The machine ran to a verdict (which may itself be a deadlock,
+          livelock, fuel exhaustion or program fault). *)
+  | Crashed of loc option * string
+      (** The detector itself failed on this seed — a broken machine
+          invariant, an observer exception, injected chaos.  The location
+          is the machine's fault site when one is known. *)
 
 type seed_run = {
   sr_seed : int;
-  sr_outcome : Arde_runtime.Machine.outcome;
+  sr_outcome : seed_outcome;
   sr_steps : int;
   sr_contexts : int;
   sr_capped : bool;
@@ -39,6 +52,26 @@ type seed_run = {
       (* lost signals observed in this run *)
 }
 
+type health_verdict =
+  | Healthy  (** every seed finished *)
+  | Degraded  (** some seed deadlocked, livelocked, starved or crashed *)
+  | Failed  (** nothing ran: every seed crashed, or the pipeline did *)
+
+type health = {
+  h_seeds : int;
+  h_finished : int;
+  h_deadlocked : int;
+  h_livelocked : int;
+  h_fuel_exhausted : int;
+  h_faulted : int;
+  h_crashed : int;
+  h_verdict : health_verdict;
+  h_notes : string list; (* pipeline and per-seed crash messages *)
+}
+(** Self-diagnosis of a detector run: how each seed ended and an overall
+    verdict.  [run] always returns one — it never raises, whatever the
+    program or the injected perturbations do. *)
+
 type result = {
   mode : Config.mode;
   merged : Report.t; (* union of warnings over all seeds *)
@@ -46,16 +79,30 @@ type result = {
   n_spin_loops : int; (* accepted by the instrumentation phase *)
   static_cv_hazards : Cv_checker.diagnostic list;
       (* waits without a predicate re-check loop *)
+  health : health;
 }
 
 val run : ?options:options -> Config.mode -> program -> result
+(** Fault-isolated: each seed executes in a sandbox, so one seed crashing
+    (or the whole pipeline failing to prepare the program) yields a
+    [Crashed] seed outcome / [Failed] health record while every healthy
+    seed's warnings are still merged.  This function does not raise. *)
+
+val health_of : ?notes:string list -> seed_run list -> health
+(** Tally seed outcomes into a health record (exposed for harnesses that
+    assemble runs themselves). *)
 
 val mean_contexts : result -> float
 (** Average distinct racy contexts per seed — the paper's table entry. *)
 
 val racy_bases : result -> string list
-val any_bad_outcome : result -> Arde_runtime.Machine.outcome option
-(** First non-[Finished] outcome across seeds, if any. *)
+
+val any_bad_outcome : result -> seed_outcome option
+(** First seed outcome that is not [Completed Finished], if any. *)
+
+val pp_seed_outcome : Format.formatter -> seed_outcome -> unit
+val verdict_name : health_verdict -> string
+val pp_health : Format.formatter -> health -> unit
 
 val compare_on_trace :
   ?options:options ->

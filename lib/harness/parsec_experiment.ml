@@ -28,7 +28,7 @@ type row = {
   loc : int;
   contexts : (Config.mode * float) list;
   capped : (Config.mode * bool) list;
-  bad : (Config.mode * Arde.Machine.outcome) list;
+  bad : (Config.mode * Driver.seed_outcome) list;
       (* any run that did not finish cleanly *)
 }
 
@@ -88,7 +88,7 @@ let warnings rows =
       List.map
         (fun (m, o) ->
           Format.asprintf "WARNING: %s under %s: %a" row.info.Parsec.pname
-            (Config.mode_name m) Arde.Machine.pp_outcome o)
+            (Config.mode_name m) Driver.pp_seed_outcome o)
         row.bad)
     rows
 

@@ -9,7 +9,7 @@ type row = {
   loc : int;
   contexts : (Arde.Config.mode * float) list;
   capped : (Arde.Config.mode * bool) list;
-  bad : (Arde.Config.mode * Arde.Machine.outcome) list;
+  bad : (Arde.Config.mode * Arde.Driver.seed_outcome) list;
 }
 
 val modes : Arde.Config.mode list

@@ -20,10 +20,18 @@ let default_config =
     observer = ignore;
   }
 
+type spin_site = {
+  sp_tid : int;
+  sp_loop : int;
+  sp_loc : loc;
+  sp_bases : string list;
+}
+
 type outcome =
   | Finished
   | Deadlock of int list
   | Fuel_exhausted
+  | Livelock of spin_site list
   | Fault of { ftid : int; floc : loc; msg : string }
 
 type result = {
@@ -106,6 +114,13 @@ type barrier_state = { mutable total : int; mutable arrived : int list; mutable 
 type sem_state = { mutable count : int; swaiters : int Queue.t }
 
 exception Fault_exn of loc * string
+exception Internal_violation of string
+
+(* A broken machine invariant: never the interpreted program's fault, and
+   never recoverable within the run.  Escapes [run] as a structured
+   exception so harnesses can report "the detector crashed" instead of
+   dying on a bare [Invalid_argument]. *)
+let internal msg = raise (Internal_violation ("Machine: " ^ msg))
 
 type machine = {
   cfg : config;
@@ -135,12 +150,12 @@ let emit m ev = m.cfg.observer ev
 let thread m tid =
   match m.threads.(tid) with
   | Some t -> t
-  | None -> invalid_arg "Machine: dead thread id"
+  | None -> internal "dead thread id"
 
 let cur_frame t =
   match t.frames with
   | f :: _ -> f
-  | [] -> invalid_arg "Machine: thread has no frame"
+  | [] -> internal "thread has no frame"
 
 let cur_loc t =
   let f = cur_frame t in
@@ -331,7 +346,7 @@ let release_mutex m t key =
     let w = thread m wt in
     match w.status with
     | Blocked_lock { after_wait; _ } -> grant_mutex m key w after_wait
-    | _ -> invalid_arg "Machine: mutex waiter in wrong state"
+    | _ -> internal "mutex waiter in wrong state"
   end
 
 let wake_cv_waiter m key =
@@ -701,6 +716,45 @@ let inject_spurious_wakeup m =
       end)
     m.cvs
 
+(* Fuel ran out: was anybody stuck inside an instrumented spinning read
+   loop?  If so the exhaustion is a livelock — the paper's "spinning read
+   loop never released by a counterpart write" — and we can name the loop
+   and the condition variables it reads.  Benign exhaustion (long-running
+   compute, no active spin context) stays [Fuel_exhausted]. *)
+let livelock_sites m =
+  match m.cfg.instrument with
+  | None -> []
+  | Some inst ->
+      let sites = ref [] in
+      for i = m.n_threads - 1 downto 0 do
+        match m.threads.(i) with
+        | Some t when t.status = Runnable -> (
+            match t.spins with
+            | c :: _ -> (
+                match Instrument.find_spin inst c.sc_loop with
+                | { Instrument.s_cand = cand; _ } ->
+                    sites :=
+                      {
+                        sp_tid = t.tid;
+                        sp_loop = c.sc_loop;
+                        sp_loc =
+                          {
+                            lfunc = cand.Arde_cfg.Spin.c_func;
+                            lblk = cand.Arde_cfg.Spin.c_header;
+                            lidx = 0;
+                          };
+                        sp_bases = cand.Arde_cfg.Spin.c_bases;
+                      }
+                      :: !sites
+                | exception Not_found -> ())
+            | [] -> ())
+        | Some _ | None -> ()
+      done;
+      !sites
+
+let exhaustion_outcome m =
+  match livelock_sites m with [] -> Fuel_exhausted | sites -> Livelock sites
+
 let run cfg cpl =
   let mem = Hashtbl.create 16 in
   List.iter
@@ -730,7 +784,7 @@ let run cfg cpl =
   let entry_fn =
     match Hashtbl.find_opt cpl.cfuncs cpl.centry with
     | Some fn -> fn
-    | None -> invalid_arg "Machine.run: entry function missing"
+    | None -> internal "entry function missing"
   in
   let main = { tid = 0; frames = []; status = Runnable; spins = [] } in
   m.threads.(0) <- Some main;
@@ -757,7 +811,7 @@ let run cfg cpl =
         done;
         outcome := Some (if !blocked = [] then Finished else Deadlock !blocked)
     | runnable ->
-        if m.steps >= cfg.fuel then outcome := Some Fuel_exhausted
+        if m.steps >= cfg.fuel then outcome := Some (exhaustion_outcome m)
         else begin
           m.steps <- m.steps + 1;
           if cfg.spurious_wakeups && Arde_util.Prng.int m.rng 256 = 0 then
@@ -796,5 +850,14 @@ let pp_outcome ppf = function
       Format.fprintf ppf "deadlock (threads %s)"
         (String.concat ", " (List.map string_of_int tids))
   | Fuel_exhausted -> Format.pp_print_string ppf "fuel exhausted"
+  | Livelock sites ->
+      Format.fprintf ppf "livelock (%s)"
+        (String.concat "; "
+           (List.map
+              (fun s ->
+                Printf.sprintf "T%d spinning at %s/%s on %s" s.sp_tid
+                  s.sp_loc.lfunc s.sp_loc.lblk
+                  (String.concat ", " s.sp_bases))
+              sites))
   | Fault { ftid; floc; msg } ->
       Format.fprintf ppf "fault in T%d at %a: %s" ftid Arde_tir.Pretty.loc floc msg

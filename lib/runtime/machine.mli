@@ -28,10 +28,38 @@ val default_config : config
 (** [Chunked 6] scheduling, seed 1, 2,000,000 fuel, no instrumentation, no
     spurious wakeups, events discarded. *)
 
+exception Fault_exn of loc * string
+(** The in-band fault signal.  Raised by the interpreter on a program
+    error (bad index, unlock by non-owner, division by zero, …) and caught
+    by the top-level loop, which converts it into a {!Fault} outcome.
+    Observers may raise it too — that is the supported channel for
+    deterministic fault injection (see [Arde_chaos]): a [Fault_exn] raised
+    mid-step is attributed to the thread executing that step. *)
+
+exception Internal_violation of string
+(** A broken machine invariant — a bug in the machine or in a caller
+    poking at its state, never a property of the interpreted program
+    (dead thread id, empty frame stack, waiter queues out of sync, missing
+    entry function).  Escapes {!run} so that harnesses can convert it into
+    a structured "detector crashed" outcome instead of dying on a bare
+    [Invalid_argument]. *)
+
+type spin_site = {
+  sp_tid : int; (* the spinning thread *)
+  sp_loop : int; (* instrumentation loop id *)
+  sp_loc : loc; (* the loop header block *)
+  sp_bases : string list; (* condition variables the loop reads *)
+}
+(** Where a thread was spinning when fuel ran out. *)
+
 type outcome =
   | Finished
   | Deadlock of int list (* the blocked thread ids *)
   | Fuel_exhausted
+  | Livelock of spin_site list
+      (* fuel ran out while these threads sat inside instrumented spinning
+         read loops whose counterpart write never arrived; only produced
+         when spin instrumentation is active *)
   | Fault of { ftid : int; floc : loc; msg : string }
 
 type result = {

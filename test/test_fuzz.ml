@@ -107,7 +107,9 @@ let prop_valid_and_runs =
       | Ok () -> (
           match (run_fuzz p 1).Arde.Machine.outcome with
           | Arde.Machine.Finished | Arde.Machine.Fault _ -> true
-          | Arde.Machine.Deadlock _ | Arde.Machine.Fuel_exhausted -> false))
+          | Arde.Machine.Deadlock _ | Arde.Machine.Fuel_exhausted
+          | Arde.Machine.Livelock _ ->
+              false))
 
 let prop_roundtrip =
   law "generated programs round-trip through the parser" (fun seed ->

@@ -16,6 +16,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("props", Test_props.suite);
       ("fuzz", Test_fuzz.suite);
+      ("robustness", Test_robustness.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,340 @@
+(* Fault isolation and self-diagnosis: outcome classification (deadlock /
+   livelock / fault / benign fuel exhaustion / crash), per-seed
+   sandboxing, run-health verdicts, and the chaos fault-injection
+   properties — the pipeline must degrade gracefully, never die. *)
+
+open Arde.Builder
+module B = Arde_workloads.Racey_base
+module D = Arde.Driver
+module M = Arde.Machine
+
+let spin_mode = Arde.Config.Helgrind_spin 7
+
+let options ?(seeds = [ 1; 2; 3 ]) ?(fuel = 30_000) ?inject () =
+  { D.default_options with D.seeds; fuel; inject }
+
+(* ------------------------------------------------------------------ *)
+(* Workloads with known pathologies                                    *)
+
+(* The paper's failure mode made total: a consumer spins on a flag whose
+   counterpart write was removed, so the loop can never be released. *)
+let livelock_program =
+  let consumer =
+    func "consumer"
+      (blk "entry" [] (goto "sp_t")
+      :: B.spin_flag ~tag:"sp" ~flag:(g "flag") ~window:3 ~exit_lbl:"work"
+      @ [ blk "work" [] exit_t ])
+  in
+  B.harness
+    ~globals:[ global "flag" () ]
+    ~workers:[ ("consumer", []) ]
+    [ consumer ]
+
+(* A waiter on a condition variable nobody ever signals: every thread
+   ends up blocked, a textbook deadlock. *)
+let deadlock_program =
+  let waiter =
+    func "waiter" [ blk "e" [ lock (g "m"); wait (g "cv") (g "m") ] exit_t ]
+  in
+  B.harness
+    ~globals:[ global "m" (); global "cv" () ]
+    ~workers:[ ("waiter", []) ]
+    [ waiter ]
+
+(* Crashes mid-run with a machine-level program fault. *)
+let faulty_program =
+  let w = func "w" [ blk "e" [ divi "x" (imm 1) (imm 0) ] exit_t ] in
+  B.harness ~workers:[ ("w", []) ] [ w ]
+
+(* Spins forever in a register-only loop: exhausts fuel with no active
+   spin context, so the exhaustion is benign, not a livelock. *)
+let busy_program =
+  program ~entry:"main" [ func "main" [ blk "e" [ nop ] (goto "e") ] ]
+
+(* A genuine two-writer race the detector reports on every healthy seed. *)
+let racy_program =
+  let w = func "w" ~params:[ "v" ] [ blk "e" [ store (g "x") (r "v") ] exit_t ] in
+  B.harness
+    ~globals:[ global "x" () ]
+    ~workers:[ ("w", [ imm 1 ]); ("w", [ imm 2 ]) ]
+    [ w ]
+
+(* Fails validation (undeclared global): the pipeline cannot even start. *)
+let invalid_program =
+  program ~entry:"main"
+    [ func "main" [ blk "e" [ store (g "nope") (imm 1) ] exit_t ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Outcome classification                                              *)
+
+let seed_outcomes r = List.map (fun sr -> sr.D.sr_outcome) r.D.runs
+
+let test_deadlock () =
+  let r = Arde.detect ~options:(options ()) spin_mode deadlock_program in
+  List.iter
+    (function
+      | D.Completed (M.Deadlock _) -> ()
+      | o -> Alcotest.failf "expected deadlock, got %a" D.pp_seed_outcome o)
+    (seed_outcomes r);
+  Alcotest.(check int) "all deadlocked" 3 r.D.health.D.h_deadlocked;
+  Alcotest.(check bool) "degraded" true (r.D.health.D.h_verdict = D.Degraded)
+
+let test_livelock_attribution () =
+  let r = Arde.detect ~options:(options ~fuel:20_000 ()) spin_mode livelock_program in
+  List.iter
+    (function
+      | D.Completed (M.Livelock [ site ]) ->
+          Alcotest.(check string) "spinning function" "consumer"
+            site.M.sp_loc.Arde.Types.lfunc;
+          Alcotest.(check string) "spinning loop header" "sp_t"
+            site.M.sp_loc.Arde.Types.lblk;
+          Alcotest.(check (list string)) "condition variable" [ "flag" ]
+            site.M.sp_bases
+      | o -> Alcotest.failf "expected livelock, got %a" D.pp_seed_outcome o)
+    (seed_outcomes r);
+  Alcotest.(check int) "all livelocked" 3 r.D.health.D.h_livelocked;
+  Alcotest.(check bool) "degraded" true (r.D.health.D.h_verdict = D.Degraded);
+  (* The diagnostic names the loop and its condition variable. *)
+  match seed_outcomes r with
+  | D.Completed (M.Livelock _ as o) :: _ ->
+      let rendered = Format.asprintf "%a" M.pp_outcome o in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S names loop and variable" rendered)
+        true
+        (Astring.String.is_infix ~affix:"consumer/sp_t" rendered
+        && Astring.String.is_infix ~affix:"flag" rendered)
+  | _ -> assert false
+
+let test_benign_fuel_exhaustion () =
+  let r = Arde.detect ~options:(options ~fuel:1_000 ()) spin_mode busy_program in
+  List.iter
+    (function
+      | D.Completed M.Fuel_exhausted -> ()
+      | o ->
+          Alcotest.failf "expected benign fuel exhaustion, got %a"
+            D.pp_seed_outcome o)
+    (seed_outcomes r);
+  Alcotest.(check int) "counted as fuel-exhausted" 3
+    r.D.health.D.h_fuel_exhausted;
+  Alcotest.(check int) "no livelock claimed" 0 r.D.health.D.h_livelocked
+
+let test_program_fault () =
+  let r = Arde.detect ~options:(options ()) spin_mode faulty_program in
+  List.iter
+    (function
+      | D.Completed (M.Fault { msg; _ }) ->
+          Alcotest.(check string) "fault message" "division by zero" msg
+      | o -> Alcotest.failf "expected fault, got %a" D.pp_seed_outcome o)
+    (seed_outcomes r);
+  Alcotest.(check int) "all faulted" 3 r.D.health.D.h_faulted;
+  Alcotest.(check bool) "degraded" true (r.D.health.D.h_verdict = D.Degraded)
+
+(* ------------------------------------------------------------------ *)
+(* Per-seed sandboxing                                                 *)
+
+(* One seed's observer blows up mid-run; the other seeds' warnings must
+   survive and the wreck must be reported, not raised. *)
+let test_crash_isolated () =
+  let inject ~seed =
+    if seed = 2 then (
+      let count = ref 0 in
+      fun _ev ->
+        incr count;
+        if !count = 10 then failwith "boom")
+    else fun _ev -> ()
+  in
+  let r = Arde.detect ~options:(options ~inject ()) spin_mode racy_program in
+  Alcotest.(check int) "one seed crashed" 1 r.D.health.D.h_crashed;
+  Alcotest.(check int) "others finished" 2 r.D.health.D.h_finished;
+  Alcotest.(check bool) "degraded, not failed" true
+    (r.D.health.D.h_verdict = D.Degraded);
+  (match List.find (fun sr -> sr.D.sr_seed = 2) r.D.runs with
+  | { D.sr_outcome = D.Crashed (_, msg); _ } ->
+      Alcotest.(check bool) "crash message preserved" true
+        (Astring.String.is_infix ~affix:"boom" msg)
+  | sr ->
+      Alcotest.failf "seed 2 should have crashed, got %a" D.pp_seed_outcome
+        sr.D.sr_outcome);
+  Alcotest.(check (list string)) "healthy seeds' warnings still merged"
+    [ "x" ] (D.racy_bases r);
+  Alcotest.(check bool) "crash note recorded" true (r.D.health.D.h_notes <> [])
+
+(* Every seed crashes: the run is Failed, but detect still returns. *)
+let test_all_seeds_crash () =
+  let inject ~seed:_ =
+    let count = ref 0 in
+    fun _ev ->
+      incr count;
+      if !count = 5 then failwith "chaos everywhere"
+  in
+  let r = Arde.detect ~options:(options ~inject ()) spin_mode racy_program in
+  Alcotest.(check int) "all crashed" 3 r.D.health.D.h_crashed;
+  Alcotest.(check bool) "failed" true (r.D.health.D.h_verdict = D.Failed)
+
+(* A fault injected through the observer mid-step is attributed by the
+   machine itself: a Fault outcome at the chaos location, not a crash. *)
+let test_injected_machine_fault () =
+  let opts = Arde.Chaos.apply (options ()) (Arde.Chaos.Fault_at 5) in
+  let r = Arde.detect ~options:opts spin_mode racy_program in
+  List.iter
+    (function
+      | D.Completed (M.Fault { floc; _ }) ->
+          Alcotest.(check string) "chaos location" "<chaos>"
+            floc.Arde.Types.lfunc
+      | o -> Alcotest.failf "expected fault, got %a" D.pp_seed_outcome o)
+    (seed_outcomes r);
+  Alcotest.(check int) "all faulted" 3 r.D.health.D.h_faulted
+
+(* The pipeline itself cannot start (program fails validation): Failed
+   health record, no exception. *)
+let test_pipeline_failure () =
+  let r = Arde.detect ~options:(options ()) spin_mode invalid_program in
+  Alcotest.(check int) "no runs" 0 (List.length r.D.runs);
+  Alcotest.(check bool) "failed" true (r.D.health.D.h_verdict = D.Failed);
+  Alcotest.(check bool) "pipeline note recorded" true
+    (List.exists
+       (fun n -> Astring.String.is_prefix ~affix:"pipeline:" n)
+       r.D.health.D.h_notes)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos properties                                                    *)
+
+let law ?(count = 30) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let cases = Arde_workloads.Racey.all ()
+
+let gen_case =
+  QCheck2.Gen.map
+    (fun i -> List.nth cases (i mod List.length cases))
+    (QCheck2.Gen.int_bound (List.length cases - 1))
+
+let health_coherent (h : D.health) =
+  h.D.h_finished + h.D.h_deadlocked + h.D.h_livelocked + h.D.h_fuel_exhausted
+  + h.D.h_faulted + h.D.h_crashed
+  = h.D.h_seeds
+  &&
+  match h.D.h_verdict with
+  | D.Failed -> h.D.h_seeds = 0 || h.D.h_crashed = h.D.h_seeds
+  | D.Healthy -> h.D.h_finished = h.D.h_seeds
+  | D.Degraded -> h.D.h_finished < h.D.h_seeds
+
+(* Whatever we throw at it, the pipeline returns a coherent health record
+   rather than raising. *)
+let prop_never_raises =
+  law ~count:40 "chaos: pipeline never raises, health is coherent"
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 1_000_000) gen_case)
+    (fun (pseed, case) ->
+      let p = Arde.Chaos.gen (Arde.Prng.create pseed) in
+      let opts = Arde.Chaos.apply (options ~fuel:100_000 ()) p in
+      match Arde.detect ~options:opts spin_mode case.Arde_workloads.Racey.program with
+      | r ->
+          health_coherent r.D.health
+          && List.length r.D.runs = List.length opts.D.seeds
+      | exception e ->
+          QCheck2.Test.fail_reportf "escaped under %a: %s"
+            Arde.Chaos.pp_perturbation p (Printexc.to_string e))
+
+(* The acceptance storm: hundreds of perturbed executions over healthy,
+   racy and pathological workloads, zero escaped exceptions. *)
+let test_storm () =
+  let total = ref 0 in
+  List.iter
+    (fun (name, program, fuel) ->
+      let report =
+        Arde.Chaos.storm
+          ~options:(options ~fuel ())
+          ~runs:70 ~seed:42 spin_mode program
+      in
+      total := !total + report.Arde.Chaos.ch_runs;
+      Alcotest.(check int)
+        (name ^ ": no escaped exceptions")
+        0
+        (List.length report.Arde.Chaos.ch_escaped))
+    [
+      ("racy", racy_program, 50_000);
+      ("livelock", livelock_program, 15_000);
+      ("deadlock", deadlock_program, 30_000);
+    ];
+  Alcotest.(check bool) "at least 200 perturbed executions" true (!total >= 200)
+
+(* Schedule-shaped (benign) perturbations and verdict stability.  A
+   dynamic detector only reports what the schedule exposes, so a racy
+   case may legitimately lose its race under an adversarial policy
+   (Missed_race) — but a benign perturbation must never {e manufacture} a
+   warning: while every seed stays healthy, a labelled clean verdict
+   stays clean, and no perturbation turns any verdict into a false
+   alarm. *)
+let test_verdict_stability () =
+  let baseline_opts = options ~fuel:400_000 () in
+  let policies =
+    [
+      Arde.Sched.Round_robin 13;
+      Arde.Sched.Uniform;
+      Arde.Sched.Chunked 1;
+    ]
+  in
+  let healthy r = r.D.health.D.h_verdict = D.Healthy in
+  let verdict r (c : Arde_workloads.Racey.case) =
+    Arde.Classify.outcome_of
+      (Arde.Classify.classify c.Arde_workloads.Racey.expectation
+         ~reported:(D.racy_bases r))
+  in
+  let flips = ref [] and compared = ref 0 in
+  List.iter
+    (fun (c : Arde_workloads.Racey.case) ->
+      let base = Arde.detect ~options:baseline_opts spin_mode c.program in
+      List.iter
+        (fun policy ->
+          let opts =
+            Arde.Chaos.apply baseline_opts (Arde.Chaos.Adversarial_policy policy)
+          in
+          let perturbed = Arde.detect ~options:opts spin_mode c.program in
+          if healthy base && healthy perturbed then begin
+            incr compared;
+            let b = verdict base c and p = verdict perturbed c in
+            let manufactured =
+              (p = Arde.Classify.False_alarm && b <> Arde.Classify.False_alarm)
+              || c.Arde_workloads.Racey.expectation = Arde.Classify.Race_free
+                 && b = Arde.Classify.Correct && p <> Arde.Classify.Correct
+            in
+            if manufactured then
+              flips := c.Arde_workloads.Racey.name :: !flips
+          end)
+        policies)
+    cases;
+  (* The one family allowed to be schedule-fragile: double-checked
+     initialization, whose safety argument is pure lockset over a
+     schedule-dependent fast path — the paper's own residual false
+     positive.  Everything else must be rock-solid. *)
+  let dcl name =
+    Astring.String.is_prefix ~affix:"dcl_" name
+    || Astring.String.is_prefix ~affix:"double_checked_" name
+  in
+  Alcotest.(check (list string))
+    "no manufactured warnings outside the DCL family" []
+    (List.filter (fun n -> not (dcl n)) !flips);
+  Alcotest.(check bool) "compared a meaningful sample" true (!compared > 200)
+
+let suite =
+  [
+    Alcotest.test_case "deadlock is classified and tallied" `Quick test_deadlock;
+    Alcotest.test_case "livelock names the loop and condition variable" `Quick
+      test_livelock_attribution;
+    Alcotest.test_case "benign fuel exhaustion is not a livelock" `Quick
+      test_benign_fuel_exhaustion;
+    Alcotest.test_case "program faults are completed outcomes" `Quick
+      test_program_fault;
+    Alcotest.test_case "a crashing seed is isolated; others still merge" `Quick
+      test_crash_isolated;
+    Alcotest.test_case "all seeds crashing yields Failed, not an exception"
+      `Quick test_all_seeds_crash;
+    Alcotest.test_case "injected machine faults are attributed" `Quick
+      test_injected_machine_fault;
+    Alcotest.test_case "pipeline failure yields a Failed health record" `Quick
+      test_pipeline_failure;
+    prop_never_raises;
+    Alcotest.test_case "chaos storm: 200+ runs, zero escapes" `Slow test_storm;
+    Alcotest.test_case "benign perturbations never flip verdicts" `Slow
+      test_verdict_stability;
+  ]
