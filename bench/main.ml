@@ -27,10 +27,8 @@ let tables () =
   section
     "Table 2a (ablation): same sweep without counting condition-callee blocks";
   let ablation_options =
-    {
-      Arde_harness.Suite_experiment.suite_options with
-      Arde.Driver.count_callee_blocks = false;
-    }
+    Arde.Options.with_count_callee_blocks false
+      Arde_harness.Suite_experiment.suite_options
   in
   let _rows, t2a =
     Arde_harness.Suite_experiment.table2 ~options:ablation_options ()
@@ -126,8 +124,123 @@ let bechamel_suite () =
         tbl)
     raw
 
+(* ---- the parallel-stage / analysis-cache benchmark ----
+
+   `bench parallel [-o PATH]` times the domain-pool per-seed stage at
+   several pool widths and the analysis cache on/off, and writes the
+   measurements to BENCH_parallel.json (the wire form CI archives).
+   Speedups are wall-clock, so they reflect the cores of the machine
+   running the benchmark — [host_cores] is recorded alongside. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let parallel_bench ~out () =
+  let module J = Arde.Json in
+  let mode = Arde.Config.Nolib_spin 7 in
+  (* every 15th catalog case: a cross-category sample with enough work
+     per run for wall-clock timing to mean something *)
+  let sample =
+    List.filteri (fun i _ -> i mod 15 = 0) (Arde_workloads.Racey.all ())
+  in
+  let progs = List.map (fun c -> c.Arde_workloads.Racey.program) sample in
+  let seeds = List.init 16 (fun i -> i + 1) in
+  let opts jobs = Arde.Options.make ~seeds ~fuel:400_000 ~jobs () in
+  let run_all jobs =
+    List.iter (fun p -> ignore (Arde.detect ~options:(opts jobs) mode p)) progs
+  in
+  (* per-stage wall times, measured fresh on one representative *)
+  let rep = List.hd progs in
+  Arde.Analysis_cache.clear ();
+  let lowered, t_lower =
+    wall (fun () -> Arde.Lower.lower ~style:Arde.Lower.Realistic rep)
+  in
+  let _, t_instrument =
+    wall (fun () -> Arde.Instrument.analyze ~k:7 lowered)
+  in
+  (* warm the cache so the sweep times the per-seed stage, not prepare *)
+  run_all 1;
+  let widths =
+    List.sort_uniq compare [ 1; 2; 4; max 1 Arde.Options.default_jobs ]
+  in
+  let sweep = List.map (fun j -> (j, snd (wall (fun () -> run_all j)))) widths in
+  let t_seq = List.assoc 1 sweep in
+  (* the cache's contribution: same sequential sweep, cold every run *)
+  Arde.Analysis_cache.set_enabled false;
+  let (), t_nocache = wall (fun () -> run_all 1) in
+  Arde.Analysis_cache.set_enabled true;
+  let (), t_cached = wall (fun () -> run_all 1) in
+  (* acceptance probe: a 5-seed run against the warm cache records hits *)
+  Arde.Analysis_cache.reset_stats ();
+  ignore
+    (Arde.detect ~options:(Arde.Options.make ~seeds:[ 1; 2; 3; 4; 5 ] ()) mode
+       rep);
+  let cs = Arde.Analysis_cache.stats () in
+  let json =
+    J.Obj
+      [
+        ("host_cores", J.Int (Domain.recommended_domain_count ()));
+        ("default_jobs", J.Int Arde.Options.default_jobs);
+        ("mode", J.String (Arde.Config.mode_name mode));
+        ("workloads", J.Int (List.length progs));
+        ("seeds_per_run", J.Int (List.length seeds));
+        ( "stages",
+          J.Obj
+            [
+              ("lower_s", J.Float t_lower);
+              ("instrument_s", J.Float t_instrument);
+              ("per_seed_stage_s", J.Float t_seq);
+            ] );
+        ( "jobs_sweep",
+          J.List
+            (List.map
+               (fun (j, t) ->
+                 J.Obj
+                   [
+                     ("jobs", J.Int j);
+                     ("wall_s", J.Float t);
+                     ("speedup", J.Float (t_seq /. t));
+                   ])
+               sweep) );
+        ( "cache",
+          J.Obj
+            [
+              ("disabled_wall_s", J.Float t_nocache);
+              ("enabled_wall_s", J.Float t_cached);
+              ("speedup", J.Float (t_nocache /. t_cached));
+              ( "five_seed_run",
+                J.Obj
+                  [
+                    ("lower_hits", J.Int cs.Arde.Analysis_cache.lower_hits);
+                    ( "lower_misses",
+                      J.Int cs.Arde.Analysis_cache.lower_misses );
+                    ( "instrument_hits",
+                      J.Int cs.Arde.Analysis_cache.instrument_hits );
+                    ( "instrument_misses",
+                      J.Int cs.Arde.Analysis_cache.instrument_misses );
+                  ] );
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (J.to_string ~minify:false json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 let () =
-  tables ();
-  extension_table ();
-  figures ();
-  bechamel_suite ()
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec out_path = function
+    | "-o" :: p :: _ -> p
+    | _ :: rest -> out_path rest
+    | [] -> "BENCH_parallel.json"
+  in
+  if List.mem "parallel" args then parallel_bench ~out:(out_path args) ()
+  else begin
+    tables ();
+    extension_table ();
+    figures ();
+    bechamel_suite ()
+  end

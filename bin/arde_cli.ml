@@ -105,11 +105,6 @@ let mode_arg =
           "Detector configuration: lib, lib+spin:K, nolib+spin:K, \
            nolib+spin+locks:K, drd.")
 
-let seeds_arg =
-  Arg.(
-    value & opt int 5
-    & info [ "s"; "seeds" ] ~docv:"N" ~doc:"Number of scheduler seeds to run.")
-
 let lower_arg =
   Arg.(
     value
@@ -121,6 +116,21 @@ let k_arg =
   Arg.(
     value & opt int 7
     & info [ "k" ] ~docv:"K" ~doc:"Spin window in basic blocks.")
+
+(* ---- the shared detection-option spec ----
+   Every detection subcommand (run, suite, chaos, compare, parsec) reads
+   --seeds/--fuel/--policy/--jobs from this single spec, so a new option
+   cannot drift between subcommands.  The term evaluates to a transformer
+   applied to the subcommand's baseline options. *)
+
+let seeds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "s"; "seeds" ] ~docv:"N"
+        ~doc:
+          "Number of scheduler seeds to run (default: the subcommand's \
+           baseline).")
 
 let fuel_arg =
   Arg.(
@@ -138,16 +148,42 @@ let policy_arg =
     & info [ "policy" ] ~docv:"POLICY"
         ~doc:"Scheduler policy: rr:N, uniform or chunked:N.")
 
-let override_options base seeds fuel policy =
-  let base =
-    { base with Arde.Driver.seeds = List.init seeds (fun i -> i + 1) }
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Domain-pool width for the per-seed stage; 0 means one domain \
+           per core.  Reports and exit codes are identical for every \
+           value.")
+
+let maybe f v base = match v with None -> base | Some v -> f v base
+
+let common_opts : (Arde.Options.t -> Arde.Options.t) Cmdliner.Term.t =
+  let apply seeds fuel policy jobs base =
+    base
+    |> maybe Arde.Options.with_seed_count seeds
+    |> maybe Arde.Options.with_fuel fuel
+    |> maybe Arde.Options.with_policy policy
+    |> maybe Arde.Options.with_jobs jobs
   in
-  let base =
-    match fuel with None -> base | Some f -> { base with Arde.Driver.fuel = f }
-  in
-  match policy with
-  | None -> base
-  | Some p -> { base with Arde.Driver.policy = p }
+  Term.(const apply $ seeds_arg $ fuel_arg $ policy_arg $ jobs_arg)
+
+(* ---- output format ---- *)
+
+type format = Text | Json
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("json", Json) ]) Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: human-readable $(b,text) or the stable \
+           machine-readable $(b,json).")
+
+let print_json j = print_endline (Arde.Json.to_string ~minify:false j)
 
 (* Exit codes shared by run/suite/chaos: 0 clean, 1 races reported,
    2 degraded (some seed deadlocked / livelocked / starved / crashed),
@@ -217,65 +253,90 @@ let spin_report_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run name mode seeds fuel policy =
+  let run name mode opts format =
     match find_program name with
     | Error e ->
         prerr_endline e;
         exit 1
     | Ok (p, case) ->
-        let options =
-          override_options Arde.Driver.default_options seeds fuel policy
-        in
+        let options = opts Arde.Options.default in
         let result = Arde.detect ~options mode p in
-        Printf.printf "mode: %s   spin loops found: %d\n"
-          (Arde.Config.mode_name mode)
-          result.Arde.Driver.n_spin_loops;
-        List.iter
-          (fun sr ->
-            Format.printf "seed %d: %a, %d steps, %d contexts, %d spin edges@."
-              sr.Arde.Driver.sr_seed Arde.Driver.pp_seed_outcome
-              sr.Arde.Driver.sr_outcome sr.Arde.Driver.sr_steps
-              sr.Arde.Driver.sr_contexts sr.Arde.Driver.sr_spin_edges)
-          result.Arde.Driver.runs;
-        Format.printf "%a@." Arde.Report.pp result.Arde.Driver.merged;
-        List.iter
-          (fun d ->
-            Format.printf "static: %a@." Arde.Cv_checker.pp_diagnostic d)
-          result.Arde.Driver.static_cv_hazards;
-        List.iter
-          (fun sr ->
+        let health = result.Arde.Driver.health in
+        let code =
+          exit_code
+            ~races:(Arde.Report.n_contexts result.Arde.Driver.merged > 0)
+            health
+        in
+        let verdict =
+          Option.map
+            (fun c ->
+              Arde.Classify.classify c.W.Racey.expectation
+                ~reported:(Arde.Driver.racy_bases result))
+            case
+        in
+        (match format with
+        | Json ->
+            print_json
+              (Arde.Json.Obj
+                 ([
+                    ("workload", Arde.Json.String name);
+                    ("result", Arde.Driver.result_to_json result);
+                  ]
+                 @ (match verdict with
+                   | None -> []
+                   | Some v ->
+                       [
+                         ( "verdict",
+                           Arde.Json.String
+                             (match Arde.Classify.outcome_of v with
+                             | Arde.Classify.Correct -> "correct"
+                             | Arde.Classify.False_alarm -> "false-alarm"
+                             | Arde.Classify.Missed_race -> "missed-race") );
+                       ])
+                 @ [ ("exit_code", Arde.Json.Int code) ]))
+        | Text ->
+            Printf.printf "mode: %s   spin loops found: %d\n"
+              (Arde.Config.mode_name mode)
+              result.Arde.Driver.n_spin_loops;
+            List.iter
+              (fun sr ->
+                Format.printf
+                  "seed %d: %a, %d steps, %d contexts, %d spin edges@."
+                  sr.Arde.Driver.sr_seed Arde.Driver.pp_seed_outcome
+                  sr.Arde.Driver.sr_outcome sr.Arde.Driver.sr_steps
+                  sr.Arde.Driver.sr_contexts sr.Arde.Driver.sr_spin_edges)
+              result.Arde.Driver.runs;
+            Format.printf "%a@." Arde.Report.pp result.Arde.Driver.merged;
             List.iter
               (fun d ->
-                Format.printf "seed %d: %a@." sr.Arde.Driver.sr_seed
-                  Arde.Cv_checker.pp_diagnostic d)
-              sr.Arde.Driver.sr_cv_diagnostics)
-          result.Arde.Driver.runs;
-        (match case with
-        | None -> ()
-        | Some c ->
-            let verdict =
-              Arde.Classify.classify c.W.Racey.expectation
-                ~reported:(Arde.Driver.racy_bases result)
-            in
-            Format.printf "verdict: %s (%a)@."
-              (match Arde.Classify.outcome_of verdict with
-              | Arde.Classify.Correct -> "correctly analyzed"
-              | Arde.Classify.False_alarm -> "FALSE ALARM"
-              | Arde.Classify.Missed_race -> "MISSED RACE")
-              Arde.Classify.pp_verdict verdict);
-        let health = result.Arde.Driver.health in
-        Format.printf "health: %a@." Arde.Driver.pp_health health;
-        exit
-          (exit_code
-             ~races:(Arde.Report.n_contexts result.Arde.Driver.merged > 0)
-             health)
+                Format.printf "static: %a@." Arde.Cv_checker.pp_diagnostic d)
+              result.Arde.Driver.static_cv_hazards;
+            List.iter
+              (fun sr ->
+                List.iter
+                  (fun d ->
+                    Format.printf "seed %d: %a@." sr.Arde.Driver.sr_seed
+                      Arde.Cv_checker.pp_diagnostic d)
+                  sr.Arde.Driver.sr_cv_diagnostics)
+              result.Arde.Driver.runs;
+            (match verdict with
+            | None -> ()
+            | Some v ->
+                Format.printf "verdict: %s (%a)@."
+                  (match Arde.Classify.outcome_of v with
+                  | Arde.Classify.Correct -> "correctly analyzed"
+                  | Arde.Classify.False_alarm -> "FALSE ALARM"
+                  | Arde.Classify.Missed_race -> "MISSED RACE")
+                  Arde.Classify.pp_verdict v);
+            Format.printf "health: %a@." Arde.Driver.pp_health health);
+        exit code
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Run a workload under a detector configuration.  Exit codes: 0 \
           clean, 1 races reported, 2 degraded run, 3 failed run.")
-    Term.(const run $ name_arg $ mode_arg $ seeds_arg $ fuel_arg $ policy_arg)
+    Term.(const run $ name_arg $ mode_arg $ common_opts $ format_arg)
 
 (* ---- trace ---- *)
 
@@ -323,18 +384,13 @@ let trace_cmd =
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let run name seeds k =
+  let run name opts k =
     match find_program name with
     | Error e ->
         prerr_endline e;
         exit 1
     | Ok (p, _) ->
-        let options =
-          {
-            Arde.Driver.default_options with
-            Arde.Driver.seeds = List.init seeds (fun i -> i + 1);
-          }
-        in
+        let options = opts Arde.Options.default in
         let modes =
           [
             Arde.Config.Helgrind_lib; Arde.Config.Drd; Arde.Config.Helgrind_spin k;
@@ -343,7 +399,8 @@ let compare_cmd =
         let results = Arde.Driver.compare_on_trace ~options ~k p modes in
         Printf.printf
           "replaying %d identical trace(s) through %d detectors:
-" seeds
+"
+          (List.length options.Arde.Options.seeds)
           (List.length modes);
         List.iter
           (fun (mode, report) ->
@@ -360,7 +417,7 @@ let compare_cmd =
        ~doc:
          "Replay identical traces through several detectors (algorithmic \
           differences only).")
-    Term.(const run $ name_arg $ seeds_arg $ k_arg)
+    Term.(const run $ name_arg $ common_opts $ k_arg)
 
 (* ---- fmt ---- *)
 
@@ -393,22 +450,8 @@ let suite_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "failures" ] ~doc:"List per-case failures.")
   in
-  let suite_seeds_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "s"; "seeds" ] ~docv:"N"
-          ~doc:"Number of scheduler seeds per case (default 3).")
-  in
-  let run verbose seeds fuel policy =
-    let base = Arde_harness.Suite_experiment.suite_options in
-    let options =
-      override_options base
-        (match seeds with
-        | Some n -> n
-        | None -> List.length base.Arde.Driver.seeds)
-        fuel policy
-    in
+  let run verbose opts =
+    let options = opts Arde_harness.Suite_experiment.suite_options in
     let rows, rendered = Arde_harness.Suite_experiment.table1 ~options () in
     print_string rendered;
     if verbose then
@@ -419,7 +462,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Reproduce Table 1 over the 120-case unit suite.")
-    Term.(const run $ verbose_arg $ suite_seeds_arg $ fuel_arg $ policy_arg)
+    Term.(const run $ verbose_arg $ common_opts)
 
 (* ---- chaos ---- *)
 
@@ -435,19 +478,19 @@ let chaos_cmd =
       & info [ "chaos-seed" ] ~docv:"SEED"
           ~doc:"PRNG seed the perturbation stream derives from.")
   in
-  let run name mode seeds fuel policy runs chaos_seed =
+  let run name mode opts runs chaos_seed format =
     match find_program name with
     | Error e ->
         prerr_endline e;
         exit 1
     | Ok (p, _) ->
-        let options =
-          override_options Arde.Driver.default_options seeds fuel policy
-        in
+        let options = opts Arde.Options.default in
         let report =
           Arde.Chaos.storm ~options ~runs ~seed:chaos_seed mode p
         in
-        Format.printf "%a@." Arde.Chaos.pp_report report;
+        (match format with
+        | Json -> print_json (Arde.Chaos.report_to_json report)
+        | Text -> Format.printf "%a@." Arde.Chaos.pp_report report);
         exit (if report.Arde.Chaos.ch_escaped = [] then 0 else 3)
   in
   Cmd.v
@@ -458,8 +501,8 @@ let chaos_cmd =
           through the detection pipeline and verify that no exception ever \
           escapes the per-seed sandbox.  Exit code 3 if one does.")
     Term.(
-      const run $ name_arg $ mode_arg $ seeds_arg $ fuel_arg $ policy_arg
-      $ runs_arg $ chaos_seed_arg)
+      const run $ name_arg $ mode_arg $ common_opts $ runs_arg
+      $ chaos_seed_arg $ format_arg)
 
 (* ---- parsec ---- *)
 
@@ -467,19 +510,26 @@ let parsec_cmd =
   let table_arg =
     Arg.(value & opt int 6 & info [ "table" ] ~docv:"N" ~doc:"Which table (3-6).")
   in
-  let run table =
+  let run table n_seeds jobs =
+    let seeds = Option.map (fun n -> List.init n (fun i -> i + 1)) n_seeds in
     match table with
     | 3 -> print_string (Arde_harness.Parsec_experiment.table3 ())
-    | 4 -> print_string (snd (Arde_harness.Parsec_experiment.table4 ()))
-    | 5 -> print_string (snd (Arde_harness.Parsec_experiment.table5 ()))
-    | 6 -> print_string (snd (Arde_harness.Parsec_experiment.table6 ()))
+    | 4 ->
+        print_string
+          (snd (Arde_harness.Parsec_experiment.table4 ?seeds ?jobs ()))
+    | 5 ->
+        print_string
+          (snd (Arde_harness.Parsec_experiment.table5 ?seeds ?jobs ()))
+    | 6 ->
+        print_string
+          (snd (Arde_harness.Parsec_experiment.table6 ?seeds ?jobs ()))
     | n ->
         Printf.eprintf "no table %d (use 3-6)\n" n;
         exit 1
   in
   Cmd.v
     (Cmd.info "parsec" ~doc:"Reproduce the PARSEC tables (3-6).")
-    Term.(const run $ table_arg)
+    Term.(const run $ table_arg $ seeds_arg $ jobs_arg)
 
 let () =
   let doc = "ad-hoc synchronization identification for enhanced race detection" in

@@ -39,28 +39,26 @@ let at_event n blow =
       incr count;
       if !count = n then blow ()
 
-let apply (options : Driver.options) = function
-  | Adversarial_policy policy -> { options with Driver.policy }
-  | Spurious_wakeups -> { options with Driver.spurious_wakeups = true }
-  | Starve_fuel fuel -> { options with Driver.fuel }
+module Options = Arde_detect.Options
+
+let apply (options : Options.t) = function
+  | Adversarial_policy policy -> Options.with_policy policy options
+  | Spurious_wakeups -> Options.with_spurious_wakeups true options
+  | Starve_fuel fuel -> Options.with_fuel fuel options
   | Shift_seeds k ->
-      { options with Driver.seeds = List.map (( + ) k) options.Driver.seeds }
+      Options.with_seeds (List.map (( + ) k) options.Options.seeds) options
   | Fault_at n ->
-      {
-        options with
-        Driver.inject =
-          Some
-            (at_event n (fun () ->
-                 raise (Machine.Fault_exn (chaos_loc n, "chaos: injected fault"))));
-      }
+      Options.with_inject
+        (Some
+           (at_event n (fun () ->
+                raise (Machine.Fault_exn (chaos_loc n, "chaos: injected fault")))))
+        options
   | Crash_at n ->
-      {
-        options with
-        Driver.inject =
-          Some
-            (at_event n (fun () ->
-                 raise (Chaos_crash "chaos: injected internal crash")));
-      }
+      Options.with_inject
+        (Some
+           (at_event n (fun () ->
+                raise (Chaos_crash "chaos: injected internal crash"))))
+        options
 
 let benign = function
   | Adversarial_policy _ | Shift_seeds _ -> true
@@ -92,12 +90,12 @@ type report = {
   ch_escaped : (perturbation * string) list;
 }
 
-let run_one ?(options = Driver.default_options) mode program p =
+let run_one ?(options = Options.default) mode program p =
   match Driver.run ~options:(apply options p) mode program with
   | result -> Ok result
   | exception e -> Error (Printexc.to_string e)
 
-let storm ?(options = Driver.default_options) ?(runs = 50) ~seed mode program =
+let storm ?(options = Options.default) ?(runs = 50) ~seed mode program =
   let rng = Prng.create seed in
   let healthy = ref 0
   and degraded = ref 0
@@ -120,6 +118,27 @@ let storm ?(options = Driver.default_options) ?(runs = 50) ~seed mode program =
     ch_failed = !failed;
     ch_escaped = List.rev !escaped;
   }
+
+let report_to_json r =
+  let module J = Arde_util.Json in
+  J.Obj
+    [
+      ("runs", J.Int r.ch_runs);
+      ("healthy", J.Int r.ch_healthy);
+      ("degraded", J.Int r.ch_degraded);
+      ("failed", J.Int r.ch_failed);
+      ( "escaped",
+        J.List
+          (List.map
+             (fun (p, msg) ->
+               J.Obj
+                 [
+                   ( "perturbation",
+                     J.String (Format.asprintf "%a" pp_perturbation p) );
+                   ("error", J.String msg);
+                 ])
+             r.ch_escaped) );
+    ]
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -33,7 +33,7 @@ exception Chaos_crash of string
 val pp_perturbation : Format.formatter -> perturbation -> unit
 
 val apply :
-  Arde_detect.Driver.options -> perturbation -> Arde_detect.Driver.options
+  Arde_detect.Options.t -> perturbation -> Arde_detect.Options.t
 (** Distort a set of driver options with one perturbation. *)
 
 val benign : perturbation -> bool
@@ -56,7 +56,7 @@ type report = {
 }
 
 val run_one :
-  ?options:Arde_detect.Driver.options ->
+  ?options:Arde_detect.Options.t ->
   Arde_detect.Config.mode ->
   Arde_tir.Types.program ->
   perturbation ->
@@ -65,7 +65,7 @@ val run_one :
     exception that escaped the pipeline (which should never happen). *)
 
 val storm :
-  ?options:Arde_detect.Driver.options ->
+  ?options:Arde_detect.Options.t ->
   ?runs:int ->
   seed:int ->
   Arde_detect.Config.mode ->
@@ -76,3 +76,6 @@ val storm :
     tallies the resulting health verdicts. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> Arde_util.Json.t
+(** Stable serialized form for [arde chaos --format json]. *)

@@ -46,6 +46,8 @@ module Report = Arde_detect.Report
 module Config = Arde_detect.Config
 module Engine = Arde_detect.Engine
 module Cv_checker = Arde_detect.Cv_checker
+module Options = Arde_detect.Options
+module Analysis_cache = Arde_detect.Analysis_cache
 module Driver = Arde_detect.Driver
 
 (* Robustness: deterministic fault injection for the pipeline itself. *)
@@ -57,6 +59,8 @@ module Classify = Classify
 (* Utilities. *)
 module Prng = Arde_util.Prng
 module Table = Arde_util.Table
+module Json = Arde_util.Json
+module Domain_pool = Arde_util.Domain_pool
 
 let analyze_spins ~k program = Instrument.analyze ~k program
 (** Run only the instrumentation phase: find and classify spinning read

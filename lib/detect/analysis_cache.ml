@@ -1,0 +1,85 @@
+type stats = {
+  lower_hits : int;
+  lower_misses : int;
+  instrument_hits : int;
+  instrument_misses : int;
+}
+
+let lock = Mutex.create ()
+let lower_tbl : (string * Arde_tir.Lower.style, Arde_tir.Types.program) Hashtbl.t =
+  Hashtbl.create 64
+let inst_tbl : (string * int * bool, Arde_cfg.Instrument.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let lower_hits = ref 0
+let lower_misses = ref 0
+let inst_hits = ref 0
+let inst_misses = ref 0
+let on = ref true
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let digest prog = Digest.string (Arde_tir.Pretty.program_to_string prog)
+
+(* Look up under the mutex; compute outside it (analysis can be slow and
+   must not serialize unrelated cache users), then publish.  A racing
+   duplicate computation is harmless: both compute equal values and the
+   second [replace] wins. *)
+let memo tbl hits misses key compute =
+  let cached =
+    locked (fun () ->
+        if !on then
+          match Hashtbl.find_opt tbl key with
+          | Some v ->
+              incr hits;
+              Some v
+          | None ->
+              incr misses;
+              None
+        else begin
+          incr misses;
+          None
+        end)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      locked (fun () -> if !on then Hashtbl.replace tbl key v);
+      v
+
+let lowered ~style prog =
+  memo lower_tbl lower_hits lower_misses
+    (digest prog, style)
+    (fun () -> Arde_tir.Lower.lower ~style prog)
+
+let instrumented ~count_callees ~k prog =
+  memo inst_tbl inst_hits inst_misses
+    (digest prog, k, count_callees)
+    (fun () -> Arde_cfg.Instrument.analyze ~count_callees ~k prog)
+
+let stats () =
+  locked (fun () ->
+      {
+        lower_hits = !lower_hits;
+        lower_misses = !lower_misses;
+        instrument_hits = !inst_hits;
+        instrument_misses = !inst_misses;
+      })
+
+let reset_stats () =
+  locked (fun () ->
+      lower_hits := 0;
+      lower_misses := 0;
+      inst_hits := 0;
+      inst_misses := 0)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset lower_tbl;
+      Hashtbl.reset inst_tbl)
+
+let set_enabled b = locked (fun () -> on := b)
+let enabled () = locked (fun () -> !on)

@@ -1,0 +1,51 @@
+(** Process-wide cache for the static half of the pipeline.
+
+    Lowering and spin instrumentation are pure functions of the program
+    and a handful of knobs, yet the harnesses re-run them constantly: the
+    suite analyzes each case once per detector configuration, a chaos
+    storm analyzes the same program hundreds of times, and the bench
+    sweeps repeat whole suites.  This cache memoizes both stages, keyed
+    by [(program digest, knobs)]:
+
+    - {!lowered} is keyed by [(digest, style)];
+    - {!instrumented} is keyed by [(digest, k, count_callees)], where the
+      digest is of the (possibly already lowered) program actually
+      analyzed — so the lowering style is folded into the key by
+      construction.
+
+    The digest is of the program's canonical pretty-printed form, which
+    the parser round-trips, so equal-printing programs are genuinely
+    interchangeable.  Cached values ([Instrument.t], lowered programs)
+    are immutable after construction and therefore safe to share across
+    the driver's worker domains; the cache itself is mutex-guarded, so
+    concurrent [Driver.run] calls may share it too.
+
+    The cache is on by default.  [set_enabled false] makes both lookups
+    recompute (and record misses) — used by the bench harness to measure
+    the cache's contribution, and by tests comparing cached against
+    fresh results. *)
+
+val lowered : style:Arde_tir.Lower.style -> Arde_tir.Types.program ->
+  Arde_tir.Types.program
+
+val instrumented :
+  count_callees:bool -> k:int -> Arde_tir.Types.program -> Arde_cfg.Instrument.t
+
+type stats = {
+  lower_hits : int;
+  lower_misses : int;
+  instrument_hits : int;
+  instrument_misses : int;
+}
+
+val stats : unit -> stats
+(** Counters since the last {!reset_stats}; misses include lookups made
+    while the cache is disabled. *)
+
+val reset_stats : unit -> unit
+
+val clear : unit -> unit
+(** Drop every entry (counters survive; use {!reset_stats} for those). *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool

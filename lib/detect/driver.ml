@@ -2,32 +2,9 @@ open Arde_tir.Types
 module Machine = Arde_runtime.Machine
 module Sched = Arde_runtime.Sched
 
-type options = {
-  seeds : int list;
-  policy : Sched.policy;
-  fuel : int;
-  sensitivity : Msm.sensitivity;
-  cap : int;
-  lower_style : Arde_tir.Lower.style;
-  spurious_wakeups : bool;
-  count_callee_blocks : bool; (* spin-window accounting ablation *)
-  inject : (seed:int -> Arde_runtime.Event.t -> unit) option;
-      (* extra per-seed observer, teed in ahead of the engine; may raise
-         (fault/chaos injection) *)
-}
+type options = Options.t
 
-let default_options =
-  {
-    seeds = [ 1; 2; 3; 4; 5 ];
-    policy = Sched.Chunked 6;
-    fuel = 2_000_000;
-    sensitivity = Msm.Short_running;
-    cap = 1000;
-    lower_style = Arde_tir.Lower.Realistic;
-    spurious_wakeups = false;
-    count_callee_blocks = true;
-    inject = None;
-  }
+let default_options = Options.default
 
 type seed_outcome =
   | Completed of Machine.outcome
@@ -126,22 +103,25 @@ let describe_exn = function
   | Invalid_argument msg | Failure msg -> (None, msg)
   | e -> (None, Printexc.to_string e)
 
-(* Everything that happens before the per-seed loop: lowering, the
-   instrumentation phase, lock inference, compilation.  A crash here means
-   no seed can run at all — the caller turns it into a [Failed] health
-   record rather than letting the exception escape [Arde.detect]. *)
-let prepare options mode program =
+(* Everything that happens before the per-seed fan-out: lowering, the
+   instrumentation phase, lock inference, compilation.  Lowering and
+   instrumentation go through {!Analysis_cache}, so a harness that runs
+   the same program many times (suite, chaos storm, bench sweep) pays for
+   the static analysis once.  A crash here means no seed can run at all —
+   the caller turns it into a [Failed] health record rather than letting
+   the exception escape [Arde.detect]. *)
+let prepare (options : Options.t) mode program =
   let program =
     if Config.needs_lowering mode then
-      Arde_tir.Lower.lower ~style:options.lower_style program
+      Analysis_cache.lowered ~style:options.Options.lower_style program
     else program
   in
   let instrument =
     match Config.spin_k mode with
     | Some k ->
         Some
-          (Arde_cfg.Instrument.analyze
-             ~count_callees:options.count_callee_blocks ~k program)
+          (Analysis_cache.instrumented
+             ~count_callees:options.Options.count_callee_blocks ~k program)
     | None -> None
   in
   let cv_mutexes =
@@ -166,16 +146,19 @@ let prepare options mode program =
   let compiled = Machine.compile program in
   (program, instrument, cv_mutexes, inferred_locks, compiled)
 
-(* Run one seed inside a sandbox: machine faults surface as [Completed
-   (Fault _)] (the machine catches those itself), while escaping
-   exceptions — broken machine invariants, an observer blowing up,
-   injected chaos — become a [Crashed] outcome carrying whatever partial
-   report the engine had accumulated.  One sick seed never takes down the
-   others. *)
-let run_seed options mode ~instrument ~cv_mutexes ~inferred_locks ~merged
+(* The pure per-seed stage.  Runs one seed inside a sandbox and returns
+   the seed's record together with its private report — no shared state
+   is touched, which is what lets the driver run seeds on separate
+   domains.  Machine faults surface as [Completed (Fault _)] (the machine
+   catches those itself), while escaping exceptions — broken machine
+   invariants, an observer blowing up, injected chaos — become a
+   [Crashed] outcome carrying whatever partial report the engine had
+   accumulated.  One sick seed never takes down the others. *)
+let run_seed (options : Options.t) mode ~instrument ~cv_mutexes ~inferred_locks
     compiled seed =
   let detector_cfg =
-    Config.make ~sensitivity:options.sensitivity ~cap:options.cap mode
+    Config.make ~sensitivity:options.Options.sensitivity
+      ~cap:options.Options.cap mode
   in
   let engine =
     Engine.create ~cv_mutexes ~inferred_locks detector_cfg ~instrument
@@ -186,65 +169,83 @@ let run_seed options mode ~instrument ~cv_mutexes ~inferred_locks ~merged
       (Cv_checker.observer cv_checker)
   in
   let observer =
-    match options.inject with
+    match options.Options.inject with
     | None -> observer
     | Some f -> Arde_runtime.Trace.tee (f ~seed) observer
   in
   let mcfg =
     {
-      Machine.policy = options.policy;
+      Machine.policy = options.Options.policy;
       seed;
-      fuel = options.fuel;
+      fuel = options.Options.fuel;
       instrument;
-      spurious_wakeups = options.spurious_wakeups;
+      spurious_wakeups = options.Options.spurious_wakeups;
       observer;
     }
   in
   match Machine.run mcfg compiled with
   | res ->
       let rep = Engine.report engine in
-      Report.merge_into merged rep;
-      {
-        sr_seed = seed;
-        sr_outcome = Completed res.Machine.outcome;
-        sr_steps = res.Machine.steps;
-        sr_contexts = Report.n_contexts rep;
-        sr_capped = Report.capped rep;
-        sr_spin_edges = Engine.n_spin_edges engine;
-        sr_memory_words = Engine.memory_words engine;
-        sr_check_failures = res.Machine.check_failures;
-        sr_cv_diagnostics = Cv_checker.finalize cv_checker;
-      }
+      ( {
+          sr_seed = seed;
+          sr_outcome = Completed res.Machine.outcome;
+          sr_steps = res.Machine.steps;
+          sr_contexts = Report.n_contexts rep;
+          sr_capped = Report.capped rep;
+          sr_spin_edges = Engine.n_spin_edges engine;
+          sr_memory_words = Engine.memory_words engine;
+          sr_check_failures = res.Machine.check_failures;
+          sr_cv_diagnostics = Cv_checker.finalize cv_checker;
+        },
+        Some rep )
   | exception e ->
       let floc, msg = describe_exn e in
       (* Salvage what the engine saw before the crash; warnings found on
          the trace prefix are still valid observations. *)
       let rep = try Some (Engine.report engine) with _ -> None in
-      Option.iter (fun r -> try Report.merge_into merged r with _ -> ()) rep;
-      {
-        sr_seed = seed;
-        sr_outcome = Crashed (floc, msg);
-        sr_steps = 0;
-        sr_contexts =
-          (match rep with Some r -> Report.n_contexts r | None -> 0);
-        sr_capped = (match rep with Some r -> Report.capped r | None -> false);
-        sr_spin_edges = (try Engine.n_spin_edges engine with _ -> 0);
-        sr_memory_words = (try Engine.memory_words engine with _ -> 0);
-        sr_check_failures = [];
-        sr_cv_diagnostics = (try Cv_checker.finalize cv_checker with _ -> []);
-      }
+      ( {
+          sr_seed = seed;
+          sr_outcome = Crashed (floc, msg);
+          sr_steps = 0;
+          sr_contexts =
+            (match rep with Some r -> Report.n_contexts r | None -> 0);
+          sr_capped = (match rep with Some r -> Report.capped r | None -> false);
+          sr_spin_edges = (try Engine.n_spin_edges engine with _ -> 0);
+          sr_memory_words = (try Engine.memory_words engine with _ -> 0);
+          sr_check_failures = [];
+          sr_cv_diagnostics = (try Cv_checker.finalize cv_checker with _ -> []);
+        },
+        rep )
 
-let run ?(options = default_options) mode program =
+(* The deterministic merge stage.  Per-seed reports are folded in seed
+   order, whatever interleaving the pool produced, so [jobs = 1] and
+   [jobs = N] yield byte-identical merged reports: {!Report.merge_into}
+   keeps the first representative per context, and "first" is defined by
+   this fold. *)
+let merge_reports per_seed =
+  let merged = Report.create ~cap:max_int () in
+  List.iter
+    (fun (_, rep) ->
+      Option.iter (fun r -> try Report.merge_into merged r with _ -> ()) rep)
+    per_seed;
+  merged
+
+let run ?(options = Options.default) mode program =
   match prepare options mode program with
   | exception e -> failed_result mode (snd (describe_exn e))
   | program, instrument, cv_mutexes, inferred_locks, compiled ->
-      let merged = Report.create ~cap:max_int () in
-      let runs =
-        List.map
-          (run_seed options mode ~instrument ~cv_mutexes ~inferred_locks
-             ~merged compiled)
-          options.seeds
+      let jobs =
+        Options.effective_jobs options
+          ~n_seeds:(List.length options.Options.seeds)
       in
+      let per_seed =
+        Arde_util.Domain_pool.map ~jobs
+          (run_seed options mode ~instrument ~cv_mutexes ~inferred_locks
+             compiled)
+          options.Options.seeds
+      in
+      let merged = merge_reports per_seed in
+      let runs = List.map fst per_seed in
       let n_spin_loops =
         match instrument with
         | Some inst -> List.length (Arde_cfg.Instrument.spins inst)
@@ -288,6 +289,12 @@ let verdict_name = function
   | Degraded -> "degraded"
   | Failed -> "failed"
 
+let verdict_of_name = function
+  | "healthy" -> Some Healthy
+  | "degraded" -> Some Degraded
+  | "failed" -> Some Failed
+  | _ -> None
+
 let pp_health ppf h =
   Format.fprintf ppf
     "%s (%d seed%s: %d finished, %d deadlocked, %d livelocked, %d \
@@ -299,9 +306,119 @@ let pp_health ppf h =
   List.iter (fun n -> Format.fprintf ppf "@\n  %s" n) h.h_notes
 
 (* ------------------------------------------------------------------ *)
+(* Stable serialized forms                                            *)
+
+module J = Arde_util.Json
+
+let health_to_json h =
+  J.Obj
+    [
+      ("verdict", J.String (verdict_name h.h_verdict));
+      ("seeds", J.Int h.h_seeds);
+      ("finished", J.Int h.h_finished);
+      ("deadlocked", J.Int h.h_deadlocked);
+      ("livelocked", J.Int h.h_livelocked);
+      ("fuel_exhausted", J.Int h.h_fuel_exhausted);
+      ("faulted", J.Int h.h_faulted);
+      ("crashed", J.Int h.h_crashed);
+      ("notes", J.List (List.map (fun n -> J.String n) h.h_notes));
+    ]
+
+let health_of_json j =
+  let ( let* ) = Result.bind in
+  let int_field name =
+    match Option.bind (J.member name j) J.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let* verdict =
+    match Option.bind (J.member "verdict" j) J.to_str with
+    | Some s -> (
+        match verdict_of_name s with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "unknown verdict %S" s))
+    | None -> Error "missing field \"verdict\""
+  in
+  let* h_seeds = int_field "seeds" in
+  let* h_finished = int_field "finished" in
+  let* h_deadlocked = int_field "deadlocked" in
+  let* h_livelocked = int_field "livelocked" in
+  let* h_fuel_exhausted = int_field "fuel_exhausted" in
+  let* h_faulted = int_field "faulted" in
+  let* h_crashed = int_field "crashed" in
+  let* h_notes =
+    match Option.bind (J.member "notes" j) J.to_list with
+    | Some xs ->
+        List.fold_left
+          (fun acc x ->
+            let* acc = acc in
+            match J.to_str x with
+            | Some s -> Ok (s :: acc)
+            | None -> Error "ill-typed note")
+          (Ok []) xs
+        |> Result.map List.rev
+    | None -> Error "missing field \"notes\""
+  in
+  Ok
+    {
+      h_seeds;
+      h_finished;
+      h_deadlocked;
+      h_livelocked;
+      h_fuel_exhausted;
+      h_faulted;
+      h_crashed;
+      h_verdict = verdict;
+      h_notes;
+    }
+
+let seed_run_to_json sr =
+  J.Obj
+    [
+      ("seed", J.Int sr.sr_seed);
+      ("outcome", J.String (Format.asprintf "%a" pp_seed_outcome sr.sr_outcome));
+      ( "crashed",
+        J.Bool (match sr.sr_outcome with Crashed _ -> true | Completed _ -> false)
+      );
+      ("steps", J.Int sr.sr_steps);
+      ("contexts", J.Int sr.sr_contexts);
+      ("capped", J.Bool sr.sr_capped);
+      ("spin_edges", J.Int sr.sr_spin_edges);
+      ("memory_words", J.Int sr.sr_memory_words);
+      ( "check_failures",
+        J.List
+          (List.map
+             (fun (l, msg) ->
+               J.Obj [ ("loc", Report.loc_to_json l); ("msg", J.String msg) ])
+             sr.sr_check_failures) );
+      ( "cv_diagnostics",
+        J.List
+          (List.map
+             (fun d ->
+               J.String (Format.asprintf "%a" Cv_checker.pp_diagnostic d))
+             sr.sr_cv_diagnostics) );
+    ]
+
+let result_to_json r =
+  J.Obj
+    [
+      ("mode", J.String (Config.mode_name r.mode));
+      ("spin_loops", J.Int r.n_spin_loops);
+      ("report", Report.to_json r.merged);
+      ("runs", J.List (List.map seed_run_to_json r.runs));
+      ( "static_cv_hazards",
+        J.List
+          (List.map
+             (fun d ->
+               J.String (Format.asprintf "%a" Cv_checker.pp_diagnostic d))
+             r.static_cv_hazards) );
+      ("health", health_to_json r.health);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Same-trace comparison                                              *)
 
-let compare_on_trace ?(options = default_options) ~k program modes =
+let compare_on_trace ?(options = Options.default) ~k program modes =
   List.iter
     (fun mode ->
       if Config.needs_lowering mode then
@@ -337,11 +454,11 @@ let compare_on_trace ?(options = default_options) ~k program modes =
       let trace = Arde_runtime.Trace.create () in
       let mcfg =
         {
-          Machine.policy = options.policy;
+          Machine.policy = options.Options.policy;
           seed;
-          fuel = options.fuel;
+          fuel = options.Options.fuel;
           instrument;
-          spurious_wakeups = options.spurious_wakeups;
+          spurious_wakeups = options.Options.spurious_wakeups;
           observer = Arde_runtime.Trace.observer trace;
         }
       in
@@ -350,7 +467,8 @@ let compare_on_trace ?(options = default_options) ~k program modes =
       List.iter
         (fun (mode, merged) ->
           let detector_cfg =
-            Config.make ~sensitivity:options.sensitivity ~cap:options.cap mode
+            Config.make ~sensitivity:options.Options.sensitivity
+              ~cap:options.Options.cap mode
           in
           (* Spin-less engines must not see the loop metadata, or they
              would suppress marked bases like the spin-aware ones. *)
@@ -363,5 +481,5 @@ let compare_on_trace ?(options = default_options) ~k program modes =
           List.iter (Engine.observer engine) events;
           Report.merge_into merged (Engine.report engine))
         engines)
-    options.seeds;
+    options.Options.seeds;
   engines

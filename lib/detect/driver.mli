@@ -1,34 +1,29 @@
 (** End-to-end detector runs: program + mode + seeds → merged report.
 
-    For each seed the driver (1) picks the program form — lowered for
-    [Nolib_spin], as written otherwise; (2) runs the instrumentation phase
-    when the mode has a spin window; (3) executes the machine with the
-    engine attached as observer; (4) merges reports across seeds (a
-    dynamic detector's findings accumulate over runs) and averages the
-    per-run racy-context counts (the paper's PARSEC metric). *)
+    The pipeline has three stages:
+
+    - {e prepare} (once per program): pick the program form — lowered for
+      [Nolib_spin], as written otherwise — and run the instrumentation
+      phase when the mode has a spin window.  Both go through
+      {!Analysis_cache}, so repeated runs of the same program (suite
+      sweeps, chaos storms, benchmarks) skip the static analysis.
+    - {e per-seed} (pure, parallel): execute the machine with the engine
+      attached as observer, one sandboxed run per seed, fanned out over a
+      domain pool [Options.jobs] wide.
+    - {e merge} (deterministic): fold the per-seed reports in seed order
+      (a dynamic detector's findings accumulate over runs) and average
+      the per-run racy-context counts (the paper's PARSEC metric).  The
+      fold order is fixed, so results are byte-identical whatever the
+      pool width. *)
 
 open Arde_tir.Types
 
-type options = {
-  seeds : int list;
-  policy : Arde_runtime.Sched.policy;
-  fuel : int;
-  sensitivity : Msm.sensitivity;
-  cap : int;
-  lower_style : Arde_tir.Lower.style;
-  spurious_wakeups : bool;
-  count_callee_blocks : bool;
-      (* count condition-helper callee blocks toward the spin window (the
-         paper's accounting); false is the ablation *)
-  inject : (seed:int -> Arde_runtime.Event.t -> unit) option;
-      (* extra per-seed observer, teed in ahead of the engine.  It may
-         raise: [Machine.Fault_exn] becomes a machine [Fault] outcome,
-         anything else crashes that seed's sandbox (chaos testing). *)
-}
+type options = Options.t
+(** Build with {!Options.make} and the [Options.with_*] combinators. *)
 
 val default_options : options
-(** Seeds 1–5, [Chunked 6], 2M fuel, short-running, cap 1000, realistic
-    lowering, no spurious wakeups, no injection. *)
+  [@@ocaml.deprecated "use Arde.Options.default (or Options.make ())"]
+(** Thin alias for {!Options.default}, kept for one release. *)
 
 type seed_outcome =
   | Completed of Arde_runtime.Machine.outcome
@@ -75,7 +70,7 @@ type health = {
 type result = {
   mode : Config.mode;
   merged : Report.t; (* union of warnings over all seeds *)
-  runs : seed_run list;
+  runs : seed_run list; (* in seed order, whatever the pool did *)
   n_spin_loops : int; (* accepted by the instrumentation phase *)
   static_cv_hazards : Cv_checker.diagnostic list;
       (* waits without a predicate re-check loop *)
@@ -83,10 +78,12 @@ type result = {
 }
 
 val run : ?options:options -> Config.mode -> program -> result
-(** Fault-isolated: each seed executes in a sandbox, so one seed crashing
-    (or the whole pipeline failing to prepare the program) yields a
-    [Crashed] seed outcome / [Failed] health record while every healthy
-    seed's warnings are still merged.  This function does not raise. *)
+(** Fault-isolated and parallel: each seed executes in a sandbox on the
+    domain pool, so one seed crashing (or the whole pipeline failing to
+    prepare the program) yields a [Crashed] seed outcome / [Failed]
+    health record while every healthy seed's warnings are still merged.
+    The merged report, health verdict and run list are independent of
+    [Options.jobs].  This function does not raise. *)
 
 val health_of : ?notes:string list -> seed_run list -> health
 (** Tally seed outcomes into a health record (exposed for harnesses that
@@ -102,7 +99,27 @@ val any_bad_outcome : result -> seed_outcome option
 
 val pp_seed_outcome : Format.formatter -> seed_outcome -> unit
 val verdict_name : health_verdict -> string
+
+val verdict_of_name : string -> health_verdict option
+(** Inverse of {!verdict_name}. *)
+
 val pp_health : Format.formatter -> health -> unit
+
+(** {1 Stable serialized forms}
+
+    The [--format json] wire contract: CI and the bench harness consume
+    these instead of scraping pretty-printed text. *)
+
+val health_to_json : health -> Arde_util.Json.t
+val health_of_json : Arde_util.Json.t -> (health, string) Stdlib.result
+(** [health_of_json (health_to_json h) = Ok h]. *)
+
+val seed_run_to_json : seed_run -> Arde_util.Json.t
+(** Counters plus rendered outcome/diagnostic strings (not invertible). *)
+
+val result_to_json : result -> Arde_util.Json.t
+(** Mode, spin-loop count, merged report ({!Report.to_json}), per-seed
+    runs, static hazards, health. *)
 
 val compare_on_trace :
   ?options:options ->

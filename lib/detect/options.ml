@@ -1,0 +1,61 @@
+type t = {
+  seeds : int list;
+  policy : Arde_runtime.Sched.policy;
+  fuel : int;
+  jobs : int;
+  sensitivity : Msm.sensitivity;
+  cap : int;
+  lower_style : Arde_tir.Lower.style;
+  spurious_wakeups : bool;
+  count_callee_blocks : bool;
+  inject : (seed:int -> Arde_runtime.Event.t -> unit) option;
+}
+
+let default_jobs = Domain.recommended_domain_count ()
+
+let default =
+  {
+    seeds = [ 1; 2; 3; 4; 5 ];
+    policy = Arde_runtime.Sched.Chunked 6;
+    fuel = 2_000_000;
+    jobs = 0;
+    sensitivity = Msm.Short_running;
+    cap = 1000;
+    lower_style = Arde_tir.Lower.Realistic;
+    spurious_wakeups = false;
+    count_callee_blocks = true;
+    inject = None;
+  }
+
+let make ?seeds ?policy ?fuel ?jobs ?sensitivity ?cap ?lower_style
+    ?spurious_wakeups ?count_callee_blocks ?inject () =
+  {
+    seeds = Option.value ~default:default.seeds seeds;
+    policy = Option.value ~default:default.policy policy;
+    fuel = Option.value ~default:default.fuel fuel;
+    jobs = Option.value ~default:default.jobs jobs;
+    sensitivity = Option.value ~default:default.sensitivity sensitivity;
+    cap = Option.value ~default:default.cap cap;
+    lower_style = Option.value ~default:default.lower_style lower_style;
+    spurious_wakeups =
+      Option.value ~default:default.spurious_wakeups spurious_wakeups;
+    count_callee_blocks =
+      Option.value ~default:default.count_callee_blocks count_callee_blocks;
+    inject;
+  }
+
+let with_seeds seeds t = { t with seeds }
+let with_seed_count n t = { t with seeds = List.init (max 0 n) (fun i -> i + 1) }
+let with_policy policy t = { t with policy }
+let with_fuel fuel t = { t with fuel }
+let with_jobs jobs t = { t with jobs }
+let with_sensitivity sensitivity t = { t with sensitivity }
+let with_cap cap t = { t with cap }
+let with_lower_style lower_style t = { t with lower_style }
+let with_spurious_wakeups spurious_wakeups t = { t with spurious_wakeups }
+let with_count_callee_blocks count_callee_blocks t = { t with count_callee_blocks }
+let with_inject inject t = { t with inject }
+
+let effective_jobs t ~n_seeds =
+  let width = if t.jobs <= 0 then default_jobs else t.jobs in
+  max 1 (min width n_seeds)

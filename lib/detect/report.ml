@@ -61,3 +61,93 @@ let pp ppf t =
     (if t.hit_cap then " (capped)" else "");
   List.iter (fun r -> Format.fprintf ppf "  %a@," pp_race r) (races t);
   Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Stable serialized form                                             *)
+
+module J = Arde_util.Json
+
+let loc_to_json (l : loc) =
+  J.Obj [ ("func", J.String l.lfunc); ("blk", J.String l.lblk); ("idx", J.Int l.lidx) ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let loc_of_json j =
+  let* lfunc = field "func" J.to_str j in
+  let* lblk = field "blk" J.to_str j in
+  let* lidx = field "idx" J.to_int j in
+  Ok { lfunc; lblk; lidx }
+
+let access_to_json tid l write =
+  J.Obj [ ("tid", J.Int tid); ("loc", loc_to_json l); ("write", J.Bool write) ]
+
+let access_of_json j =
+  let* tid = field "tid" J.to_int j in
+  let* l =
+    match J.member "loc" j with
+    | Some lj -> loc_of_json lj
+    | None -> Error "missing field \"loc\""
+  in
+  let* write = field "write" J.to_bool j in
+  Ok (tid, l, write)
+
+let race_to_json r =
+  J.Obj
+    [
+      ("base", J.String r.r_base);
+      ("idx", J.Int r.r_idx);
+      ("first", access_to_json r.r_first_tid r.r_first_loc r.r_first_write);
+      ("second", access_to_json r.r_second_tid r.r_second_loc r.r_second_write);
+    ]
+
+let race_of_json j =
+  let* r_base = field "base" J.to_str j in
+  let* r_idx = field "idx" J.to_int j in
+  let side name =
+    match J.member name j with
+    | Some sj -> access_of_json sj
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let* r_first_tid, r_first_loc, r_first_write = side "first" in
+  let* r_second_tid, r_second_loc, r_second_write = side "second" in
+  Ok
+    {
+      r_base;
+      r_idx;
+      r_first_tid;
+      r_first_loc;
+      r_first_write;
+      r_second_tid;
+      r_second_loc;
+      r_second_write;
+    }
+
+let to_json t =
+  J.Obj
+    [
+      ("cap", J.Int t.cap);
+      ("capped", J.Bool t.hit_cap);
+      ("races", J.List (List.map race_to_json (races t)));
+    ]
+
+let of_json j =
+  let* cap = field "cap" J.to_int j in
+  let* capped = field "capped" J.to_bool j in
+  let* race_js = field "races" J.to_list j in
+  let* races =
+    List.fold_left
+      (fun acc rj ->
+        let* acc = acc in
+        let* r = race_of_json rj in
+        Ok (r :: acc))
+      (Ok []) race_js
+  in
+  let t = create ~cap () in
+  List.iter (add t) (List.rev races);
+  t.hit_cap <- capped;
+  Ok t

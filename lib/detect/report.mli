@@ -40,3 +40,22 @@ val merge_into : t -> t -> unit
 
 val pp : Format.formatter -> t -> unit
 val pp_race : Format.formatter -> race -> unit
+
+(** {1 Stable serialized form}
+
+    The JSON shape is the report's wire contract: CI and the bench
+    harness consume it instead of scraping the pretty-printer.  Field
+    order is fixed, so equal reports serialize byte-identically. *)
+
+val loc_to_json : loc -> Arde_util.Json.t
+val loc_of_json : Arde_util.Json.t -> (loc, string) result
+val race_to_json : race -> Arde_util.Json.t
+val race_of_json : Arde_util.Json.t -> (race, string) result
+
+val to_json : t -> Arde_util.Json.t
+(** Cap, capped flag, and every representative race in first-seen
+    order. *)
+
+val of_json : Arde_util.Json.t -> (t, string) result
+(** Inverse of {!to_json}: [of_json (to_json t)] reconstructs a report
+    with the same races, contexts, cap and capped flag. *)

@@ -15,13 +15,9 @@ module Driver = Arde.Driver
 let modes = Config.all_table1_modes
 
 let parsec_options (info : Parsec.info) =
-  {
-    Driver.default_options with
-    Driver.sensitivity = Arde.Msm.Long_running;
-    (* integration-style runs, per the paper *)
-    lower_style = info.Parsec.nolib_style;
-    fuel = 4_000_000;
-  }
+  (* integration-style runs, per the paper *)
+  Arde.Options.make ~sensitivity:Arde.Msm.Long_running
+    ~lower_style:info.Parsec.nolib_style ~fuel:4_000_000 ()
 
 type row = {
   info : Parsec.info;
@@ -32,8 +28,13 @@ type row = {
       (* any run that did not finish cleanly *)
 }
 
-let run_one ?(seeds = [ 1; 2; 3; 4; 5 ]) (info, program) =
-  let options = { (parsec_options info) with Driver.seeds = seeds } in
+let run_one ?(seeds = [ 1; 2; 3; 4; 5 ]) ?jobs (info, program) =
+  let options = Arde.Options.with_seeds seeds (parsec_options info) in
+  let options =
+    match jobs with
+    | None -> options
+    | Some j -> Arde.Options.with_jobs j options
+  in
   let per_mode =
     List.map
       (fun mode ->
@@ -111,14 +112,14 @@ let contexts_table rows =
   Arde_util.Table.render t
   ^ String.concat "" (List.map (fun w -> w ^ "\n") (warnings rows))
 
-let table4 ?seeds () =
-  let rows = List.map (run_one ?seeds) (Parsec.without_adhoc ()) in
+let table4 ?seeds ?jobs () =
+  let rows = List.map (run_one ?seeds ?jobs) (Parsec.without_adhoc ()) in
   (rows, contexts_table rows)
 
-let table5 ?seeds () =
-  let rows = List.map (run_one ?seeds) (Parsec.with_adhoc ()) in
+let table5 ?seeds ?jobs () =
+  let rows = List.map (run_one ?seeds ?jobs) (Parsec.with_adhoc ()) in
   (rows, contexts_table rows)
 
-let table6 ?seeds () =
-  let rows = List.map (run_one ?seeds) (Parsec.all ()) in
+let table6 ?seeds ?jobs () =
+  let rows = List.map (run_one ?seeds ?jobs) (Parsec.all ()) in
   (rows, contexts_table rows)

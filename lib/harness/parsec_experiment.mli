@@ -16,7 +16,10 @@ val modes : Arde.Config.mode list
 (** The four table columns. *)
 
 val run_one :
-  ?seeds:int list -> Arde_workloads.Parsec.info * Arde.Types.program -> row
+  ?seeds:int list ->
+  ?jobs:int ->
+  Arde_workloads.Parsec.info * Arde.Types.program ->
+  row
 
 val table3 :
   ?programs:(Arde_workloads.Parsec.info * Arde.Types.program) list ->
@@ -24,11 +27,11 @@ val table3 :
   string
 (** The static inventory (model, LOC, primitives used). *)
 
-val table4 : ?seeds:int list -> unit -> row list * string
+val table4 : ?seeds:int list -> ?jobs:int -> unit -> row list * string
 (** Programs without ad-hoc synchronization. *)
 
-val table5 : ?seeds:int list -> unit -> row list * string
+val table5 : ?seeds:int list -> ?jobs:int -> unit -> row list * string
 (** Programs with ad-hoc synchronization. *)
 
-val table6 : ?seeds:int list -> unit -> row list * string
+val table6 : ?seeds:int list -> ?jobs:int -> unit -> row list * string
 (** All thirteen programs — the universal-detector summary. *)

@@ -20,12 +20,8 @@ type mode_result = {
 }
 
 let suite_options =
-  {
-    Driver.default_options with
-    Driver.seeds = [ 1; 2; 3 ];
-    fuel = 400_000;
-    sensitivity = Arde.Msm.Short_running;
-  }
+  Arde.Options.make ~seeds:[ 1; 2; 3 ] ~fuel:400_000
+    ~sensitivity:Arde.Msm.Short_running ()
 
 let run_mode ?(options = suite_options) mode cases =
   let tally = Classify.tally_create () in

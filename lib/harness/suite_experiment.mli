@@ -16,11 +16,11 @@ type mode_result = {
   details : case_result list;
 }
 
-val suite_options : Arde.Driver.options
+val suite_options : Arde.Options.t
 (** Three seeds, 400k fuel, short-running state machine. *)
 
 val run_mode :
-  ?options:Arde.Driver.options ->
+  ?options:Arde.Options.t ->
   Arde.Config.mode ->
   Arde_workloads.Racey.case list ->
   mode_result
@@ -29,11 +29,11 @@ val failures_of : mode_result -> case_result list
 val render : mode_result list -> string
 
 val table1 :
-  ?options:Arde.Driver.options -> unit -> mode_result list * string
+  ?options:Arde.Options.t -> unit -> mode_result list * string
 (** The paper's four configurations over the whole suite. *)
 
 val table2 :
-  ?options:Arde.Driver.options ->
+  ?options:Arde.Options.t ->
   ?ks:int list ->
   unit ->
   mode_result list * string

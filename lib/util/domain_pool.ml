@@ -1,0 +1,51 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Nested parallelism guard: a worker that itself calls [map] (e.g. a
+   harness running parallel detections whose driver also fans out) runs
+   the inner map sequentially instead of multiplying domains. *)
+let inside_pool = Domain.DLS.new_key (fun () -> false)
+
+let map ~jobs f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs = min jobs n in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_pool then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let body () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match f items.(i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let worker () =
+      Domain.DLS.set inside_pool true;
+      body ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is the pool's first worker. *)
+    Domain.DLS.set inside_pool true;
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set inside_pool false;
+        List.iter Domain.join domains)
+      body;
+    (* Joins above give the happens-before edge that makes every
+       [results] slot visible here. *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None ->
+             (* Unreachable: every index below [n] is claimed exactly once
+                and filled before its claimant exits. *)
+             invalid_arg "Domain_pool.map: missing result")
+  end

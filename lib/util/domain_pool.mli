@@ -1,0 +1,27 @@
+(** Order-preserving parallel map over an OCaml 5 domain pool.
+
+    [map ~jobs f xs] applies [f] to every element of [xs] and returns the
+    results in input order, running up to [jobs] applications
+    concurrently on separate domains.  Work is handed out through a
+    shared atomic counter, so domains that finish early steal the next
+    pending item rather than idling.
+
+    Determinism contract: the {e result list} depends only on [f] and
+    [xs], never on [jobs] — callers that fold over it in order observe
+    the same sequence whether the work ran on one domain or many.  [f]
+    itself must be safe to run concurrently with other applications of
+    [f] (no shared mutable state between items).
+
+    With [jobs <= 1], a single-element list, or inside a pool worker
+    already, this degrades to a plain sequential [List.map] on the
+    calling domain — no domains are spawned.
+
+    If an application of [f] raises, the exception is re-raised on the
+    calling domain (the first one in input order wins); the remaining
+    items may or may not have been processed. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool width to use when the
+    caller expresses no preference. *)

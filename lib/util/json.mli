@@ -1,0 +1,41 @@
+(** A minimal JSON tree, printer and parser.
+
+    Just enough for the machine-readable report surface ([Report.to_json],
+    [Driver.health_to_json], the [--format json] CLI flag and the bench
+    harness's [BENCH_parallel.json]) without pulling an external
+    dependency.  The printer emits deterministic output — object fields
+    in the order given — so serialized reports can be compared
+    byte-for-byte, and [parse] accepts everything [to_string] emits
+    (round trip). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Serialize.  [minify] (default [true]) drops all whitespace; otherwise
+    output is indented for human readers.  Strings are escaped per RFC
+    8259; floats print with enough digits to round-trip. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document.  Numbers without [.], [e] or [E]
+    become [Int]; everything else numeric becomes [Float].  Errors carry
+    a character offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the first binding of [k], if any; [None] on
+    non-objects. *)
+
+val to_int : t -> int option
+(** [Int n] (or an integral [Float]) as an int. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_float : t -> float option
+(** [Float] or [Int] as a float. *)

@@ -124,7 +124,7 @@ let test_classify () =
 (* ---- end-to-end detector behaviour ---- *)
 
 let detect_bases ?(mode = Arde.Config.Helgrind_lib) ?(seeds = [ 1; 2; 3 ]) p =
-  let options = { Arde.Driver.default_options with Arde.Driver.seeds } in
+  let options = Arde.Options.make ~seeds () in
   Arde.Driver.racy_bases (Arde.detect ~options mode p)
 
 let two_workers ?(globals = []) body1 body2 =
@@ -230,7 +230,7 @@ let test_spin_edges_counted () =
     | Some c -> c.Arde_workloads.Racey.program
     | None -> Alcotest.fail "case missing"
   in
-  let options = { Arde.Driver.default_options with Arde.Driver.seeds = [ 1 ] } in
+  let options = Arde.Options.make ~seeds:[ 1 ] () in
   let res = Arde.detect ~options (Arde.Config.Helgrind_spin 7) c in
   let edges =
     List.fold_left (fun acc s -> acc + s.Arde.Driver.sr_spin_edges) 0
@@ -243,9 +243,7 @@ let test_short_vs_long_sensitivity () =
      reports it, the long-running machine only arms. *)
   let p = two_workers [ store (g "x") (imm 1) ] [ store (g "x") (imm 2) ] in
   let with_sens sensitivity =
-    let options =
-      { Arde.Driver.default_options with Arde.Driver.seeds = [ 1; 2; 3; 4; 5 ]; sensitivity }
-    in
+    let options = Arde.Options.make ~seeds:[ 1; 2; 3; 4; 5 ] ~sensitivity () in
     Arde.Driver.racy_bases (Arde.detect ~options Arde.Config.Helgrind_lib p)
   in
   Alcotest.(check (list string)) "short-running reports" [ "x" ]

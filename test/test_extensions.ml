@@ -133,12 +133,7 @@ let test_lost_signal_detected () =
           ];
       ]
   in
-  let options =
-    {
-      Arde.Driver.default_options with
-      Arde.Driver.seeds = List.init 40 (fun i -> i + 1);
-    }
-  in
+  let options = Arde.Options.make ~seeds:(List.init 40 (fun i -> i + 1)) () in
   let result = Arde.detect ~options Arde.Config.Helgrind_lib p in
   let lost =
     List.exists
@@ -152,7 +147,7 @@ let test_lost_signal_detected () =
 
 let test_no_lost_signal_when_correct () =
   let options =
-    { Arde.Driver.default_options with Arde.Driver.seeds = List.init 10 (fun i -> i + 1) }
+    Arde.Options.make ~seeds:(List.init 10 (fun i -> i + 1)) ()
   in
   let result =
     Arde.detect ~options Arde.Config.Helgrind_lib (gate_program ~recheck:true)

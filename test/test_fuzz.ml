@@ -150,7 +150,7 @@ let prop_detectors_never_crash =
       List.for_all
         (fun mode ->
           let options =
-            { Arde.Driver.default_options with Arde.Driver.seeds = [ 1; 2 ] }
+            Arde.Options.make ~seeds:[ 1; 2 ] ()
           in
           ignore (Arde.detect ~options mode p);
           true)

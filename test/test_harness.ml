@@ -15,7 +15,7 @@ let mini_cases () =
     [ "adhoc_flag_w2/8"; "racy_counter/2"; "lock_counter/2" ]
 
 let mini_options =
-  { SE.suite_options with Arde.Driver.seeds = [ 1 ] }
+  Arde.Options.with_seeds [ 1 ] SE.suite_options
 
 let test_run_mode_tallies () =
   let mr = SE.run_mode ~options:mini_options Arde.Config.Helgrind_lib (mini_cases ()) in

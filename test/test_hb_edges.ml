@@ -6,12 +6,7 @@
 open Arde.Builder
 
 let bases ?(mode = Arde.Config.Nolib_spin 7) ?(seeds = 5) p =
-  let options =
-    {
-      Arde.Driver.default_options with
-      Arde.Driver.seeds = List.init seeds (fun i -> i + 1);
-    }
-  in
+  let options = Arde.Options.make ~seeds:(List.init seeds (fun i -> i + 1)) () in
   Arde.Driver.racy_bases (Arde.detect ~options mode p)
 
 let all_modes =
@@ -173,11 +168,7 @@ let test_spin_edge_does_not_cover_bystanders () =
 let test_futex_join_recovered () =
   let p = spawn_edge in
   let options =
-    {
-      Arde.Driver.default_options with
-      Arde.Driver.seeds = [ 1; 2; 3 ];
-      lower_style = Arde.Lower.Futex;
-    }
+    Arde.Options.make ~seeds:[ 1; 2; 3 ] ~lower_style:Arde.Lower.Futex ()
   in
   (* main reads nothing after join here, so extend: worker writes, main
      checks after join through the harness [after] — reuse join_result. *)

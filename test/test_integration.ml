@@ -69,13 +69,9 @@ let parsec_contexts name mode =
   | None -> Alcotest.failf "program %s missing" name
   | Some (info, program) ->
       let options =
-        {
-          Arde.Driver.default_options with
-          Arde.Driver.seeds = [ 1 ];
-          sensitivity = Arde.Msm.Long_running;
-          lower_style = info.Arde_workloads.Parsec.nolib_style;
-          fuel = 4_000_000;
-        }
+        Arde.Options.make ~seeds:[ 1 ] ~sensitivity:Arde.Msm.Long_running
+          ~lower_style:info.Arde_workloads.Parsec.nolib_style ~fuel:4_000_000
+          ()
       in
       let result = Arde.detect ~options mode program in
       (List.hd result.Arde.Driver.runs).Arde.Driver.sr_contexts

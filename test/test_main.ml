@@ -17,6 +17,7 @@ let () =
       ("props", Test_props.suite);
       ("fuzz", Test_fuzz.suite);
       ("robustness", Test_robustness.suite);
+      ("parallel", Test_parallel.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
     ]

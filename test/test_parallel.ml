@@ -1,0 +1,273 @@
+(* The parallel per-seed stage and its supporting API surface:
+
+   - determinism: [jobs = 1] and [jobs = 8] produce byte-identical
+     results (merged report, per-seed runs, health verdict), across the
+     workload catalog and under chaos-injected crashes;
+   - the analysis cache returns exactly what a fresh analysis returns,
+     and actually hits on repeated runs;
+   - the JSON wire forms round-trip;
+   - the Options construction API behaves. *)
+
+module D = Arde.Driver
+module O = Arde.Options
+module J = Arde.Json
+
+let result_bytes r = J.to_string (D.result_to_json r)
+
+let run_with_jobs ~jobs ?(options = O.default) mode p =
+  Arde.detect ~options:(O.with_jobs jobs options) mode p
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across pool widths                                      *)
+
+(* A slice of the catalog: every 12th case samples all categories
+   without making the test slow. *)
+let catalog_sample () =
+  List.filteri (fun i _ -> i mod 12 = 0) (Arde_workloads.Racey.all ())
+
+let test_jobs_determinism () =
+  let options = O.make ~seeds:[ 1; 2; 3; 4; 5; 6 ] ~fuel:400_000 () in
+  List.iter
+    (fun (c : Arde_workloads.Racey.case) ->
+      List.iter
+        (fun mode ->
+          let seq = run_with_jobs ~jobs:1 ~options mode c.program in
+          let par = run_with_jobs ~jobs:8 ~options mode c.program in
+          Alcotest.(check string)
+            (Printf.sprintf "%s under %s: jobs=1 = jobs=8" c.name
+               (Arde.Config.mode_name mode))
+            (result_bytes seq) (result_bytes par);
+          Alcotest.(check (list string))
+            (c.name ^ ": racy bases agree") (D.racy_bases seq)
+            (D.racy_bases par))
+        [ Arde.Config.Helgrind_lib; Arde.Config.Helgrind_spin 7 ])
+    (catalog_sample ())
+
+let racy_case name =
+  match Arde_workloads.Racey.find name with
+  | Some c -> c.Arde_workloads.Racey.program
+  | None -> Alcotest.failf "case %s missing" name
+
+let test_jobs_determinism_under_chaos () =
+  (* Crashing and faulting seeds exercise the sandbox on worker domains;
+     the salvage path must stay order-stable too. *)
+  let p = racy_case "racy_counter/2" in
+  List.iter
+    (fun perturbation ->
+      let options =
+        Arde.Chaos.apply
+          (O.make ~seeds:[ 1; 2; 3; 4; 5 ] ~fuel:60_000 ())
+          perturbation
+      in
+      let seq = run_with_jobs ~jobs:1 ~options Arde.Config.(Helgrind_spin 7) p in
+      let par = run_with_jobs ~jobs:8 ~options Arde.Config.(Helgrind_spin 7) p in
+      Alcotest.(check string)
+        (Format.asprintf "%a: jobs=1 = jobs=8" Arde.Chaos.pp_perturbation
+           perturbation)
+        (result_bytes seq) (result_bytes par))
+    [
+      Arde.Chaos.Crash_at 40;
+      Arde.Chaos.Fault_at 25;
+      Arde.Chaos.Spurious_wakeups;
+      Arde.Chaos.Starve_fuel 200;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Analysis cache                                                      *)
+
+let test_cache_matches_fresh_instrumentation () =
+  let p = racy_case "adhoc_flag_w2/8" in
+  Arde.Analysis_cache.clear ();
+  let fresh = Arde.Instrument.analyze ~count_callees:true ~k:7 p in
+  let first = Arde.Analysis_cache.instrumented ~count_callees:true ~k:7 p in
+  let cached = Arde.Analysis_cache.instrumented ~count_callees:true ~k:7 p in
+  let summary i = Format.asprintf "%a" Arde.Instrument.pp_summary i in
+  Alcotest.(check string) "cache miss = fresh analysis" (summary fresh)
+    (summary first);
+  Alcotest.(check string) "cache hit = fresh analysis" (summary fresh)
+    (summary cached);
+  Alcotest.(check int) "same accepted spin loops"
+    (List.length (Arde.Instrument.spins fresh))
+    (List.length (Arde.Instrument.spins cached))
+
+let test_cache_matches_fresh_lowering () =
+  let p = racy_case "adhoc_flag_w2/8" in
+  Arde.Analysis_cache.clear ();
+  let style = Arde.Lower.Realistic in
+  let fresh = Arde.Lower.lower ~style p in
+  ignore (Arde.Analysis_cache.lowered ~style p);
+  let cached = Arde.Analysis_cache.lowered ~style p in
+  Alcotest.(check string) "cached lowering = fresh lowering"
+    (Arde.Pretty.program_to_string fresh)
+    (Arde.Pretty.program_to_string cached)
+
+let test_cache_hits_on_repeated_runs () =
+  let p = racy_case "adhoc_flag_w2/8" in
+  let options = O.make ~seeds:[ 1; 2; 3; 4; 5 ] ~fuel:100_000 () in
+  Arde.Analysis_cache.clear ();
+  Arde.Analysis_cache.reset_stats ();
+  (* Nolib_spin lowers and instruments, so both caches are exercised. *)
+  ignore (Arde.detect ~options (Arde.Config.Nolib_spin 7) p);
+  ignore (Arde.detect ~options (Arde.Config.Nolib_spin 7) p);
+  let s = Arde.Analysis_cache.stats () in
+  Alcotest.(check bool) "instrumentation cache hit" true
+    (s.Arde.Analysis_cache.instrument_hits > 0);
+  Alcotest.(check bool) "lowering cache hit" true
+    (s.Arde.Analysis_cache.lower_hits > 0)
+
+let test_cache_disabled_recomputes () =
+  let p = racy_case "racy_counter/2" in
+  Arde.Analysis_cache.clear ();
+  Arde.Analysis_cache.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Arde.Analysis_cache.set_enabled true)
+    (fun () ->
+      Arde.Analysis_cache.reset_stats ();
+      ignore (Arde.Analysis_cache.instrumented ~count_callees:true ~k:7 p);
+      ignore (Arde.Analysis_cache.instrumented ~count_callees:true ~k:7 p);
+      let s = Arde.Analysis_cache.stats () in
+      Alcotest.(check int) "no hits while disabled" 0
+        s.Arde.Analysis_cache.instrument_hits;
+      Alcotest.(check int) "both lookups miss" 2
+        s.Arde.Analysis_cache.instrument_misses)
+
+(* ------------------------------------------------------------------ *)
+(* JSON wire forms                                                     *)
+
+let test_json_value_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("null", J.Null);
+        ("flag", J.Bool true);
+        ("n", J.Int (-42));
+        ("pi", J.Float 3.25);
+        ("whole", J.Float 2.0);
+        ("s", J.String "line\nbreak \"quoted\" \t tab \\ slash");
+        ("xs", J.List [ J.Int 1; J.List []; J.Obj [] ]);
+      ]
+  in
+  (match J.parse (J.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "minified round-trip" true (v = v')
+  | Error e -> Alcotest.fail e);
+  (match J.parse (J.to_string ~minify:false v) with
+  | Ok v' -> Alcotest.(check bool) "pretty round-trip" true (v = v')
+  | Error e -> Alcotest.fail e);
+  match J.parse "{\"unterminated\": " with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad input parsed"
+
+let test_report_json_roundtrip () =
+  let r =
+    Arde.detect
+      ~options:(O.make ~seeds:[ 1; 2; 3 ] ())
+      Arde.Config.Helgrind_lib (racy_case "racy_counter/2")
+  in
+  let merged = r.D.merged in
+  Alcotest.(check bool) "report is non-trivial" true
+    (Arde.Report.n_contexts merged > 0);
+  match Arde.Report.of_json (Arde.Report.to_json merged) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      Alcotest.(check int) "contexts preserved"
+        (Arde.Report.n_contexts merged)
+        (Arde.Report.n_contexts back);
+      Alcotest.(check bool) "races preserved" true
+        (Arde.Report.races merged = Arde.Report.races back);
+      Alcotest.(check string) "re-serialization is byte-identical"
+        (J.to_string (Arde.Report.to_json merged))
+        (J.to_string (Arde.Report.to_json back))
+
+let test_health_json_roundtrip () =
+  (* A degraded run gives the health record non-zero counters and
+     notes. *)
+  let options =
+    Arde.Chaos.apply (O.make ~seeds:[ 1; 2; 3 ] ~fuel:60_000 ())
+      (Arde.Chaos.Crash_at 30)
+  in
+  let r =
+    Arde.detect ~options Arde.Config.Helgrind_lib (racy_case "racy_counter/2")
+  in
+  let h = r.D.health in
+  match D.health_of_json (D.health_to_json h) with
+  | Error e -> Alcotest.fail e
+  | Ok back -> Alcotest.(check bool) "health round-trips" true (h = back)
+
+(* ------------------------------------------------------------------ *)
+(* Options construction API                                            *)
+
+let test_options_api () =
+  Alcotest.(check bool) "make () = default" true (O.make () = O.default);
+  let o =
+    O.default
+    |> O.with_seed_count 4
+    |> O.with_fuel 123
+    |> O.with_jobs 3
+    |> O.with_policy Arde.Sched.Uniform
+  in
+  Alcotest.(check (list int)) "with_seed_count" [ 1; 2; 3; 4 ] o.O.seeds;
+  Alcotest.(check int) "with_fuel" 123 o.O.fuel;
+  Alcotest.(check int) "with_jobs" 3 o.O.jobs;
+  Alcotest.(check bool) "with_policy" true (o.O.policy = Arde.Sched.Uniform);
+  Alcotest.(check bool) "make overrides" true
+    ((O.make ~fuel:99 ()).O.fuel = 99)
+
+let test_effective_jobs () =
+  let with_jobs j = O.with_jobs j O.default in
+  Alcotest.(check int) "explicit width clamped to seeds" 3
+    (O.effective_jobs (with_jobs 8) ~n_seeds:3);
+  Alcotest.(check int) "explicit width below seeds" 2
+    (O.effective_jobs (with_jobs 2) ~n_seeds:5);
+  Alcotest.(check int) "at least one" 1
+    (O.effective_jobs (with_jobs 4) ~n_seeds:0);
+  Alcotest.(check int) "0 means hardware width (clamped)"
+    (max 1 (min O.default_jobs 64))
+    (O.effective_jobs (with_jobs 0) ~n_seeds:64)
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool itself                                              *)
+
+let test_domain_pool_map () =
+  let xs = List.init 50 Fun.id in
+  let expect = List.map (fun i -> i * i) xs in
+  Alcotest.(check (list int)) "order preserved at jobs=4" expect
+    (Arde.Domain_pool.map ~jobs:4 (fun i -> i * i) xs);
+  Alcotest.(check (list int)) "jobs=1 is plain map" expect
+    (Arde.Domain_pool.map ~jobs:1 (fun i -> i * i) xs)
+
+let test_domain_pool_exception () =
+  match
+    Arde.Domain_pool.map ~jobs:4
+      (fun i -> if i = 17 then failwith "boom" else i)
+      (List.init 32 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m -> Alcotest.(check string) "exception surfaces" "boom" m
+
+let suite =
+  [
+    Alcotest.test_case "jobs=1 = jobs=8 across the catalog" `Slow
+      test_jobs_determinism;
+    Alcotest.test_case "jobs=1 = jobs=8 under chaos injection" `Quick
+      test_jobs_determinism_under_chaos;
+    Alcotest.test_case "cached instrumentation = fresh" `Quick
+      test_cache_matches_fresh_instrumentation;
+    Alcotest.test_case "cached lowering = fresh" `Quick
+      test_cache_matches_fresh_lowering;
+    Alcotest.test_case "cache hits on repeated runs" `Quick
+      test_cache_hits_on_repeated_runs;
+    Alcotest.test_case "disabled cache recomputes" `Quick
+      test_cache_disabled_recomputes;
+    Alcotest.test_case "JSON values round-trip" `Quick
+      test_json_value_roundtrip;
+    Alcotest.test_case "report JSON round-trips" `Quick
+      test_report_json_roundtrip;
+    Alcotest.test_case "health JSON round-trips" `Quick
+      test_health_json_roundtrip;
+    Alcotest.test_case "Options make/with_*" `Quick test_options_api;
+    Alcotest.test_case "effective_jobs clamping" `Quick test_effective_jobs;
+    Alcotest.test_case "domain pool preserves order" `Quick
+      test_domain_pool_map;
+    Alcotest.test_case "domain pool re-raises" `Quick
+      test_domain_pool_exception;
+  ]

@@ -124,7 +124,7 @@ let prop_spin_only_removes =
     (fun c ->
       let bases mode =
         let options =
-          { Arde.Driver.default_options with Arde.Driver.seeds = [ 1; 2 ] }
+          Arde.Options.make ~seeds:[ 1; 2 ] ()
         in
         Arde.Driver.racy_bases
           (Arde.detect ~options mode c.Arde_workloads.Racey.program)

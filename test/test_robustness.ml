@@ -11,7 +11,7 @@ module M = Arde.Machine
 let spin_mode = Arde.Config.Helgrind_spin 7
 
 let options ?(seeds = [ 1; 2; 3 ]) ?(fuel = 30_000) ?inject () =
-  { D.default_options with D.seeds; fuel; inject }
+  Arde.Options.make ~seeds ~fuel ?inject ()
 
 (* ------------------------------------------------------------------ *)
 (* Workloads with known pathologies                                    *)
@@ -230,7 +230,7 @@ let prop_never_raises =
       match Arde.detect ~options:opts spin_mode case.Arde_workloads.Racey.program with
       | r ->
           health_coherent r.D.health
-          && List.length r.D.runs = List.length opts.D.seeds
+          && List.length r.D.runs = List.length opts.Arde.Options.seeds
       | exception e ->
           QCheck2.Test.fail_reportf "escaped under %a: %s"
             Arde.Chaos.pp_perturbation p (Printexc.to_string e))
