@@ -230,6 +230,30 @@ let parallel_bench ~out () =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* ---- the engine differential benchmark ----
+
+   `bench engine [-o PATH]` replays recorded traces through the optimized
+   epoch engine and the frozen reference engine, writes the rows to
+   BENCH_engine.json, and exits non-zero when the CI gate fails (the
+   optimized engine slower than the reference on streamcluster under
+   nolib+spin(7), or any report spot-check disagreeing). *)
+
+let engine_bench ~out () =
+  let module J = Arde.Json in
+  let rows = Arde_harness.Engine_bench.run ~repeats:5 () in
+  section "Engine differential: optimized vs reference, per trace";
+  print_string (Arde_harness.Engine_bench.render rows);
+  let oc = open_out out in
+  output_string oc (J.to_string ~minify:false (Arde_harness.Engine_bench.to_json rows));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  match Arde_harness.Engine_bench.gate rows with
+  | [] -> ()
+  | failures ->
+      List.iter (Printf.eprintf "bench engine: FAIL: %s\n") failures;
+      exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec out_path = function
@@ -237,7 +261,14 @@ let () =
     | _ :: rest -> out_path rest
     | [] -> "BENCH_parallel.json"
   in
-  if List.mem "parallel" args then parallel_bench ~out:(out_path args) ()
+  if List.mem "engine" args then
+    engine_bench
+      ~out:
+        (match out_path args with
+        | "BENCH_parallel.json" -> "BENCH_engine.json"
+        | p -> p)
+      ()
+  else if List.mem "parallel" args then parallel_bench ~out:(out_path args) ()
   else begin
     tables ();
     extension_table ();

@@ -16,6 +16,7 @@
 
 (* The threaded IR. *)
 module Types = Arde_tir.Types
+module Intern = Arde_tir.Intern
 module Builder = Arde_tir.Builder
 module Validate = Arde_tir.Validate
 module Pretty = Arde_tir.Pretty
@@ -42,9 +43,11 @@ module Vector_clock = Arde_vclock.Vector_clock
 module Lockset = Arde_detect.Lockset
 module Msm = Arde_detect.Msm
 module Shadow = Arde_detect.Shadow
+module Shadow_epoch = Arde_detect.Shadow_epoch
 module Report = Arde_detect.Report
 module Config = Arde_detect.Config
 module Engine = Arde_detect.Engine
+module Engine_ref = Arde_detect.Engine_ref
 module Cv_checker = Arde_detect.Cv_checker
 module Options = Arde_detect.Options
 module Analysis_cache = Arde_detect.Analysis_cache

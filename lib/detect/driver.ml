@@ -6,6 +6,48 @@ type options = Options.t
 
 let default_options = Options.default
 
+(* ------------------------------------------------------------------ *)
+(* Engine selection                                                   *)
+
+(* The per-seed detector behind a closure record, so the pipeline can run
+   with either the optimized {!Engine} (default) or the frozen
+   {!Engine_ref} oracle — the differential suite drives the FULL pipeline
+   (chaos injection included) through both and asserts byte-identical
+   results. *)
+type engine = {
+  e_observer : Arde_runtime.Event.t -> unit;
+  e_report : unit -> Report.t;
+  e_spin_edges : unit -> int;
+  e_memory_words : unit -> int;
+}
+
+type engine_factory =
+  Config.t ->
+  cv_mutexes:string list ->
+  inferred_locks:string list ->
+  instrument:Arde_cfg.Instrument.t option ->
+  engine
+
+let opt_engine : engine_factory =
+ fun cfg ~cv_mutexes ~inferred_locks ~instrument ->
+  let e = Engine.create ~cv_mutexes ~inferred_locks cfg ~instrument in
+  {
+    e_observer = Engine.observer e;
+    e_report = (fun () -> Engine.report e);
+    e_spin_edges = (fun () -> Engine.n_spin_edges e);
+    e_memory_words = (fun () -> Engine.memory_words e);
+  }
+
+let ref_engine : engine_factory =
+ fun cfg ~cv_mutexes ~inferred_locks ~instrument ->
+  let e = Engine_ref.create ~cv_mutexes ~inferred_locks cfg ~instrument in
+  {
+    e_observer = Engine_ref.observer e;
+    e_report = (fun () -> Engine_ref.report e);
+    e_spin_edges = (fun () -> Engine_ref.n_spin_edges e);
+    e_memory_words = (fun () -> Engine_ref.memory_words e);
+  }
+
 type seed_outcome =
   | Completed of Machine.outcome
   | Crashed of loc option * string
@@ -154,19 +196,16 @@ let prepare (options : Options.t) mode program =
    invariants, an observer blowing up, injected chaos — become a
    [Crashed] outcome carrying whatever partial report the engine had
    accumulated.  One sick seed never takes down the others. *)
-let run_seed (options : Options.t) mode ~instrument ~cv_mutexes ~inferred_locks
-    compiled seed =
+let run_seed (options : Options.t) mode ~engine_factory ~instrument
+    ~cv_mutexes ~inferred_locks compiled seed =
   let detector_cfg =
     Config.make ~sensitivity:options.Options.sensitivity
       ~cap:options.Options.cap mode
   in
-  let engine =
-    Engine.create ~cv_mutexes ~inferred_locks detector_cfg ~instrument
-  in
+  let engine = engine_factory detector_cfg ~cv_mutexes ~inferred_locks ~instrument in
   let cv_checker = Cv_checker.create () in
   let observer =
-    Arde_runtime.Trace.tee (Engine.observer engine)
-      (Cv_checker.observer cv_checker)
+    Arde_runtime.Trace.tee engine.e_observer (Cv_checker.observer cv_checker)
   in
   let observer =
     match options.Options.inject with
@@ -185,15 +224,15 @@ let run_seed (options : Options.t) mode ~instrument ~cv_mutexes ~inferred_locks
   in
   match Machine.run mcfg compiled with
   | res ->
-      let rep = Engine.report engine in
+      let rep = engine.e_report () in
       ( {
           sr_seed = seed;
           sr_outcome = Completed res.Machine.outcome;
           sr_steps = res.Machine.steps;
           sr_contexts = Report.n_contexts rep;
           sr_capped = Report.capped rep;
-          sr_spin_edges = Engine.n_spin_edges engine;
-          sr_memory_words = Engine.memory_words engine;
+          sr_spin_edges = engine.e_spin_edges ();
+          sr_memory_words = engine.e_memory_words ();
           sr_check_failures = res.Machine.check_failures;
           sr_cv_diagnostics = Cv_checker.finalize cv_checker;
         },
@@ -202,7 +241,7 @@ let run_seed (options : Options.t) mode ~instrument ~cv_mutexes ~inferred_locks
       let floc, msg = describe_exn e in
       (* Salvage what the engine saw before the crash; warnings found on
          the trace prefix are still valid observations. *)
-      let rep = try Some (Engine.report engine) with _ -> None in
+      let rep = try Some (engine.e_report ()) with _ -> None in
       ( {
           sr_seed = seed;
           sr_outcome = Crashed (floc, msg);
@@ -210,8 +249,8 @@ let run_seed (options : Options.t) mode ~instrument ~cv_mutexes ~inferred_locks
           sr_contexts =
             (match rep with Some r -> Report.n_contexts r | None -> 0);
           sr_capped = (match rep with Some r -> Report.capped r | None -> false);
-          sr_spin_edges = (try Engine.n_spin_edges engine with _ -> 0);
-          sr_memory_words = (try Engine.memory_words engine with _ -> 0);
+          sr_spin_edges = (try engine.e_spin_edges () with _ -> 0);
+          sr_memory_words = (try engine.e_memory_words () with _ -> 0);
           sr_check_failures = [];
           sr_cv_diagnostics = (try Cv_checker.finalize cv_checker with _ -> []);
         },
@@ -230,7 +269,18 @@ let merge_reports per_seed =
     per_seed;
   merged
 
-let run ?(options = Options.default) mode program =
+(* The clamp is recorded in every affected run's health notes, but the
+   stderr notice prints once per distinct message per process — a suite
+   sweep is hundreds of [run] calls and the spam would drown the table. *)
+let clamp_announced : (string, unit) Hashtbl.t = Hashtbl.create 1
+
+let announce_clamp note =
+  if not (Hashtbl.mem clamp_announced note) then begin
+    Hashtbl.replace clamp_announced note ();
+    Printf.eprintf "arde: %s\n%!" note
+  end
+
+let run ?(options = Options.default) ?(engine = opt_engine) mode program =
   match prepare options mode program with
   | exception e -> failed_result mode (snd (describe_exn e))
   | program, instrument, cv_mutexes, inferred_locks, compiled ->
@@ -238,10 +288,22 @@ let run ?(options = Options.default) mode program =
         Options.effective_jobs options
           ~n_seeds:(List.length options.Options.seeds)
       in
+      let clamp_notes =
+        match Options.jobs_clamp options with
+        | None -> []
+        | Some (requested, host) ->
+            let note =
+              Printf.sprintf
+                "jobs: requested %d clamped to host core count %d" requested
+                host
+            in
+            announce_clamp note;
+            [ note ]
+      in
       let per_seed =
         Arde_util.Domain_pool.map ~jobs
-          (run_seed options mode ~instrument ~cv_mutexes ~inferred_locks
-             compiled)
+          (run_seed options mode ~engine_factory:engine ~instrument
+             ~cv_mutexes ~inferred_locks compiled)
           options.Options.seeds
       in
       let merged = merge_reports per_seed in
@@ -258,7 +320,7 @@ let run ?(options = Options.default) mode program =
         n_spin_loops;
         static_cv_hazards =
           (try Cv_checker.static_check program with _ -> []);
-        health = health_of runs;
+        health = health_of ~notes:clamp_notes runs;
       }
 
 let mean_contexts r =

@@ -77,13 +77,44 @@ type result = {
   health : health;
 }
 
-val run : ?options:options -> Config.mode -> program -> result
+(** {1 Engine selection}
+
+    The per-seed detector behind a closure record.  {!run} defaults to
+    the optimized {!Engine}; the differential suite passes
+    {!ref_engine} to drive the identical pipeline (chaos injection and
+    all) through the frozen {!Engine_ref} oracle and compare results
+    byte for byte. *)
+
+type engine = {
+  e_observer : Arde_runtime.Event.t -> unit;
+  e_report : unit -> Report.t;
+  e_spin_edges : unit -> int;
+  e_memory_words : unit -> int;
+}
+
+type engine_factory =
+  Config.t ->
+  cv_mutexes:string list ->
+  inferred_locks:string list ->
+  instrument:Arde_cfg.Instrument.t option ->
+  engine
+
+val opt_engine : engine_factory
+(** {!Engine}, the epoch-based optimized detector (the default). *)
+
+val ref_engine : engine_factory
+(** {!Engine_ref}, the frozen reference detector. *)
+
+val run :
+  ?options:options -> ?engine:engine_factory -> Config.mode -> program -> result
 (** Fault-isolated and parallel: each seed executes in a sandbox on the
     domain pool, so one seed crashing (or the whole pipeline failing to
     prepare the program) yields a [Crashed] seed outcome / [Failed]
     health record while every healthy seed's warnings are still merged.
     The merged report, health verdict and run list are independent of
-    [Options.jobs].  This function does not raise. *)
+    [Options.jobs]; a [jobs] request beyond the host core count is
+    clamped, with a note recorded in [health.h_notes].  This function
+    does not raise. *)
 
 val health_of : ?notes:string list -> seed_run list -> health
 (** Tally seed outcomes into a health record (exposed for harnesses that

@@ -2,67 +2,137 @@ open Arde_tir.Types
 module Vc = Arde_vclock.Vector_clock
 module Instrument = Arde_cfg.Instrument
 module Event = Arde_runtime.Event
+module Sh = Shadow_epoch
+
+(* The optimized engine.  Semantically a clone of {!Engine_ref} — the
+   differential suite holds the two to byte-identical reports — but the
+   per-event hot path allocates nothing:
+
+   - per-thread clocks are mutable fixed-capacity arrays ([Vc.m]); ticks
+     and joins mutate in place, and release operations share one lazily
+     computed immutable snapshot per thread until the clock next changes
+     (mirroring the reference engine's pointer sharing);
+   - shadow cells live in flat rows indexed by the interned base id events
+     carry, with last-write and single-reader state inlined as epochs
+     ({!Shadow_epoch});
+   - race checks are two passes over the inlined epochs: a scan deciding
+     whether anything is concurrent, and — only when a warning fires — a
+     second pass emitting reports in the reference order (previous write
+     first, then reads, newest first). *)
 
 type t = {
   cfg : Config.t;
   instrument : Instrument.t option;
   cv_mutexes : (string, unit) Hashtbl.t;
-      (* mutexes associated with a condition variable: Helgrind+'s CV
-         pattern handling draws lock-order edges for these even in hybrid
-         mode, which keeps gate-under-mutex fast paths quiet *)
   inferred_locks : (string, unit) Hashtbl.t;
-      (* statically inferred lock words (the future-work mode): their
-         atomic 0->1 / ->0 transitions drive the lockset *)
-  vcs : Vc.t array; (* per-thread clocks *)
-  exit_vcs : Vc.t array; (* clocks captured at thread exit, for join *)
+  (* mode predicates, resolved once at [create] so the per-event path
+     never re-matches on the mode *)
+  f_lib_sync : bool;
+  f_use_lockset : bool;
+  f_lock_hb : bool;
+  f_infer_locks : bool;
+  f_spin : bool; (* spin window active; also gates atomics-as-sync *)
+  f_drd : bool;
+  f_lockset_active : bool;
+  vcs : Vc.m array; (* per-thread clocks, mutated in place *)
+  snaps : Vc.t array; (* cached immutable snapshot per thread... *)
+  snap_ok : bool array; (* ...valid until the thread's clock changes *)
+  exit_vcs : Vc.t array;
   held : Lockset.Held.h;
-  shadow : Shadow.t;
+  shadow : Sh.t;
   mutex_vc : (string * int, Vc.t) Hashtbl.t;
   cv_vc : (string * int, Vc.t) Hashtbl.t;
   sem_vc : (string * int, Vc.t) Hashtbl.t;
   barrier_vc : (string * int * int, Vc.t) Hashtbl.t;
-  spin_acc : (int, (string * int, Vc.t) Hashtbl.t) Hashtbl.t;
+  spin_acc : (int, (int * int, Vc.t) Hashtbl.t) Hashtbl.t;
+      (* open spin contexts; inner tables keyed by (base id, idx) *)
+  mutable sup_cache : int array;
+      (* per base id: -1 unknown, 0 ordinary, 1 sync base (suppressed) *)
+  keep_all_wvc : bool;
+      (* no instrumentation to narrow by (hand-fed spin streams): keep the
+         full writer clock on every cell so spin edges stay sourced *)
   report : Report.t;
   mutable spin_edges : int;
+  (* memo of the last spin recording: a spinning read re-observing the
+     same cell with the same writer clock re-stores an identical binding,
+     so skip the table write (and its tuple key) entirely.  Cleared
+     whenever a spin context opens or closes. *)
+  mutable lsr_ctx : int;
+  mutable lsr_base_id : int;
+  mutable lsr_idx : int;
+  mutable lsr_wvc : Vc.t;
 }
+
+let spin_active_cfg cfg = Config.spin_k cfg.Config.mode <> None
 
 let create ?(cv_mutexes = []) ?(inferred_locks = []) cfg ~instrument =
   let cvm = Hashtbl.create 4 in
   List.iter (fun b -> Hashtbl.replace cvm b ()) cv_mutexes;
   let inf = Hashtbl.create 4 in
   List.iter (fun b -> Hashtbl.replace inf b ()) inferred_locks;
+  let mode = cfg.Config.mode in
   {
     cfg;
     instrument;
     cv_mutexes = cvm;
     inferred_locks = inf;
-    vcs = Array.make max_threads Vc.bottom;
+    f_lib_sync = Config.lib_sync mode;
+    f_use_lockset = Config.use_lockset mode;
+    f_lock_hb = Config.lock_hb mode;
+    f_infer_locks = Config.infer_locks mode;
+    f_spin = Config.spin_k mode <> None;
+    f_drd = (mode = Config.Drd);
+    f_lockset_active =
+      Config.use_lockset mode
+      || (Config.infer_locks mode && Hashtbl.length inf > 0);
+    vcs = Array.init max_threads (fun _ -> Vc.make_mut max_threads);
+    snaps = Array.make max_threads Vc.bottom;
+    snap_ok = Array.make max_threads true; (* bottom is a valid snapshot *)
     exit_vcs = Array.make max_threads Vc.bottom;
     held = Lockset.Held.create ();
-    shadow = Shadow.create ();
+    shadow = Sh.create ();
     mutex_vc = Hashtbl.create 8;
     cv_vc = Hashtbl.create 8;
     sem_vc = Hashtbl.create 8;
     barrier_vc = Hashtbl.create 8;
     spin_acc = Hashtbl.create 8;
+    sup_cache = Array.make 16 (-1);
+    keep_all_wvc = spin_active_cfg cfg && instrument = None;
     report = Report.create ~cap:cfg.Config.cap ();
     spin_edges = 0;
+    lsr_ctx = -1;
+    lsr_base_id = 0;
+    lsr_idx = 0;
+    lsr_wvc = Vc.bottom;
   }
 
 let report t = t.report
-let n_shadow_cells t = Shadow.n_cells t.shadow
+let n_shadow_cells t = Sh.n_cells t.shadow
 let n_spin_edges t = t.spin_edges
 
-let mode t = t.cfg.Config.mode
-let lib_sync t = Config.lib_sync (mode t)
+let lib_sync t = t.f_lib_sync
 
-(* Is a lockset being maintained (from native events or inferred locks)? *)
-let lockset_active t =
-  Config.use_lockset (mode t)
-  || (Config.infer_locks (mode t) && Hashtbl.length t.inferred_locks > 0)
+(* Clock plumbing.  [snap] is the only producer of stored clocks; its
+   cache makes consecutive releases by an un-ticked thread share one
+   immutable array, like the reference engine's pointer sharing.  A join
+   that grows nothing leaves the cached snapshot valid, so re-acquiring
+   an already-seen clock (spin loops hammering the same atomic) costs no
+   allocation on the next release. *)
+let tick t tid =
+  Vc.mtick t.vcs.(tid) tid;
+  t.snap_ok.(tid) <- false
 
-let tick t tid = t.vcs.(tid) <- Vc.inc t.vcs.(tid) tid
-let acquire_clock t tid c = t.vcs.(tid) <- Vc.join t.vcs.(tid) c
+let acquire_clock t tid c =
+  if Vc.mjoin_changed t.vcs.(tid) c then t.snap_ok.(tid) <- false
+
+let snap t tid =
+  if t.snap_ok.(tid) then t.snaps.(tid)
+  else begin
+    let s = Vc.snapshot t.vcs.(tid) in
+    t.snaps.(tid) <- s;
+    t.snap_ok.(tid) <- true;
+    s
+  end
 
 let table_join tbl key c =
   let cur = Option.value ~default:Vc.bottom (Hashtbl.find_opt tbl key) in
@@ -71,195 +141,209 @@ let table_join tbl key c =
 let table_get tbl key =
   Option.value ~default:Vc.bottom (Hashtbl.find_opt tbl key)
 
-(* Is the base a spin-condition variable (treated as synchronization)? *)
-let suppressed t base =
+(* Is the base a spin-condition variable (treated as synchronization)?
+   Same predicate as the reference engine, memoized per interned base id
+   so the hot path skips the string set lookup. *)
+let suppressed_uncached t base =
   match t.instrument with
   | Some inst -> Instrument.is_sync_base inst base
   | None -> false
 
-(* [prev] happened-before the current state of thread [tid]? *)
-let ordered t tid (prev : Shadow.access) =
-  prev.a_tid = tid || Vc.get t.vcs.(tid) prev.a_tid >= prev.a_clk
+let suppressed t ~base_id ~base =
+  if base_id < 0 then suppressed_uncached t base
+  else begin
+    if base_id >= Array.length t.sup_cache then begin
+      let c = Array.make (max (2 * Array.length t.sup_cache) (base_id + 1)) (-1) in
+      Array.blit t.sup_cache 0 c 0 (Array.length t.sup_cache);
+      t.sup_cache <- c
+    end;
+    match t.sup_cache.(base_id) with
+    | -1 ->
+        let s = suppressed_uncached t base in
+        t.sup_cache.(base_id) <- (if s then 1 else 0);
+        s
+    | 0 -> false
+    | _ -> true
+  end
 
-let conflicting_prevs t tid ~write (cell : Shadow.cell) =
-  let writes = Option.to_list cell.last_write in
-  let prevs = if write then writes @ cell.reads else writes in
-  List.filter (fun p -> not (ordered t tid p)) prevs
+let spin_active t = t.f_spin
+let atomics_sync t = t.f_spin
 
-(* Report decision for one plain access; returns whether anything was
-   recorded.  The hybrid rule needs shared-modified + empty lockset +
-   concurrency; DRD needs concurrency alone. *)
-let check_access t ~tid ~base ~idx ~loc ~write (cell : Shadow.cell) =
-  let concurrent = conflicting_prevs t tid ~write cell in
-  let all_ordered = concurrent = [] in
+(* Does this cell need its full writer clock kept?  Only bases spin edges
+   can source from: marked condition loads target sync bases, so everyone
+   else keeps the O(1) epoch and a write allocates nothing. *)
+let keep_wvc t ~sup = spin_active t && (t.keep_all_wvc || sup)
+
+(* Closure-free scan of a promoted read list for a reader concurrent with
+   [tid]'s clock [vcs_t]. *)
+let rec any_read_conc vcs_t tid = function
+  | [] -> false
+  | (r : Sh.read) :: rest ->
+      (r.r_tid <> tid && Vc.mget vcs_t r.r_tid < r.r_clk)
+      || any_read_conc vcs_t tid rest
+
+(* Report decision for one plain access.  Two passes over the epochs: the
+   concurrency scan, then — only when a warning actually fires — report
+   emission in the reference order. *)
+let check_access t ~tid ~base ~idx ~loc ~write (cell : Sh.cell) =
+  let vcs_t = t.vcs.(tid) in
+  let w_conc =
+    cell.w_tid >= 0 && cell.w_tid <> tid
+    && Vc.mget vcs_t cell.w_tid < cell.w_clk
+  in
+  let reads_conc =
+    write
+    && (if cell.rd_tid >= 0 then
+          cell.rd_tid <> tid && Vc.mget vcs_t cell.rd_tid < cell.rd_clk
+        else
+          cell.rd_tid = Sh.promoted && any_read_conc vcs_t tid cell.rd_list)
+  in
+  let has_concurrent = w_conc || reads_conc in
   let entering_shared =
     match cell.state with
     | Msm.Virgin | Msm.Exclusive _ -> true
     | Msm.Shared_read | Msm.Shared_modified -> false
   in
-  let new_state = Msm.transition cell.state ~tid ~write ~ordered:all_ordered in
-  (* Eraser refinement: the candidate lockset only starts narrowing once
-     the cell is genuinely shared — the first-owner phase is exempt.  This
-     is what keeps initialize-then-publish patterns quiet, at the price of
-     missing races whose two sides are single accesses under different
-     locks (the state machine trade-off the paper describes). *)
+  let new_state =
+    Msm.transition cell.state ~tid ~write ~ordered:(not has_concurrent)
+  in
   (match new_state with
-  | Msm.Shared_read | Msm.Shared_modified when lockset_active t ->
-      let held_now = Lockset.Held.current t.held tid in
-      cell.lockset <-
-        (if entering_shared then held_now
-         else Lockset.inter cell.lockset held_now)
+  | Msm.Shared_read | Msm.Shared_modified when t.f_lockset_active ->
+      if entering_shared then
+        cell.lockset <- Lockset.Held.current t.held tid
+      else if not (Lockset.is_empty cell.lockset) then
+        (* narrowing an already-empty set is the identity — skip the
+           intersection (and its allocation) on the steady-state path *)
+        cell.lockset <-
+          Lockset.inter cell.lockset (Lockset.Held.current t.held tid)
   | Msm.Virgin | Msm.Exclusive _ | Msm.Shared_read | Msm.Shared_modified -> ());
   cell.state <- new_state;
-  let offending =
-    match mode t with
-    | Config.Drd ->
-        (* Pure happens-before: every concurrent conflicting pair. *)
-        concurrent
-    | Config.Helgrind_lib | Config.Helgrind_spin _ | Config.Nolib_spin _
-    | Config.Nolib_spin_locks _ ->
-        (* Hybrid rule.  Without library knowledge the candidate lockset
-           degenerates to empty — unless lock words were statically
-           inferred (the future-work mode) — and only the state machine
-           plus happens-before remain: the paper's "universal
-           (happens-before) detector". *)
-        let lockset_empty =
-          if lockset_active t then Lockset.is_empty cell.lockset else true
+  let report_it =
+    has_concurrent
+    && (t.f_drd
+       || new_state = Msm.Shared_modified
+          && ((not t.f_lockset_active) || Lockset.is_empty cell.lockset))
+  in
+  if report_it then begin
+    match t.cfg.Config.sensitivity with
+    | Msm.Long_running when not cell.primed ->
+        (* first warning on a long-running cell arms it silently *)
+        cell.primed <- true
+    | Msm.Long_running | Msm.Short_running ->
+        let add ~first_tid ~first_loc ~first_write =
+          Report.add t.report
+            {
+              Report.r_base = base;
+              r_idx = idx;
+              r_first_tid = first_tid;
+              r_first_loc = first_loc;
+              r_first_write = first_write;
+              r_second_tid = tid;
+              r_second_loc = loc;
+              r_second_write = write;
+            }
         in
-        if new_state = Msm.Shared_modified && lockset_empty then concurrent
-        else []
-  in
-  let offending =
-    match (t.cfg.Config.sensitivity, offending) with
-    | Msm.Short_running, o -> o
-    | Msm.Long_running, [] -> []
-    | Msm.Long_running, o ->
-        if cell.primed then o
-        else begin
-          cell.primed <- true;
-          []
-        end
-  in
-  List.iter
-    (fun (p : Shadow.access) ->
-      Report.add t.report
-        {
-          Report.r_base = base;
-          r_idx = idx;
-          r_first_tid = p.a_tid;
-          r_first_loc = p.a_loc;
-          r_first_write = p.a_write;
-          r_second_tid = tid;
-          r_second_loc = loc;
-          r_second_write = write;
-        })
-    offending
+        if w_conc then
+          add ~first_tid:cell.w_tid ~first_loc:cell.w_loc ~first_write:true;
+        if write then
+          if cell.rd_tid >= 0 then begin
+            if cell.rd_tid <> tid && Vc.mget vcs_t cell.rd_tid < cell.rd_clk
+            then add ~first_tid:cell.rd_tid ~first_loc:cell.rd_loc ~first_write:false
+          end
+          else if cell.rd_tid = Sh.promoted then
+            List.iter
+              (fun (r : Sh.read) ->
+                if r.r_tid <> tid && Vc.mget vcs_t r.r_tid < r.r_clk then
+                  add ~first_tid:r.r_tid ~first_loc:r.r_loc ~first_write:false)
+              cell.rd_list
+  end
 
-let spin_record t ~tid ~key spin =
+let spin_record t ~tid ~base_id ~base ~idx spin =
   List.iter
     (fun (_loop, ctx) ->
       match Hashtbl.find_opt t.spin_acc ctx with
       | None -> () (* context of another thread or already closed *)
       | Some acc ->
-          let cell = Shadow.cell t.shadow key in
-          (match cell.last_write with
-          | Some w when w.a_tid <> tid ->
-              Hashtbl.replace acc key cell.write_vc
-          | Some _ | None -> ()))
+          let cell = Sh.cell t.shadow ~base_id ~base ~idx in
+          if
+            cell.w_tid >= 0 && cell.w_tid <> tid
+            && not
+                 (ctx = t.lsr_ctx && base_id = t.lsr_base_id
+                && idx = t.lsr_idx && cell.w_vc == t.lsr_wvc)
+          then begin
+            Hashtbl.replace acc (base_id, idx) cell.w_vc;
+            t.lsr_ctx <- ctx;
+            t.lsr_base_id <- base_id;
+            t.lsr_idx <- idx;
+            t.lsr_wvc <- cell.w_vc
+          end)
     spin
 
-(* Atomic release/acquire chains are only drawn by the spin-enhanced
-   configurations: marking lock-prefixed read-modify-writes as
-   synchronization accesses is the natural companion of marking spin
-   condition variables (and is needed so a lowered mutex whose CAS
-   succeeds without re-spinning still synchronizes).  The 2010 baselines
-   (plain hybrid, DRD) treated atomics as ordinary accesses. *)
-let atomics_sync t = Config.spin_k (mode t) <> None
-
-let spin_active t = Config.spin_k (mode t) <> None
-
-let on_read t ~tid ~base ~idx ~loc ~kind ~spin =
-  let key = (base, idx) in
-  if spin <> [] && spin_active t then spin_record t ~tid ~key spin;
-  let cell = Shadow.cell t.shadow key in
+let on_read t ~tid ~base ~base_id ~idx ~loc ~kind ~spin =
+  if spin <> [] && spin_active t then
+    spin_record t ~tid ~base_id ~base ~idx spin;
+  let cell = Sh.cell t.shadow ~base_id ~base ~idx in
   match kind with
   | Event.Atomic ->
-      (* Atomic load: acquire the cell's release chain; never racy. *)
       if atomics_sync t then acquire_clock t tid cell.atomic_vc
   | Event.Plain ->
-      if not (suppressed t base) then
+      if not (suppressed t ~base_id ~base) then
         check_access t ~tid ~base ~idx ~loc ~write:false cell;
-      let a =
-        {
-          Shadow.a_tid = tid;
-          a_clk = Vc.get t.vcs.(tid) tid;
-          a_loc = loc;
-          a_write = false;
-          a_atomic = false;
-        }
-      in
-      Shadow.record_read cell a
+      Sh.record_read cell ~tid ~clk:(Vc.mget t.vcs.(tid) tid) ~loc
 
-let on_write t ~tid ~base ~idx ~loc ~kind ~value =
-  let key = (base, idx) in
-  let cell = Shadow.cell t.shadow key in
+let on_write t ~tid ~base ~base_id ~idx ~loc ~kind ~value =
+  let cell = Sh.cell t.shadow ~base_id ~base ~idx in
+  let sup = suppressed t ~base_id ~base in
   (match kind with
   | Event.Atomic ->
-      (* Inferred lock words: the 0->1 transition is an acquisition, a
-         write of 0 the release. *)
-      if Config.infer_locks (mode t) && Hashtbl.mem t.inferred_locks base then begin
-        if value = 1 then Lockset.Held.acquire t.held tid key
-        else if value = 0 then Lockset.Held.release t.held tid key
+      if t.f_infer_locks && Hashtbl.mem t.inferred_locks base
+      then begin
+        if value = 1 then Lockset.Held.acquire t.held tid (base, idx)
+        else if value = 0 then Lockset.Held.release t.held tid (base, idx)
       end;
-      (* Release: publish the writer's clock on the cell's atomic chain. *)
       if atomics_sync t then begin
         acquire_clock t tid cell.atomic_vc;
-        cell.atomic_vc <- t.vcs.(tid)
+        cell.atomic_vc <- snap t tid
       end
   | Event.Plain ->
-      if not (suppressed t base) then
-        check_access t ~tid ~base ~idx ~loc ~write:true cell);
-  cell.write_vc <- t.vcs.(tid);
-  cell.last_write <-
-    Some
-      {
-        Shadow.a_tid = tid;
-        a_clk = Vc.get t.vcs.(tid) tid;
-        a_loc = loc;
-        a_write = true;
-        a_atomic = kind = Event.Atomic;
-      };
-  cell.reads <- [];
+      if not sup then check_access t ~tid ~base ~idx ~loc ~write:true cell);
+  if keep_wvc t ~sup then cell.w_vc <- snap t tid;
+  cell.w_tid <- tid;
+  cell.w_clk <- Vc.mget t.vcs.(tid) tid;
+  cell.w_loc <- loc;
+  cell.w_atomic <- kind = Event.Atomic;
+  Sh.clear_reads cell;
   (* Tick so that the writer's post-write work is not covered by the
      release snapshot readers may acquire. *)
-  if kind = Event.Atomic || suppressed t base then tick t tid
+  if kind = Event.Atomic || sup then tick t tid
 
 let observer t (ev : Event.t) =
   match ev with
   | Event.Thread_start { tid } ->
-      if Vc.is_bottom t.vcs.(tid) then t.vcs.(tid) <- Vc.inc Vc.bottom tid
+      if Vc.m_is_bottom t.vcs.(tid) then tick t tid
   | Event.Spawn_ev { parent; child; _ } ->
-      t.vcs.(child) <- Vc.inc (Vc.join t.vcs.(child) t.vcs.(parent)) child;
+      Vc.mjoin_m t.vcs.(child) t.vcs.(parent);
+      tick t child;
       tick t parent
-  | Event.Thread_exit { tid } -> t.exit_vcs.(tid) <- t.vcs.(tid)
+  | Event.Thread_exit { tid } -> t.exit_vcs.(tid) <- snap t tid
   | Event.Join_return { tid; target; _ } ->
       if lib_sync t then acquire_clock t tid t.exit_vcs.(target)
   | Event.Lock_acq { tid; base; idx; _ } ->
-      if Config.use_lockset (mode t) then
+      if t.f_use_lockset then
         Lockset.Held.acquire t.held tid (base, idx);
-      if Config.lock_hb (mode t) || (lib_sync t && Hashtbl.mem t.cv_mutexes base)
+      if t.f_lock_hb || (lib_sync t && Hashtbl.mem t.cv_mutexes base)
       then acquire_clock t tid (table_get t.mutex_vc (base, idx))
   | Event.Lock_rel { tid; base; idx; _ } ->
-      if Config.use_lockset (mode t) then
+      if t.f_use_lockset then
         Lockset.Held.release t.held tid (base, idx);
-      if Config.lock_hb (mode t) || (lib_sync t && Hashtbl.mem t.cv_mutexes base)
+      if t.f_lock_hb || (lib_sync t && Hashtbl.mem t.cv_mutexes base)
       then begin
-        Hashtbl.replace t.mutex_vc (base, idx) t.vcs.(tid);
+        Hashtbl.replace t.mutex_vc (base, idx) (snap t tid);
         tick t tid
       end
   | Event.Cv_signal { tid; base; idx; _ } ->
       if lib_sync t then begin
-        table_join t.cv_vc (base, idx) t.vcs.(tid);
+        table_join t.cv_vc (base, idx) (snap t tid);
         tick t tid
       end
   | Event.Cv_wait_begin _ -> () (* the CV checker's event, not ours *)
@@ -267,7 +351,7 @@ let observer t (ev : Event.t) =
       if lib_sync t then acquire_clock t tid (table_get t.cv_vc (base, idx))
   | Event.Barrier_arrive { tid; base; idx; generation; _ } ->
       if lib_sync t then begin
-        table_join t.barrier_vc (base, idx, generation) t.vcs.(tid);
+        table_join t.barrier_vc (base, idx, generation) (snap t tid);
         tick t tid
       end
   | Event.Barrier_pass { tid; base; idx; generation; _ } ->
@@ -277,14 +361,18 @@ let observer t (ev : Event.t) =
       end
   | Event.Sem_post_ev { tid; base; idx; _ } ->
       if lib_sync t then begin
-        table_join t.sem_vc (base, idx) t.vcs.(tid);
+        table_join t.sem_vc (base, idx) (snap t tid);
         tick t tid
       end
   | Event.Sem_acquire { tid; base; idx; _ } ->
       if lib_sync t then acquire_clock t tid (table_get t.sem_vc (base, idx))
   | Event.Spin_enter { ctx; _ } ->
-      if spin_active t then Hashtbl.replace t.spin_acc ctx (Hashtbl.create 4)
+      if spin_active t then begin
+        t.lsr_ctx <- -1;
+        Hashtbl.replace t.spin_acc ctx (Hashtbl.create 4)
+      end
   | Event.Spin_exit { tid; ctx; _ } -> (
+      t.lsr_ctx <- -1;
       match Hashtbl.find_opt t.spin_acc ctx with
       | None -> ()
       | Some acc ->
@@ -294,18 +382,25 @@ let observer t (ev : Event.t) =
               acquire_clock t tid wvc)
             acc;
           Hashtbl.remove t.spin_acc ctx)
-  | Event.Read { tid; base; idx; loc; kind; spin; _ } ->
-      on_read t ~tid ~base ~idx ~loc ~kind ~spin
-  | Event.Write { tid; base; idx; loc; kind; value } ->
-      on_write t ~tid ~base ~idx ~loc ~kind ~value
+  | Event.Read { tid; base; base_id; idx; loc; kind; spin; _ } ->
+      on_read t ~tid ~base ~base_id ~idx ~loc ~kind ~spin
+  | Event.Write { tid; base; base_id; idx; loc; kind; value; _ } ->
+      on_write t ~tid ~base ~base_id ~idx ~loc ~kind ~value
 
 let memory_words t =
   let clock_words =
-    Array.fold_left (fun acc c -> acc + Vc.size_words c) 0 t.vcs
+    Array.fold_left (fun acc m -> acc + Vc.msize_words m) 0 t.vcs
   in
   let table_words tbl =
     Hashtbl.fold (fun _ c acc -> acc + 4 + Vc.size_words c) tbl 0
   in
-  clock_words + Shadow.size_words t.shadow + table_words t.mutex_vc
+  clock_words + Sh.size_words t.shadow + table_words t.mutex_vc
   + table_words t.cv_vc + table_words t.sem_vc
   + Hashtbl.fold (fun _ c acc -> acc + 5 + Vc.size_words c) t.barrier_vc 0
+  (* Open spin contexts hold a clock snapshot per watched cell; they are
+     live detector state like any other table. *)
+  + Hashtbl.fold
+      (fun _ acc_tbl acc ->
+        acc + 2
+        + Hashtbl.fold (fun _ c a -> a + 4 + Vc.size_words c) acc_tbl 0)
+      t.spin_acc 0

@@ -56,6 +56,14 @@ let with_spurious_wakeups spurious_wakeups t = { t with spurious_wakeups }
 let with_count_callee_blocks count_callee_blocks t = { t with count_callee_blocks }
 let with_inject inject t = { t with inject }
 
+(* Requested widths beyond the host's core count only add domain-switch
+   overhead (every worker is CPU-bound); clamp and let callers surface the
+   correction. *)
+let jobs_clamp t =
+  if t.jobs > default_jobs then Some (t.jobs, default_jobs) else None
+
 let effective_jobs t ~n_seeds =
-  let width = if t.jobs <= 0 then default_jobs else t.jobs in
+  let width =
+    if t.jobs <= 0 then default_jobs else min t.jobs default_jobs
+  in
   max 1 (min width n_seeds)

@@ -85,5 +85,9 @@ val with_inject : (seed:int -> Arde_runtime.Event.t -> unit) option -> t -> t
 
 val effective_jobs : t -> n_seeds:int -> int
 (** The domain-pool width a run will actually use: [jobs] (or
-    {!default_jobs} when [jobs <= 0]) clamped to the seed count, at
-    least 1. *)
+    {!default_jobs} when [jobs <= 0]) clamped to the host core count
+    ({!default_jobs}) and to the seed count, at least 1. *)
+
+val jobs_clamp : t -> (int * int) option
+(** [Some (requested, host)] when [jobs] exceeds the host core count and
+    {!effective_jobs} will clamp it; [None] otherwise. *)

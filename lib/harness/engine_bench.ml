@@ -1,0 +1,257 @@
+(* Differential engine benchmark: record one event trace per workload ×
+   mode, then replay the identical trace through the optimized {!Engine}
+   and the frozen {!Engine_ref}, timing events/sec and GC-allocated words
+   per event for each.  Replaying a recorded trace isolates detector cost
+   from machine cost — both engines see exactly the same events, so the
+   ratios are pure engine comparisons.
+
+   This feeds BENCH_engine.json (the wire form CI archives) and the CI
+   smoke gate: the optimized engine must not fall below the reference's
+   throughput on streamcluster under nolib+spin(7), the configuration the
+   paper's overhead figure centers on. *)
+
+open Arde_tir.Types
+module Config = Arde.Config
+module Machine = Arde.Machine
+module Trace = Arde.Trace
+module J = Arde.Json
+
+type side = {
+  events_per_s : float;
+  words_per_event : float;
+}
+
+type row = {
+  b_workload : string;
+  b_mode : string;
+  b_events : int;
+  b_ref : side;
+  b_opt : side;
+  b_speedup : float; (* opt / ref events per second *)
+  b_alloc_ratio : float; (* opt / ref words per event *)
+  b_reports_equal : bool; (* byte-identical report JSON on this trace *)
+}
+
+let median l =
+  let a = List.sort compare l in
+  List.nth a (List.length a / 2)
+
+let alloc_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let cv_mutexes_of program =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun f ->
+         List.concat_map
+           (fun b ->
+             List.filter_map
+               (function Cond_wait (_, m) -> Some m.base | _ -> None)
+               b.ins)
+           f.blocks)
+       program.funcs)
+
+(* One recorded execution of [program] under [mode]'s program form, with
+   whatever instrumentation the mode wants active in the machine. *)
+let record_trace info program mode ~fuel ~seed =
+  let program =
+    if Config.needs_lowering mode then
+      Arde.Lower.lower ~style:info.Arde_workloads.Parsec.nolib_style program
+    else program
+  in
+  let instrument =
+    match Config.spin_k mode with
+    | Some k -> Some (Arde.Instrument.analyze ~k program)
+    | None -> None
+  in
+  let compiled = Machine.compile program in
+  let trace = Trace.create () in
+  let cfg =
+    {
+      Machine.default_config with
+      Machine.seed;
+      fuel;
+      instrument;
+      observer = Trace.observer trace;
+    }
+  in
+  ignore (Machine.run cfg compiled);
+  (Trace.events trace, instrument, cv_mutexes_of program)
+
+(* Replay [events] through fresh engines built by [make], [repeats] times
+   plus a discarded warm-up; median time and allocation per repetition.
+   Each repetition streams the trace [inner] times through the same
+   engine, so short workload traces still yield a steady-state
+   measurement: the first pass populates the shadow state, the rest
+   exercise the hot path on warm cells — the regime the per-event cost
+   claim is about. *)
+let replay ~make ~repeats ~inner events =
+  let events = Array.of_list events in
+  let times = ref [] and allocs = ref [] in
+  for rep = 0 to repeats do
+    let observe = make () in
+    let a0 = alloc_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to inner do
+      for i = 0 to Array.length events - 1 do
+        observe (Array.unsafe_get events i)
+      done
+    done;
+    let t = Unix.gettimeofday () -. t0 in
+    if rep > 0 then begin
+      times := t :: !times;
+      allocs := (alloc_words () -. a0) :: !allocs
+    end
+  done;
+  (median !times, median !allocs)
+
+let side_of ~n_events ~inner (time_s, alloc) =
+  let n = float_of_int (max 1 (n_events * inner)) in
+  {
+    events_per_s = (if time_s > 0. then n /. time_s else 0.);
+    words_per_event = alloc /. n;
+  }
+
+let bench_one ?(repeats = 3) info program mode ~fuel ~seed =
+  let events, instrument, cv_mutexes = record_trace info program mode ~fuel ~seed in
+  let n_events = List.length events in
+  let detector_cfg = Config.make mode in
+  let make_opt () =
+    Arde.Engine.observer
+      (Arde.Engine.create ~cv_mutexes detector_cfg ~instrument)
+  in
+  let make_ref () =
+    Arde.Engine_ref.observer
+      (Arde.Engine_ref.create ~cv_mutexes detector_cfg ~instrument)
+  in
+  (* enough passes that each timed repetition streams ~200k events *)
+  let inner = max 1 (200_000 / max 1 n_events) in
+  let opt = side_of ~n_events ~inner (replay ~make:make_opt ~repeats ~inner events) in
+  let ref_ = side_of ~n_events ~inner (replay ~make:make_ref ~repeats ~inner events) in
+  (* Differential spot check on this exact trace: reports and spin edges
+     must agree byte for byte. *)
+  let reports_equal =
+    let e = Arde.Engine.create ~cv_mutexes detector_cfg ~instrument in
+    let r = Arde.Engine_ref.create ~cv_mutexes detector_cfg ~instrument in
+    List.iter (Arde.Engine.observer e) events;
+    List.iter (Arde.Engine_ref.observer r) events;
+    J.to_string (Arde.Report.to_json (Arde.Engine.report e))
+    = J.to_string (Arde.Report.to_json (Arde.Engine_ref.report r))
+    && Arde.Engine.n_spin_edges e = Arde.Engine_ref.n_spin_edges r
+  in
+  {
+    b_workload = info.Arde_workloads.Parsec.pname;
+    b_mode = Config.mode_name mode;
+    b_events = n_events;
+    b_ref = ref_;
+    b_opt = opt;
+    b_speedup =
+      (if ref_.events_per_s > 0. then opt.events_per_s /. ref_.events_per_s
+       else 0.);
+    b_alloc_ratio =
+      (if ref_.words_per_event > 0. then
+         opt.words_per_event /. ref_.words_per_event
+       else 0.);
+    b_reports_equal = reports_equal;
+  }
+
+let default_workloads = [ "streamcluster"; "x264"; "blackscholes" ]
+
+let run ?(repeats = 3) ?(workloads = default_workloads) ?(fuel = 200_000)
+    ?(seed = 1) () =
+  List.concat_map
+    (fun name ->
+      match Arde_workloads.Parsec.find name with
+      | None -> []
+      | Some (info, program) ->
+          List.map
+            (fun mode -> bench_one ~repeats info program mode ~fuel ~seed)
+            Config.all_table1_modes)
+    workloads
+
+let side_to_json s =
+  J.Obj
+    [
+      ("events_per_s", J.Float s.events_per_s);
+      ("words_per_event", J.Float s.words_per_event);
+    ]
+
+let to_json rows =
+  J.Obj
+    [
+      ("host_cores", J.Int (Domain.recommended_domain_count ()));
+      ( "rows",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("workload", J.String r.b_workload);
+                   ("mode", J.String r.b_mode);
+                   ("events", J.Int r.b_events);
+                   ("ref", side_to_json r.b_ref);
+                   ("opt", side_to_json r.b_opt);
+                   ("speedup", J.Float r.b_speedup);
+                   ("alloc_ratio", J.Float r.b_alloc_ratio);
+                   ("reports_equal", J.Bool r.b_reports_equal);
+                 ])
+             rows) );
+    ]
+
+let render rows =
+  let t =
+    Arde_util.Table.create
+      [
+        "Workload"; "Mode"; "Events"; "ref ev/s"; "opt ev/s"; "speedup";
+        "ref w/ev"; "opt w/ev"; "alloc ratio"; "reports";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Arde_util.Table.add_row t
+        [
+          r.b_workload;
+          r.b_mode;
+          string_of_int r.b_events;
+          Printf.sprintf "%.3g" r.b_ref.events_per_s;
+          Printf.sprintf "%.3g" r.b_opt.events_per_s;
+          Printf.sprintf "%.2fx" r.b_speedup;
+          Printf.sprintf "%.1f" r.b_ref.words_per_event;
+          Printf.sprintf "%.1f" r.b_opt.words_per_event;
+          Printf.sprintf "%.2fx" r.b_alloc_ratio;
+          (if r.b_reports_equal then "equal" else "DIFFER");
+        ])
+    rows;
+  Arde_util.Table.render t
+
+(* The CI gate: the optimized engine must at least match the reference on
+   the paper's central configuration, and the spot-check reports must all
+   agree. *)
+let gate rows =
+  let key r = (r.b_workload, r.b_mode) in
+  let central =
+    List.find_opt
+      (fun r -> key r = ("streamcluster", Config.mode_name (Config.Nolib_spin 7)))
+      rows
+  in
+  let failures = ref [] in
+  (match central with
+  | None -> failures := "no streamcluster nolib+spin(7) row" :: !failures
+  | Some r ->
+      if r.b_speedup < 1.0 then
+        failures :=
+          Printf.sprintf
+            "streamcluster nolib+spin(7): optimized engine at %.2fx of \
+             reference throughput (< 1.0x)"
+            r.b_speedup
+          :: !failures);
+  List.iter
+    (fun r ->
+      if not r.b_reports_equal then
+        failures :=
+          Printf.sprintf "%s under %s: reports differ between engines"
+            r.b_workload r.b_mode
+          :: !failures)
+    rows;
+  List.rev !failures

@@ -1,0 +1,52 @@
+(** Differential engine benchmark behind [bench engine].
+
+    Records one event trace per workload × Table-1 mode and replays the
+    identical trace through the optimized {!Arde.Engine} and the frozen
+    {!Arde.Engine_ref}, so the measured events/sec and GC-allocated words
+    per event compare the detectors alone, with schedule variance and
+    machine cost factored out.  Each row also spot-checks that both
+    engines produce byte-identical report JSON and spin-edge counts on
+    that trace.
+
+    The result set is written to [BENCH_engine.json] by the [bench]
+    executable; {!gate} is the CI smoke criterion. *)
+
+type side = {
+  events_per_s : float;
+  words_per_event : float; (* GC-allocated words per observed event *)
+}
+
+type row = {
+  b_workload : string;
+  b_mode : string;
+  b_events : int; (* trace length replayed *)
+  b_ref : side;
+  b_opt : side;
+  b_speedup : float; (* opt / ref events per second *)
+  b_alloc_ratio : float; (* opt / ref words per event *)
+  b_reports_equal : bool; (* byte-identical report JSON on this trace *)
+}
+
+val run :
+  ?repeats:int ->
+  ?workloads:string list ->
+  ?fuel:int ->
+  ?seed:int ->
+  unit ->
+  row list
+(** Bench every named PARSEC workload (default: streamcluster, x264,
+    blackscholes) under every Table-1 mode.  [repeats] timed repetitions
+    per engine follow one discarded warm-up; times and allocations are
+    medians. *)
+
+val to_json : row list -> Arde_util.Json.t
+(** The BENCH_engine.json wire form. *)
+
+val render : row list -> string
+(** Human-readable table of the same rows. *)
+
+val gate : row list -> string list
+(** CI failure messages, empty when the run passes: the optimized engine
+    must reach at least 1.0× of the reference's throughput on
+    streamcluster under nolib+spin(7), and every row's report spot-check
+    must agree. *)

@@ -33,6 +33,13 @@ let time_ns f =
   f ();
   (Unix.gettimeofday () -. t0) *. 1e9
 
+(* Words allocated so far, from the GC's own counters.  [quick_stat] does
+   not force a heap walk; minor + major - promoted counts every allocation
+   exactly once (promoted words would otherwise be double-counted). *)
+let alloc_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
 (* One full instrumented execution under [mode]; [None] runs the bare
    machine (the "native" baseline). *)
 let run_once ~seed program_native program_lowered instrument_for mode () =
@@ -73,14 +80,21 @@ let measure ?(repeats = 5) (info, program) =
   in
   let sample name mode =
     let times = ref [] and allocs = ref [] and words = ref 0 in
-    for rep = 1 to repeats do
-      let a0 = Gc.allocated_bytes () in
+    (* Repetition 0 is a warm-up: it pays the one-time costs (lazy
+       instrumentation analysis, hashtable growth, code paths cold in the
+       icache) and is discarded before taking the median. *)
+    for rep = 0 to repeats do
+      let a0 = alloc_words () in
       let t =
         time_ns (fun () ->
-            words := run_once ~seed:rep native_c lowered_c instrument_for mode ())
+            words :=
+              run_once ~seed:(max 1 rep) native_c lowered_c instrument_for
+                mode ())
       in
-      times := t :: !times;
-      allocs := (Gc.allocated_bytes () -. a0) /. 8. :: !allocs
+      if rep > 0 then begin
+        times := t :: !times;
+        allocs := (alloc_words () -. a0) :: !allocs
+      end
     done;
     {
       s_mode = name;

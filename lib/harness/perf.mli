@@ -1,10 +1,12 @@
 (** Figures 1 and 2: detector memory consumption and runtime overhead.
 
     Each workload is executed repeatedly per configuration (plus a bare
-    "none" baseline with no detector attached); the tables report median
-    wall-clock time, GC allocation, the detector's live heap words, and
-    the lib+spin / lib overhead ratio — the paper's "minor overhead"
-    claim. *)
+    "none" baseline with no detector attached); an initial warm-up
+    repetition absorbs one-time costs and is discarded.  The tables
+    report median wall-clock time, GC allocation (from [Gc.quick_stat]
+    counter deltas: minor + major - promoted words), the detector's live
+    heap words, and the lib+spin / lib overhead ratio — the paper's
+    "minor overhead" claim. *)
 
 type sample = {
   s_mode : string; (* "none" for the bare machine *)

@@ -6,6 +6,7 @@ type t =
   | Read of {
       tid : int;
       base : string;
+      base_id : int;
       idx : int;
       value : int;
       loc : loc;
@@ -15,6 +16,7 @@ type t =
   | Write of {
       tid : int;
       base : string;
+      base_id : int;
       idx : int;
       value : int;
       loc : loc;
@@ -80,7 +82,7 @@ let tid_of = function
 let pp_loc = Arde_tir.Pretty.loc
 
 let pp ppf = function
-  | Read { tid; base; idx; value; loc; kind; spin } ->
+  | Read { tid; base; idx; value; loc; kind; spin; _ } ->
       Format.fprintf ppf "T%d %s-read %s[%d]=%d @%a%s" tid
         (match kind with Plain -> "plain" | Atomic -> "atomic")
         base idx value pp_loc loc
@@ -89,7 +91,7 @@ let pp ppf = function
            " spin:"
            ^ String.concat ","
                (List.map (fun (l, c) -> Printf.sprintf "%d/%d" l c) spin))
-  | Write { tid; base; idx; value; loc; kind } ->
+  | Write { tid; base; idx; value; loc; kind; _ } ->
       Format.fprintf ppf "T%d %s-write %s[%d]=%d @%a" tid
         (match kind with Plain -> "plain" | Atomic -> "atomic")
         base idx value pp_loc loc

@@ -17,6 +17,11 @@ type t =
   | Read of {
       tid : int;
       base : string;
+      base_id : int;
+          (* dense interned id of [base] ({!Arde_tir.Intern}), assigned at
+             machine compile time; [-1] when the producer has no intern
+             table (hand-built events).  Detectors may key flat shadow
+             state by it instead of hashing [(base, idx)]. *)
       idx : int;
       value : int;
       loc : loc;
@@ -28,6 +33,7 @@ type t =
   | Write of {
       tid : int;
       base : string;
+      base_id : int;
       idx : int;
       value : int;
       loc : loc;

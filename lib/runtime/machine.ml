@@ -59,6 +59,9 @@ type compiled = {
   prog : program;
   cfuncs : (string, cfunc) Hashtbl.t;
   centry : string;
+  cintern : Arde_tir.Intern.t;
+  td_id : int; (* interned id of [thread_done_global] *)
+  td_declared : bool;
 }
 
 let compile prog =
@@ -76,7 +79,18 @@ let compile prog =
       Array.iteri (fun i cb -> Hashtbl.replace cindex cb.clbl i) cblocks;
       Hashtbl.replace cfuncs f.fname { csrc = f; cblocks; cindex })
     prog.funcs;
-  { prog; cfuncs; centry = prog.entry }
+  let cintern = Arde_tir.Intern.of_program prog in
+  let td_id = Arde_tir.Intern.id cintern thread_done_global in
+  {
+    prog;
+    cfuncs;
+    centry = prog.entry;
+    cintern;
+    td_id;
+    td_declared = Arde_tir.Intern.declared cintern td_id;
+  }
+
+let intern (c : compiled) = c.cintern
 
 (* ------------------------------------------------------------------ *)
 (* Machine state                                                      *)
@@ -125,7 +139,7 @@ let internal msg = raise (Internal_violation ("Machine: " ^ msg))
 type machine = {
   cfg : config;
   cpl : compiled;
-  mem : (string, int array) Hashtbl.t;
+  mem : int array array; (* rows indexed by interned base id *)
   threads : thread option array;
   mutable n_threads : int;
   sched : Sched.t;
@@ -175,18 +189,30 @@ let eval t = function Imm n -> n | Reg r -> reg_value t r
 
 let set_reg t r v = Hashtbl.replace (cur_frame t).fregs r v
 
-let resolve m t (a : addr) =
-  let idx = eval t a.index in
-  match Hashtbl.find_opt m.mem a.base with
-  | None -> fault t (Printf.sprintf "unknown global %S" a.base)
-  | Some arr ->
-      if idx < 0 || idx >= Array.length arr then
-        fault t (Printf.sprintf "index %d out of bounds for %s[%d]" idx a.base
-                   (Array.length arr))
-      else (a.base, idx)
+let base_name m id = Arde_tir.Intern.name m.cpl.cintern id
 
-let mem_get m (base, idx) = (Hashtbl.find m.mem base).(idx)
-let mem_set m (base, idx) v = (Hashtbl.find m.mem base).(idx) <- v
+(* Interned resolution for memory accesses: (base id, index). *)
+let resolve_id m t (a : addr) =
+  let idx = eval t a.index in
+  let id = Arde_tir.Intern.id m.cpl.cintern a.base in
+  if id < 0 || not (Arde_tir.Intern.declared m.cpl.cintern id) then
+    fault t (Printf.sprintf "unknown global %S" a.base)
+  else
+    let arr = m.mem.(id) in
+    if idx < 0 || idx >= Array.length arr then
+      fault t (Printf.sprintf "index %d out of bounds for %s[%d]" idx a.base
+                 (Array.length arr))
+    else (id, idx)
+
+(* Named resolution for synchronization objects (mutexes, cvs, barriers,
+   semaphores): these tables are keyed by name and the operations are rare
+   enough that string keys cost nothing measurable. *)
+let resolve m t (a : addr) =
+  let id, idx = resolve_id m t a in
+  (base_name m id, idx)
+
+let mem_get m (id, idx) = m.mem.(id).(idx)
+let mem_set m (id, idx) v = m.mem.(id).(idx) <- v
 
 let mutex m key =
   match Hashtbl.find_opt m.mutexes key with
@@ -305,13 +331,13 @@ let thread_exit m t =
   (* The kernel-visible "thread is gone" store: the cell lowered joins
      spin on.  Attributed to the exiting thread like a real runtime's
      final flag write. *)
-  let key = (thread_done_global, t.tid) in
-  (try mem_set m key 1 with Not_found -> ());
+  if m.cpl.td_declared then m.mem.(m.cpl.td_id).(t.tid) <- 1;
   emit m
     (Event.Write
        {
          tid = t.tid;
          base = thread_done_global;
+         base_id = m.cpl.td_id;
          idx = t.tid;
          value = 1;
          loc = runtime_exit_loc t.tid;
@@ -430,14 +456,15 @@ let exec_instr m t i =
       advance t
   | Load (d, a) ->
       let loc = cur_loc t in
-      let key = resolve m t a in
+      let ((id, idx) as key) = resolve_id m t a in
       let v = mem_get m key in
       emit m
         (Event.Read
            {
              tid;
-             base = fst key;
-             idx = snd key;
+             base = base_name m id;
+             base_id = id;
+             idx;
              value = v;
              loc;
              kind = Event.Plain;
@@ -447,23 +474,32 @@ let exec_instr m t i =
       advance t
   | Store (a, o) ->
       let loc = cur_loc t in
-      let key = resolve m t a in
+      let ((id, idx) as key) = resolve_id m t a in
       let v = eval t o in
       mem_set m key v;
       emit m
         (Event.Write
-           { tid; base = fst key; idx = snd key; value = v; loc; kind = Event.Plain });
+           {
+             tid;
+             base = base_name m id;
+             base_id = id;
+             idx;
+             value = v;
+             loc;
+             kind = Event.Plain;
+           });
       advance t
   | Cas (d, a, expect, new_) ->
       let loc = cur_loc t in
-      let key = resolve m t a in
+      let ((id, idx) as key) = resolve_id m t a in
       let old = mem_get m key in
       emit m
         (Event.Read
            {
              tid;
-             base = fst key;
-             idx = snd key;
+             base = base_name m id;
+             base_id = id;
+             idx;
              value = old;
              loc;
              kind = Event.Atomic;
@@ -474,21 +510,30 @@ let exec_instr m t i =
         mem_set m key v;
         emit m
           (Event.Write
-             { tid; base = fst key; idx = snd key; value = v; loc; kind = Event.Atomic });
+             {
+               tid;
+               base = base_name m id;
+               base_id = id;
+               idx;
+               value = v;
+               loc;
+               kind = Event.Atomic;
+             });
         set_reg t d 1
       end
       else set_reg t d 0;
       advance t
   | Rmw (d, op, a, arg) ->
       let loc = cur_loc t in
-      let key = resolve m t a in
+      let ((id, idx) as key) = resolve_id m t a in
       let old = mem_get m key in
       emit m
         (Event.Read
            {
              tid;
-             base = fst key;
-             idx = snd key;
+             base = base_name m id;
+             base_id = id;
+             idx;
              value = old;
              loc;
              kind = Event.Atomic;
@@ -504,7 +549,15 @@ let exec_instr m t i =
       mem_set m key v;
       emit m
         (Event.Write
-           { tid; base = fst key; idx = snd key; value = v; loc; kind = Event.Atomic });
+           {
+             tid;
+             base = base_name m id;
+             base_id = id;
+             idx;
+             value = v;
+             loc;
+             kind = Event.Atomic;
+           });
       set_reg t d old;
       advance t
   | Fence | Nop -> advance t
@@ -756,9 +809,13 @@ let exhaustion_outcome m =
   match livelock_sites m with [] -> Fuel_exhausted | sites -> Livelock sites
 
 let run cfg cpl =
-  let mem = Hashtbl.create 16 in
+  let mem = Array.make (Arde_tir.Intern.n_bases cpl.cintern) [||] in
+  (* Iterating in declaration order means a duplicate declaration's last
+     row wins, matching the historical Hashtbl.replace behaviour. *)
   List.iter
-    (fun gl -> Hashtbl.replace mem gl.gname (Array.make gl.size gl.ginit))
+    (fun gl ->
+      mem.(Arde_tir.Intern.id cpl.cintern gl.gname) <-
+        Array.make gl.size gl.ginit)
     cpl.prog.globals;
   let m =
     {
@@ -830,12 +887,20 @@ let run cfg cpl =
     ()
   done;
   let outcome = Option.get !outcome in
+  (* Rebuild the string-keyed view of final memory for result consumers;
+     rows are shared with the machine, not copied. *)
+  let memory = Hashtbl.create 16 in
+  List.iter
+    (fun gl ->
+      Hashtbl.replace memory gl.gname
+        m.mem.(Arde_tir.Intern.id cpl.cintern gl.gname))
+    cpl.prog.globals;
   {
     outcome;
     steps = m.steps;
     threads_spawned = m.n_threads;
     check_failures = List.rev m.checks;
-    memory = m.mem;
+    memory;
     thread_steps = Array.sub m.thread_steps 0 m.n_threads;
     context_switches = m.context_switches;
   }

@@ -79,6 +79,11 @@ type compiled
 val compile : program -> compiled
 (** @raise Invalid_argument if the program does not validate. *)
 
+val intern : compiled -> Arde_tir.Intern.t
+(** The base-interning table built at compile time.  Events produced by
+    {!run} carry [base_id]s drawn from it; detectors use it to size flat
+    shadow tables up front. *)
+
 val run : config -> compiled -> result
 
 val run_program : config -> program -> result

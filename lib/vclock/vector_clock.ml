@@ -43,3 +43,52 @@ let pp ppf c =
        (List.map string_of_int (Array.to_list c)))
 
 let size_words c = 2 + Array.length c
+
+(* ------------------------------------------------------------------ *)
+(* Mutable clocks: the per-thread hot-path representation.             *)
+
+type m = int array
+(* Fixed capacity, mutated in place; trailing zeros are allowed here —
+   [snapshot] re-establishes the immutable invariant on the way out. *)
+
+let make_mut capacity = Array.make capacity 0
+
+let mget (m : m) t = if t < Array.length m then m.(t) else 0
+
+let mtick (m : m) t = m.(t) <- m.(t) + 1
+
+let mjoin (m : m) (c : t) =
+  let n = min (Array.length c) (Array.length m) in
+  for i = 0 to n - 1 do
+    if c.(i) > m.(i) then m.(i) <- c.(i)
+  done
+
+let mjoin_changed (m : m) (c : t) =
+  let n = min (Array.length c) (Array.length m) in
+  let changed = ref false in
+  for i = 0 to n - 1 do
+    if c.(i) > m.(i) then begin
+      m.(i) <- c.(i);
+      changed := true
+    end
+  done;
+  !changed
+
+let mjoin_m (dst : m) (src : m) =
+  for i = 0 to Array.length src - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let m_is_bottom (m : m) =
+  let rec go i = i >= Array.length m || (m.(i) = 0 && go (i + 1)) in
+  go 0
+
+let snapshot (m : m) =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do
+    decr n
+  done;
+  Array.sub m 0 !n
+
+let of_mut = snapshot
+let msize_words (m : m) = 1 + Array.length m

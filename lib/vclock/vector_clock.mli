@@ -34,3 +34,42 @@ val pp : Format.formatter -> t -> unit
 
 val size_words : t -> int
 (** Approximate heap footprint in words, for the memory experiment. *)
+
+(** {1 Mutable clocks}
+
+    The detector's per-event fast path: a fixed-capacity clock mutated in
+    place, so [tick]/[join] on the per-thread clocks allocate nothing.
+    Stored metadata (release snapshots, spin-edge clocks) goes through
+    {!snapshot}, which re-establishes the trimmed immutable form — the two
+    representations compare identically through it. *)
+
+type m
+
+val make_mut : int -> m
+(** [make_mut capacity] is an all-zero mutable clock; components at or
+    above [capacity] are fixed at 0. *)
+
+val mget : m -> int -> int
+val mtick : m -> int -> unit
+(** Bump one component in place. *)
+
+val mjoin : m -> t -> unit
+(** Component-wise maximum of an immutable clock into a mutable one. *)
+
+val mjoin_changed : m -> t -> bool
+(** Like {!mjoin}, reporting whether any component actually grew — a
+    no-op join leaves cached snapshots of the clock valid. *)
+
+val mjoin_m : m -> m -> unit
+(** [mjoin_m dst src]: join [src] into [dst], both mutable. *)
+
+val m_is_bottom : m -> bool
+
+val snapshot : m -> t
+(** Immutable trimmed copy; the only way mutable state may be stored. *)
+
+val of_mut : m -> t
+(** Alias of {!snapshot}. *)
+
+val msize_words : m -> int
+(** Heap footprint of a mutable clock (full capacity, not trimmed). *)

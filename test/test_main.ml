@@ -18,6 +18,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("robustness", Test_robustness.suite);
       ("parallel", Test_parallel.suite);
+      ("engine-diff", Test_engine_diff.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
     ]

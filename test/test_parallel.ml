@@ -12,7 +12,26 @@ module D = Arde.Driver
 module O = Arde.Options
 module J = Arde.Json
 
-let result_bytes r = J.to_string (D.result_to_json r)
+(* The determinism checks vary only the pool width, and a width beyond
+   the host core count is (by design) recorded as a clamp note in the
+   health record — drop those notes so the comparison sees just the
+   detection results. *)
+let strip_clamp_notes r =
+  let h = r.D.health in
+  {
+    r with
+    D.health =
+      {
+        h with
+        D.h_notes =
+          List.filter
+            (fun n ->
+              not (String.length n >= 5 && String.sub n 0 5 = "jobs:"))
+            h.D.h_notes;
+      };
+  }
+
+let result_bytes r = J.to_string (D.result_to_json (strip_clamp_notes r))
 
 let run_with_jobs ~jobs ?(options = O.default) mode p =
   Arde.detect ~options:(O.with_jobs jobs options) mode p
@@ -214,15 +233,25 @@ let test_options_api () =
 
 let test_effective_jobs () =
   let with_jobs j = O.with_jobs j O.default in
-  Alcotest.(check int) "explicit width clamped to seeds" 3
+  let host = O.default_jobs in
+  Alcotest.(check int) "explicit width clamped to host and seeds"
+    (max 1 (min (min 8 host) 3))
     (O.effective_jobs (with_jobs 8) ~n_seeds:3);
-  Alcotest.(check int) "explicit width below seeds" 2
+  Alcotest.(check int) "explicit width below seeds"
+    (max 1 (min (min 2 host) 5))
     (O.effective_jobs (with_jobs 2) ~n_seeds:5);
   Alcotest.(check int) "at least one" 1
     (O.effective_jobs (with_jobs 4) ~n_seeds:0);
   Alcotest.(check int) "0 means hardware width (clamped)"
     (max 1 (min O.default_jobs 64))
-    (O.effective_jobs (with_jobs 0) ~n_seeds:64)
+    (O.effective_jobs (with_jobs 0) ~n_seeds:64);
+  Alcotest.(check bool) "oversized request is reported as a clamp"
+    (8 > host)
+    (O.jobs_clamp (with_jobs 8) <> None);
+  Alcotest.(check bool) "hardware default is never a clamp" true
+    (O.jobs_clamp (with_jobs 0) = None);
+  Alcotest.(check bool) "width 1 is never a clamp" true
+    (O.jobs_clamp (with_jobs 1) = None)
 
 (* ------------------------------------------------------------------ *)
 (* The domain pool itself                                              *)
