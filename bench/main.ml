@@ -254,6 +254,21 @@ let engine_bench ~out () =
       List.iter (Printf.eprintf "bench engine: FAIL: %s\n") failures;
       exit 1
 
+(* ---- golden-trace fixture generator ----
+
+   `bench fixtures [-o PATH]` runs the full fixture enumeration
+   (Trace_fixtures.groups) through the current machine and writes one
+   summary line per run.  The committed file is the machine's correctness
+   baseline: test_machine_diff replays the same enumeration and asserts
+   every trace hash, length, step count and outcome is identical. *)
+
+let fixtures ~out () =
+  let t0 = Unix.gettimeofday () in
+  let rows = Arde_harness.Trace_fixtures.run_all Arde_harness.Trace_fixtures.current_machine in
+  Arde_harness.Trace_fixtures.write_file out rows;
+  Printf.printf "wrote %s (%d fixtures, %.1fs)\n" out (List.length rows)
+    (Unix.gettimeofday () -. t0)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec out_path = function
@@ -261,7 +276,14 @@ let () =
     | _ :: rest -> out_path rest
     | [] -> "BENCH_parallel.json"
   in
-  if List.mem "engine" args then
+  if List.mem "fixtures" args then
+    fixtures
+      ~out:
+        (match out_path args with
+        | "BENCH_parallel.json" -> "test/fixtures/machine_traces.txt"
+        | p -> p)
+      ()
+  else if List.mem "engine" args then
     engine_bench
       ~out:
         (match out_path args with
