@@ -162,8 +162,14 @@ let parallel_bench ~out () =
   in
   (* warm the cache so the sweep times the per-seed stage, not prepare *)
   run_all 1;
-  let widths =
-    List.sort_uniq compare [ 1; 2; 4; max 1 Arde.Options.default_jobs ]
+  (* widths beyond the physical cores would only measure oversubscription
+     noise — skip them, but record what was skipped so a run on a small
+     host is distinguishable from a run that covered everything *)
+  let host_cores = Domain.recommended_domain_count () in
+  let widths, skipped_widths =
+    List.partition
+      (fun j -> j <= host_cores)
+      (List.sort_uniq compare [ 1; 2; 4; max 1 Arde.Options.default_jobs ])
   in
   let sweep = List.map (fun j -> (j, snd (wall (fun () -> run_all j)))) widths in
   let t_seq = List.assoc 1 sweep in
@@ -181,7 +187,8 @@ let parallel_bench ~out () =
   let json =
     J.Obj
       [
-        ("host_cores", J.Int (Domain.recommended_domain_count ()));
+        ("host_cores", J.Int host_cores);
+        ("skipped_widths", J.List (List.map (fun j -> J.Int j) skipped_widths));
         ("default_jobs", J.Int Arde.Options.default_jobs);
         ("mode", J.String (Arde.Config.mode_name mode));
         ("workloads", J.Int (List.length progs));
@@ -254,6 +261,33 @@ let engine_bench ~out () =
       List.iter (Printf.eprintf "bench engine: FAIL: %s\n") failures;
       exit 1
 
+(* ---- the machine differential benchmark ----
+
+   `bench machine [-o PATH]` runs each workload × mode end-to-end on the
+   compiled machine and on the frozen reference machine, writes the
+   measurements (quiet steps/s, words/step, events/s, plus the
+   straight-line zero-allocation probe) to BENCH_machine.json, and exits
+   non-zero when the CI gate fails (the optimized machine slower than the
+   reference on streamcluster under nolib+spin(7), any trace spot-check
+   disagreeing, or the straight-line path allocating). *)
+
+let machine_bench ~out () =
+  let module J = Arde.Json in
+  let results = Arde_harness.Machine_bench.run ~repeats:5 () in
+  section "Machine differential: compiled vs reference, end-to-end";
+  print_string (Arde_harness.Machine_bench.render results);
+  let oc = open_out out in
+  output_string oc
+    (J.to_string ~minify:false (Arde_harness.Machine_bench.to_json results));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  match Arde_harness.Machine_bench.gate results with
+  | [] -> ()
+  | failures ->
+      List.iter (Printf.eprintf "bench machine: FAIL: %s\n") failures;
+      exit 1
+
 (* ---- golden-trace fixture generator ----
 
    `bench fixtures [-o PATH]` runs the full fixture enumeration
@@ -262,9 +296,9 @@ let engine_bench ~out () =
    baseline: test_machine_diff replays the same enumeration and asserts
    every trace hash, length, step count and outcome is identical. *)
 
-let fixtures ~out () =
+let fixtures ~impl ~out () =
   let t0 = Unix.gettimeofday () in
-  let rows = Arde_harness.Trace_fixtures.run_all Arde_harness.Trace_fixtures.current_machine in
+  let rows = Arde_harness.Trace_fixtures.run_all impl in
   Arde_harness.Trace_fixtures.write_file out rows;
   Printf.printf "wrote %s (%d fixtures, %.1fs)\n" out (List.length rows)
     (Unix.gettimeofday () -. t0)
@@ -278,9 +312,20 @@ let () =
   in
   if List.mem "fixtures" args then
     fixtures
+      ~impl:
+        (if List.mem "--ref" args then
+           Arde_harness.Trace_fixtures.reference_machine
+         else Arde_harness.Trace_fixtures.current_machine)
       ~out:
         (match out_path args with
         | "BENCH_parallel.json" -> "test/fixtures/machine_traces.txt"
+        | p -> p)
+      ()
+  else if List.mem "machine" args then
+    machine_bench
+      ~out:
+        (match out_path args with
+        | "BENCH_parallel.json" -> "BENCH_machine.json"
         | p -> p)
       ()
   else if List.mem "engine" args then

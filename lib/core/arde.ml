@@ -36,6 +36,7 @@ module Lock_infer = Arde_cfg.Lock_infer
 module Event = Arde_runtime.Event
 module Sched = Arde_runtime.Sched
 module Machine = Arde_runtime.Machine
+module Machine_ref = Arde_runtime.Machine_ref
 module Trace = Arde_runtime.Trace
 
 (* Detection. *)

@@ -1,0 +1,60 @@
+(** Differential machine benchmark behind [bench machine].
+
+    Executes each workload × Table-1 mode end-to-end on the compiled
+    {!Arde.Machine} and on the frozen {!Arde.Machine_ref}, measuring quiet
+    steps/sec, GC-allocated words per step, and events/sec with an
+    observer attached.  Each row spot-checks trace identity (event-stream
+    hash and length must agree between the machines), and a straight-line
+    probe asserts the optimized machine's steady-state step loop is
+    allocation-free.
+
+    The result set is written to [BENCH_machine.json] by the [bench]
+    executable; {!gate} is the CI smoke criterion. *)
+
+type side = {
+  steps_per_s : float; (* quiet mode: default discarding observer *)
+  words_per_step : float; (* GC-allocated words per machine step, quiet *)
+  events_per_s : float; (* with a counting observer attached *)
+}
+
+type row = {
+  m_workload : string;
+  m_mode : string;
+  m_steps : int; (* machine steps per run (deterministic) *)
+  m_events : int; (* events observed per run *)
+  m_ref : side;
+  m_opt : side;
+  m_speedup : float; (* opt / ref quiet steps per second *)
+  m_alloc_ratio : float; (* opt / ref words per step *)
+  m_traces_equal : bool; (* same event-stream hash and length *)
+}
+
+type probe = {
+  p_steps : int;
+  p_words_per_step : float; (* minor-words delta per step, quiet *)
+  p_pass : bool; (* finished, and ~0 words per step *)
+}
+
+val run :
+  ?repeats:int ->
+  ?workloads:string list ->
+  ?fuel:int ->
+  ?seed:int ->
+  unit ->
+  row list * probe
+(** Bench every named PARSEC workload (default: streamcluster, x264,
+    blackscholes) under every Table-1 mode.  [repeats] timed repetitions
+    per machine follow one discarded warm-up; times and allocations are
+    medians. *)
+
+val to_json : row list * probe -> Arde_util.Json.t
+(** The BENCH_machine.json wire form. *)
+
+val render : row list * probe -> string
+(** Human-readable table of the same rows plus the probe verdict. *)
+
+val gate : row list * probe -> string list
+(** CI failure messages, empty when the run passes: the optimized machine
+    must reach at least 1.0× of the reference's step throughput on
+    streamcluster under nolib+spin(7), every trace spot-check must agree,
+    and the straight-line probe must stay allocation-free. *)

@@ -225,6 +225,10 @@ let make_impl ~name ~(compile : Arde.Types.program -> 'c)
 let current_machine =
   make_impl ~name:"machine" ~compile:Machine.compile ~run:Machine.run
 
+let reference_machine =
+  make_impl ~name:"machine_ref" ~compile:Arde.Machine_ref.compile
+    ~run:Arde.Machine_ref.run
+
 let run_all impl = List.concat_map impl.mi_run_group (groups ())
 
 (* ------------------------------------------------------------------ *)

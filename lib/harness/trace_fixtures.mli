@@ -57,6 +57,9 @@ val make_impl :
 val current_machine : impl
 (** {!Arde.Machine}. *)
 
+val reference_machine : impl
+(** {!Arde.Machine_ref}, the frozen oracle. *)
+
 val run_all : impl -> (string * summary) list
 
 val encode_line : string * summary -> string

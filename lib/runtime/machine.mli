@@ -26,7 +26,12 @@ type config = {
 
 val default_config : config
 (** [Chunked 6] scheduling, seed 1, 2,000,000 fuel, no instrumentation, no
-    spurious wakeups, events discarded. *)
+    spurious wakeups, events discarded.
+
+    Leaving [observer] as [default_config.observer] (physical equality)
+    arms the quiet fast path: the machine skips event construction
+    entirely, making steady-state steps allocation-free.  Results are
+    identical either way — only the observer stream disappears. *)
 
 exception Fault_exn of loc * string
 (** The in-band fault signal.  Raised by the interpreter on a program

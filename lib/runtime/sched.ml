@@ -14,39 +14,54 @@ let force_switch t = t.burst <- 0
 
 let fresh_burst t mean = 1 + Arde_util.Prng.int t.rng (2 * mean)
 
-let pick t ~runnable =
-  match runnable with
-  | [] -> invalid_arg "Sched.pick: no runnable thread"
-  | [ only ] ->
-      t.current <- only;
-      only
-  | _ -> (
-      match t.policy with
-      | Round_robin quantum ->
-          let next () =
-            match List.find_opt (fun x -> x > t.current) runnable with
-            | Some x -> x
-            | None -> List.hd runnable
-          in
-          if t.burst > 0 && List.mem t.current runnable then begin
-            t.burst <- t.burst - 1;
-            t.current
-          end
-          else begin
-            t.current <- next ();
-            t.burst <- quantum - 1;
-            t.current
-          end
-      | Uniform ->
-          t.current <- Arde_util.Prng.pick t.rng (Array.of_list runnable);
+(* The machine refills one [runnable] buffer per step and passes it here
+   with its live length; nothing below allocates, and the PRNG draw
+   sequence is identical to the historical list-based implementation
+   (single-candidate steps never draw; [Uniform] draws once per step;
+   [Chunked] draws a pick and a burst length only when the burst expires
+   or the current thread blocked). *)
+
+(* Both helpers recurse at top level rather than through an inner
+   [let rec]: an inner recursive closure is heap-allocated per call on the
+   non-flambda compiler, and these run once per multi-candidate step. *)
+let rec mem buf n x i =
+  i < n && (Array.unsafe_get buf i = x || mem buf n x (i + 1))
+
+(* First element greater than [cur], else the first element — [runnable]
+   is ascending. *)
+let rec next_after buf n cur i =
+  if i >= n then buf.(0)
+  else if Array.unsafe_get buf i > cur then Array.unsafe_get buf i
+  else next_after buf n cur (i + 1)
+
+let pick t ~runnable ~n =
+  if n <= 0 then invalid_arg "Sched.pick: no runnable thread"
+  else if n = 1 then begin
+    t.current <- runnable.(0);
+    t.current
+  end
+  else
+    match t.policy with
+    | Round_robin quantum ->
+        if t.burst > 0 && mem runnable n t.current 0 then begin
+          t.burst <- t.burst - 1;
           t.current
-      | Chunked mean ->
-          if t.burst > 0 && List.mem t.current runnable then begin
-            t.burst <- t.burst - 1;
-            t.current
-          end
-          else begin
-            t.current <- Arde_util.Prng.pick t.rng (Array.of_list runnable);
-            t.burst <- fresh_burst t mean;
-            t.current
-          end)
+        end
+        else begin
+          t.current <- next_after runnable n t.current 0;
+          t.burst <- quantum - 1;
+          t.current
+        end
+    | Uniform ->
+        t.current <- runnable.(Arde_util.Prng.int t.rng n);
+        t.current
+    | Chunked mean ->
+        if t.burst > 0 && mem runnable n t.current 0 then begin
+          t.burst <- t.burst - 1;
+          t.current
+        end
+        else begin
+          t.current <- runnable.(Arde_util.Prng.int t.rng n);
+          t.burst <- fresh_burst t mean;
+          t.current
+        end

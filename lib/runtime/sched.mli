@@ -18,8 +18,12 @@ type t
 
 val create : policy -> seed:int -> t
 
-val pick : t -> runnable:int list -> int
-(** Choose the next thread among [runnable] (non-empty, ascending). *)
+val pick : t -> runnable:int array -> n:int -> int
+(** Choose the next thread among the first [n] entries of [runnable]
+    (ascending, [n] ≥ 1).  The buffer is caller-owned and reused across
+    steps — [pick] never allocates, and for a given policy + seed the
+    choice (and the PRNG draw sequence) depends only on the successive
+    runnable sets, not on how they are stored. *)
 
 val force_switch : t -> unit
 (** A [Yield] hint: end the current burst so another thread gets picked. *)

@@ -19,6 +19,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("parallel", Test_parallel.suite);
       ("engine-diff", Test_engine_diff.suite);
+      ("machine-diff", Test_machine_diff.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
     ]
