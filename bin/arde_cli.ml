@@ -260,7 +260,12 @@ let run_cmd =
         exit 1
     | Ok (p, case) ->
         let options = opts Arde.Options.default in
+        let before = Arde.Analysis_cache.stats () in
         let result = Arde.detect ~options mode p in
+        let cache_delta =
+          Arde.Analysis_cache.stats_delta ~before
+            ~after:(Arde.Analysis_cache.stats ())
+        in
         let health = result.Arde.Driver.health in
         let code =
           exit_code
@@ -275,25 +280,21 @@ let run_cmd =
             case
         in
         (match format with
-        | Json ->
-            print_json
-              (Arde.Json.Obj
-                 ([
-                    ("workload", Arde.Json.String name);
-                    ("result", Arde.Driver.result_to_json result);
-                  ]
-                 @ (match verdict with
-                   | None -> []
-                   | Some v ->
-                       [
-                         ( "verdict",
-                           Arde.Json.String
-                             (match Arde.Classify.outcome_of v with
-                             | Arde.Classify.Correct -> "correct"
-                             | Arde.Classify.False_alarm -> "false-alarm"
-                             | Arde.Classify.Missed_race -> "missed-race") );
-                       ])
-                 @ [ ("exit_code", Arde.Json.Int code) ]))
+        | Json -> (
+            (* Built from the serialized result by the same function
+               `arde submit` uses, so the two paths stay byte-identical. *)
+            match
+              Arde_server.Protocol.run_output ~workload:name
+                ?expectation:(Option.map (fun c -> c.W.Racey.expectation) case)
+                ~analysis_cache:(Arde.Analysis_cache.stats_to_json cache_delta)
+                (Arde.Driver.result_to_json result)
+            with
+            | Ok (obj, code) ->
+                print_json obj;
+                exit code
+            | Error e ->
+                prerr_endline ("internal: malformed result json: " ^ e);
+                exit 3)
         | Text ->
             Printf.printf "mode: %s   spin loops found: %d\n"
               (Arde.Config.mode_name mode)
@@ -531,6 +532,128 @@ let parsec_cmd =
     (Cmd.info "parsec" ~doc:"Reproduce the PARSEC tables (3-6).")
     Term.(const run $ table_arg $ seeds_arg $ jobs_arg)
 
+(* ---- serve / submit ---- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget per detection run; on expiry the remaining \
+           seeds are cancelled cooperatively and the response reports a \
+           degraded health verdict with every completed seed's findings.")
+
+let serve_cmd =
+  let max_pending_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound on queued requests; beyond it new \
+             run requests are refused with a structured $(b,overloaded) \
+             error.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the stderr event log.")
+  in
+  let run socket max_pending jobs default_deadline_ms quiet =
+    let log =
+      if quiet then ignore
+      else fun m -> Printf.eprintf "[arde-serve] %s\n%!" m
+    in
+    let cfg =
+      Arde_server.Server.config ~max_pending ?jobs ?default_deadline_ms ~log
+        ~socket_path:socket ()
+    in
+    match Arde_server.Server.create cfg with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok t ->
+        Arde_server.Server.handle_signals t;
+        Arde_server.Server.run t;
+        exit 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident detection daemon: a long-lived domain pool and \
+          warm analysis cache behind a framed JSON protocol on a Unix \
+          domain socket.  SIGTERM drains gracefully (in-flight requests \
+          finish, new work is refused with a structured error) and exits 0.")
+    Term.(
+      const run $ socket_arg $ max_pending_arg $ jobs_arg $ deadline_arg
+      $ quiet_arg)
+
+let submit_cmd =
+  let run socket name mode opts deadline_ms =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok (p, case) ->
+        let options = opts Arde.Options.default in
+        let program = Arde.Pretty.program_to_string p in
+        let reply =
+          match Arde_server.Client.connect ~socket_path:socket with
+          | Error e -> Error e
+          | Ok cl ->
+              let r =
+                Arde_server.Client.run cl ?deadline_ms ~program ~mode ~options
+                  ()
+              in
+              Arde_server.Client.close cl;
+              r
+        in
+        (match reply with
+        | Error e ->
+            prerr_endline ("submit: " ^ e);
+            exit 4
+        | Ok resp when not (Arde_server.Protocol.response_ok resp) -> (
+            match Arde_server.Protocol.response_error resp with
+            | Some (code, msg) ->
+                Printf.eprintf "submit: server error (%s): %s\n" code msg;
+                exit 4
+            | None ->
+                prerr_endline "submit: malformed server response";
+                exit 4)
+        | Ok resp -> (
+            match Arde.Json.member "result" resp with
+            | None ->
+                prerr_endline "submit: response carries no result";
+                exit 4
+            | Some result_json -> (
+                match
+                  Arde_server.Protocol.run_output ~workload:name
+                    ?expectation:
+                      (Option.map (fun c -> c.W.Racey.expectation) case)
+                    ?analysis_cache:(Arde.Json.member "analysis_cache" resp)
+                    result_json
+                with
+                | Ok (obj, code) ->
+                    print_json obj;
+                    exit code
+                | Error e ->
+                    prerr_endline ("submit: malformed result json: " ^ e);
+                    exit 4)))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a workload to a running $(b,arde serve) daemon and print \
+          the same JSON object $(b,arde run --format json) would (exit \
+          codes 0-3 likewise; 4 on transport or server errors).")
+    Term.(
+      const run $ socket_arg $ name_arg $ mode_arg $ common_opts
+      $ deadline_arg)
+
 let () =
   let doc = "ad-hoc synchronization identification for enhanced race detection" in
   let info = Cmd.info "arde" ~version:"1.0.0" ~doc in
@@ -539,5 +662,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; show_cmd; spin_report_cmd; run_cmd; trace_cmd; fmt_cmd;
-            compare_cmd; suite_cmd; parsec_cmd; chaos_cmd;
+            compare_cmd; suite_cmd; parsec_cmd; chaos_cmd; serve_cmd;
+            submit_cmd;
           ]))

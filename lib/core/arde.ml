@@ -70,10 +70,15 @@ let analyze_spins ~k program = Instrument.analyze ~k program
 (** Run only the instrumentation phase: find and classify spinning read
     loops with window [k]. *)
 
-let detect ?options mode program = Driver.run ?options mode program
+let detect ?options ?pool ?should_stop ?program_digest mode program =
+  Driver.run ?options ?pool ?should_stop ?program_digest mode program
 (** Run the full pipeline — lowering if the mode requires it, spin
     instrumentation if the mode has a window, execution under each seed,
-    race detection — and return the merged result. *)
+    race detection — and return the merged result.  [pool],
+    [should_stop] and [program_digest] are the serve daemon's hooks: a
+    resident domain pool for the per-seed stage, a cooperative
+    between-seeds cancellation check, and a precomputed cache key that
+    lets a warm request skip the canonical-digest pretty-print. *)
 
 let classify_case ?options mode expectation program =
   let result = Driver.run ?options mode program in

@@ -3,6 +3,16 @@ type stats = {
   lower_misses : int;
   instrument_hits : int;
   instrument_misses : int;
+  prepare_hits : int;
+  prepare_misses : int;
+}
+
+type prepared = {
+  p_program : Arde_tir.Types.program;
+  p_instrument : Arde_cfg.Instrument.t option;
+  p_cv_mutexes : string list;
+  p_inferred_locks : string list;
+  p_compiled : Arde_runtime.Machine.compiled;
 }
 
 let lock = Mutex.create ()
@@ -11,17 +21,33 @@ let lower_tbl : (string * Arde_tir.Lower.style, Arde_tir.Types.program) Hashtbl.
 let inst_tbl : (string * int * bool, Arde_cfg.Instrument.t) Hashtbl.t =
   Hashtbl.create 64
 
+(* The prepared table holds a [Machine.compiled] per entry — the heaviest
+   cached object by far (code arrays plus the per-instrumentation spin
+   cache built on first run) — so unlike the two inner tables it is
+   bounded: insertion order is tracked in [prep_order] and the oldest
+   entry is evicted past [max_prepared].  A resident server seeing an
+   endless stream of unique programs therefore plateaus instead of
+   growing without bound. *)
+let max_prepared = 128
+let prep_tbl : (string * string * Arde_tir.Lower.style * bool, prepared) Hashtbl.t =
+  Hashtbl.create 64
+let prep_order : (string * string * Arde_tir.Lower.style * bool) Queue.t =
+  Queue.create ()
+
 let lower_hits = ref 0
 let lower_misses = ref 0
 let inst_hits = ref 0
 let inst_misses = ref 0
+let prep_hits = ref 0
+let prep_misses = ref 0
 let on = ref true
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let digest prog = Digest.string (Arde_tir.Pretty.program_to_string prog)
+let digest_of_program prog =
+  Digest.string (Arde_tir.Pretty.program_to_string prog)
 
 (* Look up under the mutex; compute outside it (analysis can be slow and
    must not serialize unrelated cache users), then publish.  A racing
@@ -52,13 +78,91 @@ let memo tbl hits misses key compute =
 
 let lowered ~style prog =
   memo lower_tbl lower_hits lower_misses
-    (digest prog, style)
+    (digest_of_program prog, style)
     (fun () -> Arde_tir.Lower.lower ~style prog)
 
 let instrumented ~count_callees ~k prog =
   memo inst_tbl inst_hits inst_misses
-    (digest prog, k, count_callees)
+    (digest_of_program prog, k, count_callees)
     (fun () -> Arde_cfg.Instrument.analyze ~count_callees ~k prog)
+
+(* The full static half of the pipeline, computed once per
+   (program, mode, knobs).  The inner stages still route through
+   [lowered] / [instrumented], so a prepared miss records their
+   hits/misses as before; a prepared hit touches neither. *)
+let compute_prepared ~style ~count_callees mode program =
+  let program =
+    if Config.needs_lowering mode then lowered ~style program else program
+  in
+  let instrument =
+    match Config.spin_k mode with
+    | Some k -> Some (instrumented ~count_callees ~k program)
+    | None -> None
+  in
+  let cv_mutexes =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun (f : Arde_tir.Types.func) ->
+           List.concat_map
+             (fun (b : Arde_tir.Types.block) ->
+               List.filter_map
+                 (function
+                   | Arde_tir.Types.Cond_wait (_, m) ->
+                       Some m.Arde_tir.Types.base
+                   | _ -> None)
+                 b.Arde_tir.Types.ins)
+             f.Arde_tir.Types.blocks)
+         program.Arde_tir.Types.funcs)
+  in
+  let inferred_locks =
+    if Config.infer_locks mode then
+      Arde_cfg.Lock_infer.inferred_locks (Arde_cfg.Lock_infer.analyze program)
+    else []
+  in
+  let compiled = Arde_runtime.Machine.compile program in
+  {
+    p_program = program;
+    p_instrument = instrument;
+    p_cv_mutexes = cv_mutexes;
+    p_inferred_locks = inferred_locks;
+    p_compiled = compiled;
+  }
+
+let prepare ?digest ~style ~count_callees mode program =
+  let digest =
+    match digest with Some d -> d | None -> digest_of_program program
+  in
+  let key = (digest, Config.mode_id mode, style, count_callees) in
+  let cached =
+    locked (fun () ->
+        if !on then
+          match Hashtbl.find_opt prep_tbl key with
+          | Some v ->
+              incr prep_hits;
+              Some v
+          | None ->
+              incr prep_misses;
+              None
+        else begin
+          incr prep_misses;
+          None
+        end)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let v = compute_prepared ~style ~count_callees mode program in
+      locked (fun () ->
+          if !on && not (Hashtbl.mem prep_tbl key) then begin
+            Hashtbl.replace prep_tbl key v;
+            Queue.push key prep_order;
+            while Hashtbl.length prep_tbl > max_prepared do
+              match Queue.take_opt prep_order with
+              | Some old -> Hashtbl.remove prep_tbl old
+              | None -> Hashtbl.reset prep_tbl
+            done
+          end);
+      v
 
 let stats () =
   locked (fun () ->
@@ -67,19 +171,46 @@ let stats () =
         lower_misses = !lower_misses;
         instrument_hits = !inst_hits;
         instrument_misses = !inst_misses;
+        prepare_hits = !prep_hits;
+        prepare_misses = !prep_misses;
       })
+
+let stats_delta ~before ~after =
+  {
+    lower_hits = after.lower_hits - before.lower_hits;
+    lower_misses = after.lower_misses - before.lower_misses;
+    instrument_hits = after.instrument_hits - before.instrument_hits;
+    instrument_misses = after.instrument_misses - before.instrument_misses;
+    prepare_hits = after.prepare_hits - before.prepare_hits;
+    prepare_misses = after.prepare_misses - before.prepare_misses;
+  }
+
+let stats_to_json s =
+  Arde_util.Json.Obj
+    [
+      ("lower_hits", Arde_util.Json.Int s.lower_hits);
+      ("lower_misses", Arde_util.Json.Int s.lower_misses);
+      ("instrument_hits", Arde_util.Json.Int s.instrument_hits);
+      ("instrument_misses", Arde_util.Json.Int s.instrument_misses);
+      ("prepare_hits", Arde_util.Json.Int s.prepare_hits);
+      ("prepare_misses", Arde_util.Json.Int s.prepare_misses);
+    ]
 
 let reset_stats () =
   locked (fun () ->
       lower_hits := 0;
       lower_misses := 0;
       inst_hits := 0;
-      inst_misses := 0)
+      inst_misses := 0;
+      prep_hits := 0;
+      prep_misses := 0)
 
 let clear () =
   locked (fun () ->
       Hashtbl.reset lower_tbl;
-      Hashtbl.reset inst_tbl)
+      Hashtbl.reset inst_tbl;
+      Hashtbl.reset prep_tbl;
+      Queue.clear prep_order)
 
 let set_enabled b = locked (fun () -> on := b)
 let enabled () = locked (fun () -> !on)

@@ -3,27 +3,68 @@
     Lowering and spin instrumentation are pure functions of the program
     and a handful of knobs, yet the harnesses re-run them constantly: the
     suite analyzes each case once per detector configuration, a chaos
-    storm analyzes the same program hundreds of times, and the bench
-    sweeps repeat whole suites.  This cache memoizes both stages, keyed
-    by [(program digest, knobs)]:
+    storm analyzes the same program hundreds of times, a bench sweep
+    repeats whole suites, and the serve daemon sees the same program on
+    every repeat submission.  This cache memoizes three stages, keyed by
+    [(program digest, knobs)]:
 
     - {!lowered} is keyed by [(digest, style)];
     - {!instrumented} is keyed by [(digest, k, count_callees)], where the
       digest is of the (possibly already lowered) program actually
       analyzed — so the lowering style is folded into the key by
-      construction.
+      construction;
+    - {!prepare} is keyed by [(digest, mode, style, count_callees)] and
+      caches the {e whole} pre-seed bundle — lowered program,
+      instrumentation, condition-variable scan, lock inference, and the
+      compiled machine.  A prepared hit is what lets a repeat submission
+      skip straight to per-seed execution: the compiled form also
+      carries the machine's per-instrumentation spin cache, so even that
+      one-time cost survives across requests.
 
     The digest is of the program's canonical pretty-printed form, which
     the parser round-trips, so equal-printing programs are genuinely
-    interchangeable.  Cached values ([Instrument.t], lowered programs)
-    are immutable after construction and therefore safe to share across
+    interchangeable.  Computing it costs a full pretty-print; callers
+    that already hold a digest uniquely identifying the program (the
+    serve daemon digests each request's program text anyway) pass it as
+    [?digest] to {!prepare} and skip that cost on the warm path.
+    Cached values are immutable after construction (the compiled form's
+    internal spin cache is lock-free) and therefore safe to share across
     the driver's worker domains; the cache itself is mutex-guarded, so
     concurrent [Driver.run] calls may share it too.
 
-    The cache is on by default.  [set_enabled false] makes both lookups
+    The prepared table is bounded ([max_prepared] entries, oldest
+    evicted) because each entry pins a compiled machine; the two inner
+    tables hold only analysis results and are unbounded as before.
+
+    The cache is on by default.  [set_enabled false] makes all lookups
     recompute (and record misses) — used by the bench harness to measure
     the cache's contribution, and by tests comparing cached against
     fresh results. *)
+
+type prepared = {
+  p_program : Arde_tir.Types.program;  (** lowered iff the mode lowers *)
+  p_instrument : Arde_cfg.Instrument.t option;
+  p_cv_mutexes : string list;
+  p_inferred_locks : string list;
+  p_compiled : Arde_runtime.Machine.compiled;
+}
+
+val prepare :
+  ?digest:string ->
+  style:Arde_tir.Lower.style ->
+  count_callees:bool ->
+  Config.mode ->
+  Arde_tir.Types.program ->
+  prepared
+(** The full static half for one (program, mode): what {!Driver.run}
+    does before any seed executes.  [?digest] must uniquely identify
+    [program] (any injective digest will do — the canonical one and the
+    serve daemon's request-text digest coexist as distinct keys);
+    omitted, the canonical digest is computed here. *)
+
+val digest_of_program : Arde_tir.Types.program -> string
+(** Digest of the program's canonical pretty-printed form — the cache's
+    native key. *)
 
 val lowered : style:Arde_tir.Lower.style -> Arde_tir.Types.program ->
   Arde_tir.Types.program
@@ -36,11 +77,23 @@ type stats = {
   lower_misses : int;
   instrument_hits : int;
   instrument_misses : int;
+  prepare_hits : int;
+  prepare_misses : int;
 }
 
 val stats : unit -> stats
 (** Counters since the last {!reset_stats}; misses include lookups made
-    while the cache is disabled. *)
+    while the cache is disabled.  A {!prepare} miss also records the
+    inner lower/instrument lookups it performs; a prepare hit touches
+    neither. *)
+
+val stats_delta : before:stats -> after:stats -> stats
+(** Counter movement between two snapshots — what one request did. *)
+
+val stats_to_json : stats -> Arde_util.Json.t
+(** The six counters as a JSON object; the shared shape [arde run
+    --format json], the serve responses and the bench artifacts all
+    use. *)
 
 val reset_stats : unit -> unit
 

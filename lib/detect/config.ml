@@ -17,7 +17,26 @@ let mode_name = function
   | Nolib_spin_locks k -> Printf.sprintf "nolib+spin+locks(%d)" k
   | Drd -> "drd"
 
+let mode_id = function
+  | Helgrind_lib -> "lib"
+  | Helgrind_spin k -> Printf.sprintf "lib+spin:%d" k
+  | Nolib_spin k -> Printf.sprintf "nolib+spin:%d" k
+  | Nolib_spin_locks k -> Printf.sprintf "nolib+spin+locks:%d" k
+  | Drd -> "drd"
+
 let parse_mode s =
+  (* Accept both the CLI spelling ("lib+spin:7") and the display
+     spelling mode_name emits ("lib+spin(7)"), so serialized modes
+     round-trip wherever they came from. *)
+  let s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = ')' then
+      match String.index_opt s '(' with
+      | Some i ->
+          String.sub s 0 i ^ ":" ^ String.sub s (i + 1) (n - i - 2)
+      | None -> s
+    else s
+  in
   let prefix p = String.length s > String.length p
     && String.sub s 0 (String.length p) = p in
   let suffix_int p =

@@ -32,9 +32,16 @@ val make : ?sensitivity:Msm.sensitivity -> ?cap:int -> mode -> t
 (** Defaults: [Short_running], cap 1000. *)
 
 val mode_name : mode -> string
+(** Display form, e.g. ["lib+spin(7)"] — what the tables print. *)
+
+val mode_id : mode -> string
+(** Wire form, e.g. ["lib+spin:7"] — what {!parse_mode} documents, and
+    what the serve protocol ships.  [parse_mode (mode_id m) = Ok m]. *)
+
 val parse_mode : string -> (mode, string) result
 (** Accepts ["lib"], ["lib+spin:K"], ["nolib+spin:K"],
-    ["nolib+spin+locks:K"], ["drd"]. *)
+    ["nolib+spin+locks:K"], ["drd"] — and the [mode_name] display
+    spellings (["lib+spin(K)"], …), so serialized modes round-trip. *)
 
 val lib_sync : mode -> bool
 (** Consume native synchronization events? *)

@@ -51,6 +51,7 @@ let ref_engine : engine_factory =
 type seed_outcome =
   | Completed of Machine.outcome
   | Crashed of loc option * string
+  | Cancelled
 
 type seed_run = {
   sr_seed : int;
@@ -74,6 +75,7 @@ type health = {
   h_fuel_exhausted : int;
   h_faulted : int;
   h_crashed : int;
+  h_cancelled : int;
   h_verdict : health_verdict;
   h_notes : string list;
 }
@@ -98,6 +100,7 @@ let health_of ?(notes = []) runs =
   and fuel = ref 0
   and faulted = ref 0
   and crashed = ref 0
+  and cancelled = ref 0
   and notes = ref (List.rev notes) in
   List.iter
     (fun sr ->
@@ -109,10 +112,14 @@ let health_of ?(notes = []) runs =
       | Completed (Machine.Fault _) -> incr faulted
       | Crashed (_, msg) ->
           incr crashed;
-          notes := Printf.sprintf "seed %d crashed: %s" sr.sr_seed msg :: !notes)
+          notes := Printf.sprintf "seed %d crashed: %s" sr.sr_seed msg :: !notes
+      | Cancelled -> incr cancelled)
     runs;
   let n = List.length runs in
   let verdict =
+    (* cancellation is voluntary (a deadline or drain), so it degrades
+       the run rather than failing it — the completed seeds' findings
+       are still real *)
     if n = 0 || !crashed = n then Failed
     else if !finished = n then Healthy
     else Degraded
@@ -125,6 +132,7 @@ let health_of ?(notes = []) runs =
     h_fuel_exhausted = !fuel;
     h_faulted = !faulted;
     h_crashed = !crashed;
+    h_cancelled = !cancelled;
     h_verdict = verdict;
     h_notes = List.rev !notes;
   }
@@ -146,47 +154,23 @@ let describe_exn = function
   | e -> (None, Printexc.to_string e)
 
 (* Everything that happens before the per-seed fan-out: lowering, the
-   instrumentation phase, lock inference, compilation.  Lowering and
-   instrumentation go through {!Analysis_cache}, so a harness that runs
-   the same program many times (suite, chaos storm, bench sweep) pays for
-   the static analysis once.  A crash here means no seed can run at all —
-   the caller turns it into a [Failed] health record rather than letting
-   the exception escape [Arde.detect]. *)
-let prepare (options : Options.t) mode program =
-  let program =
-    if Config.needs_lowering mode then
-      Analysis_cache.lowered ~style:options.Options.lower_style program
-    else program
+   instrumentation phase, lock inference, compilation.  The whole bundle
+   goes through {!Analysis_cache.prepare}, so a harness that runs the
+   same program many times (suite, chaos storm, bench sweep, a serve
+   daemon's repeat submissions) pays for the static analysis once and a
+   warm run skips straight to per-seed execution.  A crash here means no
+   seed can run at all — the caller turns it into a [Failed] health
+   record rather than letting the exception escape [Arde.detect]. *)
+let prepare ?digest (options : Options.t) mode program =
+  let p =
+    Analysis_cache.prepare ?digest ~style:options.Options.lower_style
+      ~count_callees:options.Options.count_callee_blocks mode program
   in
-  let instrument =
-    match Config.spin_k mode with
-    | Some k ->
-        Some
-          (Analysis_cache.instrumented
-             ~count_callees:options.Options.count_callee_blocks ~k program)
-    | None -> None
-  in
-  let cv_mutexes =
-    List.sort_uniq String.compare
-      (List.concat_map
-         (fun f ->
-           List.concat_map
-             (fun b ->
-               List.filter_map
-                 (function
-                   | Cond_wait (_, m) -> Some m.base
-                   | _ -> None)
-                 b.ins)
-             f.blocks)
-         program.funcs)
-  in
-  let inferred_locks =
-    if Config.infer_locks mode then
-      Arde_cfg.Lock_infer.inferred_locks (Arde_cfg.Lock_infer.analyze program)
-    else []
-  in
-  let compiled = Machine.compile program in
-  (program, instrument, cv_mutexes, inferred_locks, compiled)
+  ( p.Analysis_cache.p_program,
+    p.Analysis_cache.p_instrument,
+    p.Analysis_cache.p_cv_mutexes,
+    p.Analysis_cache.p_inferred_locks,
+    p.Analysis_cache.p_compiled )
 
 (* The pure per-seed stage.  Runs one seed inside a sandbox and returns
    the seed's record together with its private report — no shared state
@@ -256,6 +240,24 @@ let run_seed (options : Options.t) mode ~engine_factory ~instrument
         },
         rep )
 
+(* A seed the run never started: the cancellation hook (a server
+   deadline, a drain) fired before this seed's slot came up.  No machine
+   ran and no engine was built, so every counter is zero and there is no
+   partial report to salvage — unlike [Crashed], nothing went wrong. *)
+let cancelled_run seed =
+  ( {
+      sr_seed = seed;
+      sr_outcome = Cancelled;
+      sr_steps = 0;
+      sr_contexts = 0;
+      sr_capped = false;
+      sr_spin_edges = 0;
+      sr_memory_words = 0;
+      sr_check_failures = [];
+      sr_cv_diagnostics = [];
+    },
+    None )
+
 (* The deterministic merge stage.  Per-seed reports are folded in seed
    order, whatever interleaving the pool produced, so [jobs = 1] and
    [jobs = N] yield byte-identical merged reports: {!Report.merge_into}
@@ -280,8 +282,9 @@ let announce_clamp note =
     Printf.eprintf "arde: %s\n%!" note
   end
 
-let run ?(options = Options.default) ?(engine = opt_engine) mode program =
-  match prepare options mode program with
+let run ?(options = Options.default) ?(engine = opt_engine) ?pool
+    ?(should_stop = fun () -> false) ?program_digest mode program =
+  match prepare ?digest:program_digest options mode program with
   | exception e -> failed_result mode (snd (describe_exn e))
   | program, instrument, cv_mutexes, inferred_locks, compiled ->
       let jobs =
@@ -300,11 +303,20 @@ let run ?(options = Options.default) ?(engine = opt_engine) mode program =
             announce_clamp note;
             [ note ]
       in
+      (* Cooperative cancellation: the hook is consulted once per seed,
+         before that seed's machine is built.  Seeds already executing
+         run to completion (their findings are salvaged); seeds whose
+         slot comes up after the hook fires become [Cancelled]. *)
+      let seed_body seed =
+        if should_stop () then cancelled_run seed
+        else
+          run_seed options mode ~engine_factory:engine ~instrument ~cv_mutexes
+            ~inferred_locks compiled seed
+      in
       let per_seed =
-        Arde_util.Domain_pool.map ~jobs
-          (run_seed options mode ~engine_factory:engine ~instrument
-             ~cv_mutexes ~inferred_locks compiled)
-          options.Options.seeds
+        match pool with
+        | Some p -> Arde_util.Domain_pool.map_pool p seed_body options.Options.seeds
+        | None -> Arde_util.Domain_pool.map ~jobs seed_body options.Options.seeds
       in
       let merged = merge_reports per_seed in
       let runs = List.map fst per_seed in
@@ -345,6 +357,7 @@ let pp_seed_outcome ppf = function
   | Crashed (Some l, msg) ->
       Format.fprintf ppf "crashed at %a: %s" Arde_tir.Pretty.loc l msg
   | Crashed (None, msg) -> Format.fprintf ppf "crashed: %s" msg
+  | Cancelled -> Format.pp_print_string ppf "cancelled"
 
 let verdict_name = function
   | Healthy -> "healthy"
@@ -360,11 +373,11 @@ let verdict_of_name = function
 let pp_health ppf h =
   Format.fprintf ppf
     "%s (%d seed%s: %d finished, %d deadlocked, %d livelocked, %d \
-     fuel-exhausted, %d faulted, %d crashed)"
+     fuel-exhausted, %d faulted, %d crashed, %d cancelled)"
     (verdict_name h.h_verdict) h.h_seeds
     (if h.h_seeds = 1 then "" else "s")
     h.h_finished h.h_deadlocked h.h_livelocked h.h_fuel_exhausted h.h_faulted
-    h.h_crashed;
+    h.h_crashed h.h_cancelled;
   List.iter (fun n -> Format.fprintf ppf "@\n  %s" n) h.h_notes
 
 (* ------------------------------------------------------------------ *)
@@ -383,6 +396,7 @@ let health_to_json h =
       ("fuel_exhausted", J.Int h.h_fuel_exhausted);
       ("faulted", J.Int h.h_faulted);
       ("crashed", J.Int h.h_crashed);
+      ("cancelled", J.Int h.h_cancelled);
       ("notes", J.List (List.map (fun n -> J.String n) h.h_notes));
     ]
 
@@ -408,6 +422,7 @@ let health_of_json j =
   let* h_fuel_exhausted = int_field "fuel_exhausted" in
   let* h_faulted = int_field "faulted" in
   let* h_crashed = int_field "crashed" in
+  let* h_cancelled = int_field "cancelled" in
   let* h_notes =
     match Option.bind (J.member "notes" j) J.to_list with
     | Some xs ->
@@ -430,6 +445,7 @@ let health_of_json j =
       h_fuel_exhausted;
       h_faulted;
       h_crashed;
+      h_cancelled;
       h_verdict = verdict;
       h_notes;
     }
@@ -440,8 +456,10 @@ let seed_run_to_json sr =
       ("seed", J.Int sr.sr_seed);
       ("outcome", J.String (Format.asprintf "%a" pp_seed_outcome sr.sr_outcome));
       ( "crashed",
-        J.Bool (match sr.sr_outcome with Crashed _ -> true | Completed _ -> false)
-      );
+        J.Bool
+          (match sr.sr_outcome with
+          | Crashed _ -> true
+          | Completed _ | Cancelled -> false) );
       ("steps", J.Int sr.sr_steps);
       ("contexts", J.Int sr.sr_contexts);
       ("capped", J.Bool sr.sr_capped);

@@ -33,6 +33,10 @@ type seed_outcome =
       (** The detector itself failed on this seed — a broken machine
           invariant, an observer exception, injected chaos.  The location
           is the machine's fault site when one is known. *)
+  | Cancelled
+      (** The run's [should_stop] hook fired before this seed started (a
+          server deadline, a drain).  Nothing ran for it; completed
+          seeds' findings are unaffected. *)
 
 type seed_run = {
   sr_seed : int;
@@ -49,7 +53,9 @@ type seed_run = {
 
 type health_verdict =
   | Healthy  (** every seed finished *)
-  | Degraded  (** some seed deadlocked, livelocked, starved or crashed *)
+  | Degraded
+      (** some seed deadlocked, livelocked, starved, crashed or was
+          cancelled *)
   | Failed  (** nothing ran: every seed crashed, or the pipeline did *)
 
 type health = {
@@ -60,6 +66,7 @@ type health = {
   h_fuel_exhausted : int;
   h_faulted : int;
   h_crashed : int;
+  h_cancelled : int;
   h_verdict : health_verdict;
   h_notes : string list; (* pipeline and per-seed crash messages *)
 }
@@ -106,7 +113,14 @@ val ref_engine : engine_factory
 (** {!Engine_ref}, the frozen reference detector. *)
 
 val run :
-  ?options:options -> ?engine:engine_factory -> Config.mode -> program -> result
+  ?options:options ->
+  ?engine:engine_factory ->
+  ?pool:Arde_util.Domain_pool.pool ->
+  ?should_stop:(unit -> bool) ->
+  ?program_digest:string ->
+  Config.mode ->
+  program ->
+  result
 (** Fault-isolated and parallel: each seed executes in a sandbox on the
     domain pool, so one seed crashing (or the whole pipeline failing to
     prepare the program) yields a [Crashed] seed outcome / [Failed]
@@ -114,7 +128,24 @@ val run :
     The merged report, health verdict and run list are independent of
     [Options.jobs]; a [jobs] request beyond the host core count is
     clamped, with a note recorded in [health.h_notes].  This function
-    does not raise. *)
+    does not raise.
+
+    [pool] runs the per-seed stage on a caller-owned resident
+    {!Arde_util.Domain_pool.pool} (the serve daemon's long-lived pool)
+    instead of spawning domains for this call; [Options.jobs] is ignored
+    in that case.
+
+    [should_stop] is the cooperative cancellation hook, consulted once
+    per seed before that seed starts.  Once it returns [true], remaining
+    seeds become [Cancelled] (folded into {!health} as [Degraded]) while
+    already-completed seeds keep their reports — the primitive behind
+    the server's per-request deadlines and graceful drain.
+
+    [program_digest] is a caller-supplied key uniquely identifying
+    [program], forwarded to {!Analysis_cache.prepare} so the static
+    half's cache lookup skips the canonical-digest pretty-print (the
+    serve daemon passes the digest of the request's program text, which
+    it computes anyway for its program cache). *)
 
 val health_of : ?notes:string list -> seed_run list -> health
 (** Tally seed outcomes into a health record (exposed for harnesses that

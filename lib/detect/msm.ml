@@ -22,3 +22,10 @@ let pp_state ppf = function
 let sensitivity_name = function
   | Short_running -> "short-running"
   | Long_running -> "long-running"
+
+let parse_sensitivity = function
+  | "short-running" -> Ok Short_running
+  | "long-running" -> Ok Long_running
+  | s ->
+      Error
+        (Printf.sprintf "unknown sensitivity %S (short-running, long-running)" s)

@@ -22,3 +22,6 @@ val transition : state -> tid:int -> write:bool -> ordered:bool -> state
 
 val pp_state : Format.formatter -> state -> unit
 val sensitivity_name : sensitivity -> string
+
+val parse_sensitivity : string -> (sensitivity, string) result
+(** Inverse of {!sensitivity_name}. *)

@@ -83,6 +83,17 @@ val with_spurious_wakeups : bool -> t -> t
 val with_count_callee_blocks : bool -> t -> t
 val with_inject : (seed:int -> Arde_runtime.Event.t -> unit) option -> t -> t
 
+(** {1 Wire form}
+
+    The serve protocol ships the whole option surface as one JSON
+    object.  [inject] is a closure and never crosses the wire; every
+    other field does.  [of_json] treats absent fields as defaults, so
+    [Obj []] is a valid (all-default) payload, and
+    [of_json (to_json t) = Ok { t with inject = None }]. *)
+
+val to_json : t -> Arde_util.Json.t
+val of_json : Arde_util.Json.t -> (t, string) result
+
 val effective_jobs : t -> n_seeds:int -> int
 (** The domain-pool width a run will actually use: [jobs] (or
     {!default_jobs} when [jobs <= 0]) clamped to the host core count

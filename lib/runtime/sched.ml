@@ -65,3 +65,26 @@ let pick t ~runnable ~n =
           t.burst <- fresh_burst t mean;
           t.current
         end
+
+let policy_name = function
+  | Round_robin q -> Printf.sprintf "rr:%d" q
+  | Uniform -> "uniform"
+  | Chunked n -> Printf.sprintf "chunked:%d" n
+
+let parse_policy s =
+  let int_suffix prefix =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      int_of_string_opt (String.sub s plen (String.length s - plen))
+    else None
+  in
+  match s with
+  | "uniform" -> Ok Uniform
+  | _ -> (
+      match (int_suffix "rr:", int_suffix "chunked:") with
+      | Some q, _ when q > 0 -> Ok (Round_robin q)
+      | _, Some n when n > 0 -> Ok (Chunked n)
+      | _ ->
+          Error
+            (Printf.sprintf "unknown policy %S (use rr:N, uniform or chunked:N)"
+               s))

@@ -27,3 +27,10 @@ val pick : t -> runnable:int array -> n:int -> int
 
 val force_switch : t -> unit
 (** A [Yield] hint: end the current burst so another thread gets picked. *)
+
+val policy_name : policy -> string
+(** ["rr:N"], ["uniform"] or ["chunked:N"] — the spelling {!parse_policy}
+    accepts, used by the CLI and the serve wire protocol. *)
+
+val parse_policy : string -> (policy, string) result
+(** Inverse of {!policy_name}. *)

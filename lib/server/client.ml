@@ -1,0 +1,85 @@
+(* Blocking serve-socket client.  See client.mli. *)
+
+module J = Arde.Json
+module P = Protocol
+
+type t = {
+  cl_fd : Unix.file_descr;
+  cl_dec : P.decoder;
+  cl_buf : Bytes.t; (* per-connection: clients may live on different domains *)
+  mutable cl_open : bool;
+}
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () ->
+      Ok
+        {
+          cl_fd = fd;
+          cl_dec = P.decoder ();
+          cl_buf = Bytes.create 65536;
+          cl_open = true;
+        }
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket_path
+           (Unix.error_message err))
+
+let close t =
+  if t.cl_open then begin
+    t.cl_open <- false;
+    try Unix.close t.cl_fd with Unix.Unix_error _ -> ()
+  end
+
+let fd t = t.cl_fd
+
+let send_raw t bytes =
+  if not t.cl_open then Error "connection closed"
+  else
+    let len = String.length bytes in
+    let off = ref 0 in
+    match
+      while !off < len do
+        off := !off + Unix.write_substring t.cl_fd bytes !off (len - !off)
+      done
+    with
+    | () -> Ok ()
+    | exception Unix.Unix_error (err, _, _) ->
+        Error ("write: " ^ Unix.error_message err)
+
+let send_frame t payload = send_raw t (P.frame payload)
+
+let recv t =
+  if not t.cl_open then Error "connection closed"
+  else
+    let rec loop () =
+      match P.next_frame t.cl_dec with
+      | P.Frame payload ->
+          Result.map_error
+            (fun e -> "response: " ^ e)
+            (J.parse payload)
+      | P.Too_large n ->
+          Error (Printf.sprintf "response frame too large (%d bytes)" n)
+      | P.Await -> (
+          match Unix.read t.cl_fd t.cl_buf 0 (Bytes.length t.cl_buf) with
+          | 0 -> Error "connection closed by server"
+          | n ->
+              P.feed t.cl_dec t.cl_buf 0 n;
+              loop ()
+          | exception Unix.Unix_error (err, _, _) ->
+              Error ("read: " ^ Unix.error_message err))
+    in
+    loop ()
+
+let request t json =
+  match send_frame t (J.to_string json) with
+  | Error _ as e -> e
+  | Ok () -> recv t
+
+let run t ?id ?deadline_ms ~program ~mode ~options () =
+  request t (P.run_request_json ?id ?deadline_ms ~program ~mode ~options ())
+
+let stats t = request t (P.stats_request ())
+let ping t = request t (P.ping_request ())

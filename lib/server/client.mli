@@ -1,0 +1,52 @@
+(** Blocking client for the serve socket — the library behind
+    [arde submit], the protocol tests and the load benchmark.
+
+    One {!t} is one connection; it is not domain-safe (give each
+    concurrent client its own connection, as the benchmark does).
+    Request helpers send one frame and block until the matching response
+    frame arrives; servers answer a connection's requests in submission
+    order for run requests, while ping/stats/admission errors may
+    overtake queued runs (they are answered by the connection loop
+    directly). *)
+
+type t
+
+val connect : socket_path:string -> (t, string) result
+val close : t -> unit
+(** Idempotent. *)
+
+val request : t -> Arde.Json.t -> (Arde.Json.t, string) result
+(** Send one JSON request frame, wait for one response frame.  [Error]
+    on transport failure (refused connection, mid-response disconnect,
+    unparsable response). *)
+
+val run :
+  t ->
+  ?id:Arde.Json.t ->
+  ?deadline_ms:int ->
+  program:string ->
+  mode:Arde.Config.mode ->
+  options:Arde.Options.t ->
+  unit ->
+  (Arde.Json.t, string) result
+(** Submit a detection run; returns the whole response object (check
+    {!Protocol.response_ok} / {!Protocol.response_error}, extract
+    ["result"] and ["analysis_cache"] on success). *)
+
+val stats : t -> (Arde.Json.t, string) result
+val ping : t -> (Arde.Json.t, string) result
+
+(** {1 Low-level access} (protocol tests) *)
+
+val send_raw : t -> string -> (unit, string) result
+(** Write raw bytes with {e no} framing — for feeding the server
+    malformed input. *)
+
+val send_frame : t -> string -> (unit, string) result
+(** Frame and send a payload without waiting for a response. *)
+
+val recv : t -> (Arde.Json.t, string) result
+(** Read frames until one complete response arrives and parse it. *)
+
+val fd : t -> Unix.file_descr
+(** The underlying socket (tests: shutdown mid-frame). *)

@@ -1,0 +1,134 @@
+(** The serve wire protocol: framing, request/response schemas, and the
+    shared one-shot output shape.
+
+    Every message on the socket — in either direction — is one {e frame}:
+    a 4-byte big-endian payload length followed by that many bytes of
+    minified UTF-8 JSON.  Frames never interleave (each side serializes
+    writes per connection), so a reader only needs this module's
+    incremental {!decoder} to recover message boundaries from arbitrary
+    read chunks.
+
+    The JSON schemas are documented in DESIGN.md §6; this interface is
+    the single source of truth for building and parsing them, used by
+    the server, the client library, the CLI and the load benchmark —
+    byte-identical output between [arde run] and [arde submit] falls out
+    of both paths calling {!run_output}. *)
+
+(** {1 Framing} *)
+
+val default_max_frame : int
+(** 8 MiB — far above any response the repository's workloads produce. *)
+
+val frame : string -> string
+(** [frame payload] is the length header followed by [payload]. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Frame and write a payload, looping over short writes.
+    @raise Unix.Unix_error as [Unix.write] does (e.g. [EPIPE]). *)
+
+type decoder
+(** Incremental frame reassembly over a byte stream. *)
+
+val decoder : ?max_frame:int -> unit -> decoder
+
+type frame_result =
+  | Frame of string  (** one complete payload, removed from the buffer *)
+  | Await  (** need more bytes *)
+  | Too_large of int
+      (** the header announced this many bytes, beyond [max_frame] — the
+          stream is poisoned and the connection should be dropped *)
+
+val feed : decoder -> Bytes.t -> int -> int -> unit
+(** [feed d buf off len] appends a read chunk. *)
+
+val next_frame : decoder -> frame_result
+(** Call repeatedly after {!feed} until it returns [Await]. *)
+
+(** {1 Error codes}
+
+    Structured failure vocabulary carried in error responses. *)
+
+type error_code =
+  | Bad_frame  (** payload is not valid JSON (or violates parser limits) *)
+  | Bad_request
+      (** valid JSON, unusable content: unknown type, missing or
+          ill-typed field, unparsable mode/options/program *)
+  | Overloaded  (** admission control: the pending queue is full *)
+  | Draining  (** the server is shutting down and refuses new work *)
+  | Internal  (** unexpected server-side exception *)
+
+val code_name : error_code -> string
+(** ["bad_frame"], ["bad_request"], ["overloaded"], ["draining"],
+    ["internal"]. *)
+
+(** {1 Requests} *)
+
+type run_request = {
+  rq_id : Arde.Json.t;  (** echoed verbatim in the response; [Null] if absent *)
+  rq_program : string;  (** canonical TIR text ([Pretty.program_to_string]) *)
+  rq_mode : Arde.Config.mode;
+  rq_options : Arde.Options.t;
+  rq_deadline_ms : int option;
+      (** wall-clock budget for the detection run; on expiry remaining
+          seeds are cancelled cooperatively (the response still carries
+          every completed seed's findings) *)
+}
+
+type request =
+  | Run of run_request
+  | Stats of Arde.Json.t  (** id *)
+  | Ping of Arde.Json.t  (** id *)
+
+val run_request_json :
+  ?id:Arde.Json.t ->
+  ?deadline_ms:int ->
+  program:string ->
+  mode:Arde.Config.mode ->
+  options:Arde.Options.t ->
+  unit ->
+  Arde.Json.t
+
+val stats_request : ?id:Arde.Json.t -> unit -> Arde.Json.t
+val ping_request : ?id:Arde.Json.t -> unit -> Arde.Json.t
+
+val parse_request :
+  string -> (request, Arde.Json.t * error_code * string) result
+(** Parse one frame payload.  The error carries the request id when one
+    could be recovered ([Null] otherwise), so the server can still
+    correlate the error response.  Unparsable JSON is [Bad_frame];
+    everything else wrong is [Bad_request]. *)
+
+(** {1 Responses} *)
+
+val ok_response : id:Arde.Json.t -> (string * Arde.Json.t) list -> Arde.Json.t
+(** [{"type":"response","id":id,"ok":true, ...fields}]. *)
+
+val error_response : id:Arde.Json.t -> error_code -> string -> Arde.Json.t
+(** [{"type":"response","id":id,"ok":false,
+      "error":{"code":code,"message":msg}}]. *)
+
+val response_ok : Arde.Json.t -> bool
+
+val response_error : Arde.Json.t -> (string * string) option
+(** [(code, message)] when the response is an error. *)
+
+(** {1 The shared one-shot output shape}
+
+    [arde run --format json] and [arde submit] both emit this object;
+    building it from the {e serialized} result (rather than the in-memory
+    record) is what makes the two paths byte-identical by construction.
+
+    Fields, in order: ["workload"], ["result"], ["verdict"] (labelled
+    cases only), ["analysis_cache"] (when given), ["exit_code"]. *)
+
+val run_output :
+  workload:string ->
+  ?expectation:Arde.Classify.expectation ->
+  ?analysis_cache:Arde.Json.t ->
+  Arde.Json.t ->
+  (Arde.Json.t * int, string) result
+(** [run_output ~workload result_json] recomputes the verdict and exit
+    code (0 clean, 1 races, 2 degraded, 3 failed) from the result's own
+    serialized report and health, and returns the printable object
+    together with the exit code.  Errors only on a result that does not
+    follow [Driver.result_to_json]'s schema. *)

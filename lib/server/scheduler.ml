@@ -1,0 +1,64 @@
+(* Bounded request queue + drain state machine.  See scheduler.mli. *)
+
+type 'job t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  q : 'job Queue.t;
+  max_pending : int;
+  mutable inflight : int;
+  mutable drain : bool;
+}
+
+let create ~max_pending =
+  {
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    max_pending = max 1 max_pending;
+    inflight = 0;
+    drain = false;
+  }
+
+type admission = Accepted | Overloaded | Draining
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let submit t job =
+  locked t (fun () ->
+      if t.drain then Draining
+      else if Queue.length t.q >= t.max_pending then Overloaded
+      else begin
+        Queue.add job t.q;
+        Condition.signal t.nonempty;
+        Accepted
+      end)
+
+let next t =
+  locked t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.q) then begin
+          t.inflight <- t.inflight + 1;
+          Some (Queue.pop t.q)
+        end
+        else if t.drain then None
+        else begin
+          Condition.wait t.nonempty t.m;
+          wait ()
+        end
+      in
+      wait ())
+
+let job_done t =
+  locked t (fun () -> t.inflight <- max 0 (t.inflight - 1))
+
+let begin_drain t =
+  locked t (fun () ->
+      t.drain <- true;
+      Condition.broadcast t.nonempty)
+
+let draining t = locked t (fun () -> t.drain)
+let depth t = locked t (fun () -> Queue.length t.q)
+let in_flight t = locked t (fun () -> t.inflight)
+let idle t = locked t (fun () -> Queue.is_empty t.q && t.inflight = 0)

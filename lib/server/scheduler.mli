@@ -1,0 +1,40 @@
+(** The server's request scheduler: a bounded FIFO handing jobs from the
+    connection loop to the worker domain, with admission control and the
+    drain state machine.
+
+    States: {e accepting} (submissions succeed until the queue holds
+    [max_pending] jobs, then come back [Overloaded]) → {e draining}
+    (after {!begin_drain}: every submission comes back [Draining], queued
+    and in-flight jobs still complete) → {e idle} (queue empty, nothing
+    in flight — {!next} returns [None] and the worker exits).
+
+    All operations are safe to call from any domain.  {!begin_drain} is
+    {e not} async-signal-safe (it takes the queue lock); signal handlers
+    should set a flag and let the event loop call it. *)
+
+type 'job t
+
+val create : max_pending:int -> 'job t
+(** [max_pending] is clamped to at least 1. *)
+
+type admission = Accepted | Overloaded | Draining
+
+val submit : 'job t -> 'job -> admission
+(** Never blocks. *)
+
+val next : 'job t -> 'job option
+(** Blocks until a job is available; [None] once draining and idle (the
+    worker's signal to exit).  Taking a job marks it in-flight until the
+    matching {!job_done}. *)
+
+val job_done : 'job t -> unit
+
+val begin_drain : 'job t -> unit
+(** Idempotent.  Wakes blocked {!next} callers. *)
+
+val draining : 'job t -> bool
+val depth : 'job t -> int
+val in_flight : 'job t -> int
+
+val idle : 'job t -> bool
+(** Queue empty and nothing in flight. *)

@@ -1,0 +1,473 @@
+(* The resident detection daemon.  See server.mli for the threading and
+   shutdown story. *)
+
+module J = Arde.Json
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  max_pending : int;
+  max_frame : int;
+  jobs : int;
+  default_deadline_ms : int option;
+  log : string -> unit;
+}
+
+let config ?(max_pending = 64) ?(max_frame = P.default_max_frame) ?(jobs = 0)
+    ?default_deadline_ms ?(log = ignore) ~socket_path () =
+  { socket_path; max_pending; max_frame; jobs; default_deadline_ms; log }
+
+(* One client connection.  The worker domain and the connection loop
+   both write responses; [wm] serializes them so frames never interleave.
+   Only the connection loop closes the fd (after taking [wm]), so a
+   writer holding [wm] with [alive = true] holds a valid fd. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_dec : P.decoder;
+  c_wm : Mutex.t;
+  mutable c_alive : bool;
+}
+
+type counters = {
+  received : int Atomic.t;
+  ok : int Atomic.t;
+  pings : int Atomic.t;
+  stats_reqs : int Atomic.t;
+  bad_frame : int Atomic.t;
+  bad_request : int Atomic.t;
+  overloaded : int Atomic.t;
+  rejected_draining : int Atomic.t;
+  internal_errors : int Atomic.t;
+  deadline_cancelled : int Atomic.t;
+      (* run requests whose deadline cancelled at least one seed *)
+}
+
+type job = { j_conn : conn; j_req : P.run_request }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  sched : job Scheduler.t;
+  pool : Arde.Domain_pool.pool;
+  conns : (Unix.file_descr, conn) Hashtbl.t; (* connection loop only *)
+  counters : counters;
+  started : float;
+  drain_requested : bool Atomic.t;
+  programs : (string, Arde.Types.program) Hashtbl.t; (* text digest -> AST *)
+  programs_m : Mutex.t;
+  program_hits : int Atomic.t;
+  program_misses : int Atomic.t;
+  mutable worker : unit Domain.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Plumbing                                                           *)
+
+let send t conn json =
+  Mutex.lock conn.c_wm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.c_wm)
+    (fun () ->
+      if conn.c_alive then
+        try P.write_frame conn.c_fd (J.to_string json)
+        with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+          (* The client went away; the connection loop will reap the fd. *)
+          conn.c_alive <- false);
+  t.cfg.log
+    (if P.response_ok json then "sent ok response"
+     else
+       match P.response_error json with
+       | Some (code, _) -> "sent error response: " ^ code
+       | None -> "sent response")
+
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "w" 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+let initiate_drain t =
+  Atomic.set t.drain_requested true;
+  wake t
+
+let handle_signals t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let h = Sys.Signal_handle (fun _ -> initiate_drain t) in
+  Sys.set_signal Sys.sigterm h;
+  Sys.set_signal Sys.sigint h
+
+(* ------------------------------------------------------------------ *)
+(* Worker: executes run requests one at a time                        *)
+
+(* The request-text digest keys both the server's parsed-program cache
+   and (as [?program_digest]) the analysis cache's prepared entries, so a
+   repeat submission re-parses nothing and re-analyzes nothing: it goes
+   straight from the digest to the compiled, instrumented form. *)
+let lookup_program t text =
+  let digest = Digest.string text in
+  let cached =
+    Mutex.lock t.programs_m;
+    let v = Hashtbl.find_opt t.programs digest in
+    Mutex.unlock t.programs_m;
+    v
+  in
+  match cached with
+  | Some p ->
+      Atomic.incr t.program_hits;
+      Ok (digest, p)
+  | None -> (
+      Atomic.incr t.program_misses;
+      match Arde.Parse.program text with
+      | Error e -> Error ("program: " ^ Arde.Parse.error_to_string e)
+      | Ok p -> (
+          match Arde.Validate.check p with
+          | Error es ->
+              Error
+                ("program: "
+                ^ String.concat "; "
+                    (List.map Arde.Validate.error_to_string es))
+          | Ok () ->
+              Mutex.lock t.programs_m;
+              Hashtbl.replace t.programs digest p;
+              Mutex.unlock t.programs_m;
+              Ok (digest, p)))
+
+let execute t job =
+  let req = job.j_req in
+  let response =
+    match lookup_program t req.P.rq_program with
+    | Error msg ->
+        Atomic.incr t.counters.bad_request;
+        P.error_response ~id:req.P.rq_id P.Bad_request msg
+    | Ok (digest, program) -> (
+        let before = Arde.Analysis_cache.stats () in
+        let deadline =
+          match req.P.rq_deadline_ms with
+          | Some _ as d -> d
+          | None -> t.cfg.default_deadline_ms
+        in
+        let started = Unix.gettimeofday () in
+        let should_stop =
+          match deadline with
+          | None -> fun () -> false
+          | Some ms ->
+              fun () ->
+                (Unix.gettimeofday () -. started) *. 1000. > float_of_int ms
+        in
+        match
+          Arde.detect ~options:req.P.rq_options ~pool:t.pool ~should_stop
+            ~program_digest:digest req.P.rq_mode program
+        with
+        | result ->
+            let after = Arde.Analysis_cache.stats () in
+            let delta = Arde.Analysis_cache.stats_delta ~before ~after in
+            if result.Arde.Driver.health.Arde.Driver.h_cancelled > 0 then
+              Atomic.incr t.counters.deadline_cancelled;
+            Atomic.incr t.counters.ok;
+            P.ok_response ~id:req.P.rq_id
+              [
+                ("result", Arde.Driver.result_to_json result);
+                ("analysis_cache", Arde.Analysis_cache.stats_to_json delta);
+              ]
+        | exception e ->
+            Atomic.incr t.counters.internal_errors;
+            P.error_response ~id:req.P.rq_id P.Internal (Printexc.to_string e))
+  in
+  send t job.j_conn response
+
+let worker_loop t =
+  let rec loop () =
+    match Scheduler.next t.sched with
+    | None -> ()
+    | Some job ->
+        (try execute t job
+         with e ->
+           Atomic.incr t.counters.internal_errors;
+           t.cfg.log ("worker exception: " ^ Printexc.to_string e));
+        Scheduler.job_done t.sched;
+        wake t;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+
+let stats_json t =
+  let c n a = (n, J.Int (Atomic.get a)) in
+  J.Obj
+    [
+      ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
+      ( "requests",
+        J.Obj
+          [
+            c "received" t.counters.received;
+            c "ok" t.counters.ok;
+            c "ping" t.counters.pings;
+            c "stats" t.counters.stats_reqs;
+            c "bad_frame" t.counters.bad_frame;
+            c "bad_request" t.counters.bad_request;
+            c "overloaded" t.counters.overloaded;
+            c "rejected_draining" t.counters.rejected_draining;
+            c "internal" t.counters.internal_errors;
+            c "deadline_cancelled" t.counters.deadline_cancelled;
+          ] );
+      ( "queue",
+        J.Obj
+          [
+            ("depth", J.Int (Scheduler.depth t.sched));
+            ("in_flight", J.Int (Scheduler.in_flight t.sched));
+            ("max_pending", J.Int t.cfg.max_pending);
+            ("draining", J.Bool (Scheduler.draining t.sched));
+          ] );
+      ( "programs",
+        J.Obj
+          [
+            ( "cached",
+              J.Int
+                (Mutex.lock t.programs_m;
+                 let n = Hashtbl.length t.programs in
+                 Mutex.unlock t.programs_m;
+                 n) );
+            c "hits" t.program_hits;
+            c "misses" t.program_misses;
+          ] );
+      ("analysis_cache", Arde.Analysis_cache.stats_to_json (Arde.Analysis_cache.stats ()));
+      ("pool_width", J.Int (Arde.Domain_pool.width t.pool));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Connection loop                                                    *)
+
+let close_conn t conn =
+  Mutex.lock conn.c_wm;
+  if conn.c_alive then begin
+    conn.c_alive <- false;
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+  end;
+  Mutex.unlock conn.c_wm;
+  Hashtbl.remove t.conns conn.c_fd
+
+let handle_payload t conn payload =
+  Atomic.incr t.counters.received;
+  match P.parse_request payload with
+  | Error (id, code, msg) ->
+      (match code with
+      | P.Bad_frame -> Atomic.incr t.counters.bad_frame
+      | _ -> Atomic.incr t.counters.bad_request);
+      send t conn (P.error_response ~id code msg)
+  | Ok (P.Ping id) ->
+      Atomic.incr t.counters.pings;
+      send t conn (P.ok_response ~id [ ("pong", J.Bool true) ])
+  | Ok (P.Stats id) ->
+      Atomic.incr t.counters.stats_reqs;
+      send t conn (P.ok_response ~id [ ("stats", stats_json t) ])
+  | Ok (P.Run req) -> (
+      match Scheduler.submit t.sched { j_conn = conn; j_req = req } with
+      | Scheduler.Accepted -> ()
+      | Scheduler.Overloaded ->
+          Atomic.incr t.counters.overloaded;
+          send t conn
+            (P.error_response ~id:req.P.rq_id P.Overloaded
+               (Printf.sprintf "queue full (%d pending)" t.cfg.max_pending))
+      | Scheduler.Draining ->
+          Atomic.incr t.counters.rejected_draining;
+          send t conn
+            (P.error_response ~id:req.P.rq_id P.Draining
+               "server is draining and refuses new work"))
+
+let read_buf = Bytes.create 65536
+
+let handle_readable t conn =
+  match Unix.read conn.c_fd read_buf 0 (Bytes.length read_buf) with
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+      close_conn t conn
+  | 0 -> close_conn t conn (* EOF: mid-frame disconnects land here too *)
+  | n ->
+      P.feed conn.c_dec read_buf 0 n;
+      let rec drain_frames () =
+        match P.next_frame conn.c_dec with
+        | P.Frame payload ->
+            handle_payload t conn payload;
+            if conn.c_alive then drain_frames ()
+        | P.Await -> ()
+        | P.Too_large announced ->
+            Atomic.incr t.counters.received;
+            Atomic.incr t.counters.bad_frame;
+            send t conn
+              (P.error_response ~id:J.Null P.Bad_frame
+                 (Printf.sprintf
+                    "frame of %d bytes exceeds the %d-byte limit" announced
+                    t.cfg.max_frame));
+            (* The stream is unframeable from here on. *)
+            close_conn t conn
+      in
+      drain_frames ()
+
+let accept_conn t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | fd, _ ->
+      let conn =
+        {
+          c_fd = fd;
+          c_dec = P.decoder ~max_frame:t.cfg.max_frame ();
+          c_wm = Mutex.create ();
+          c_alive = true;
+        }
+      in
+      if Scheduler.draining t.sched then begin
+        (* Refuse with a structured error rather than a silent close. *)
+        Atomic.incr t.counters.rejected_draining;
+        send t conn
+          (P.error_response ~id:J.Null P.Draining
+             "server is draining and refuses new connections");
+        Mutex.lock conn.c_wm;
+        conn.c_alive <- false;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Mutex.unlock conn.c_wm
+      end
+      else begin
+        Hashtbl.replace t.conns fd conn;
+        t.cfg.log "accepted connection"
+      end
+
+let drain_wake_pipe t =
+  match Unix.read t.wake_r read_buf 0 64 with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let run t =
+  let rec loop () =
+    if Atomic.get t.drain_requested && not (Scheduler.draining t.sched)
+    then begin
+      t.cfg.log "drain initiated";
+      Scheduler.begin_drain t.sched
+    end;
+    if Scheduler.draining t.sched && Scheduler.idle t.sched then ()
+    else begin
+      let fds =
+        t.listen_fd :: t.wake_r
+        :: Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns []
+      in
+      (match Unix.select fds [] [] 0.2 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd = t.listen_fd then accept_conn t
+              else if fd = t.wake_r then drain_wake_pipe t
+              else
+                match Hashtbl.find_opt t.conns fd with
+                | Some conn -> handle_readable t conn
+                | None -> ())
+            ready);
+      loop ()
+    end
+  in
+  loop ();
+  (* Drained: the worker's queue is empty, so [next] returns None. *)
+  (match t.worker with
+  | Some d ->
+      Domain.join d;
+      t.worker <- None
+  | None -> ());
+  Hashtbl.iter (fun _ conn ->
+      Mutex.lock conn.c_wm;
+      if conn.c_alive then begin
+        conn.c_alive <- false;
+        try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+      end;
+      Mutex.unlock conn.c_wm)
+    t.conns;
+  Hashtbl.reset t.conns;
+  Arde.Domain_pool.shutdown t.pool;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  t.cfg.log "server stopped"
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+
+let socket_in_use path =
+  (* A leftover socket file from a dead server must not block startup;
+     a live server on the same path must. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false)
+
+let clear_stale_socket path =
+  if not (Sys.file_exists path) then Ok ()
+  else if socket_in_use path then
+    Error (Printf.sprintf "socket %s is in use by a live server" path)
+  else begin
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    Ok ()
+  end
+
+let create cfg =
+  let path = cfg.socket_path in
+  match clear_stale_socket path with
+  | Error e -> Error e
+  | Ok () -> (
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 64
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error
+        (Printf.sprintf "cannot bind %s: %s (%s)" path
+           (Unix.error_message err) fn)
+  | listen_fd ->
+      let wake_r, wake_w = Unix.pipe () in
+      Unix.set_nonblock wake_w;
+      Unix.set_nonblock wake_r;
+      let jobs =
+        if cfg.jobs <= 0 then Arde.Domain_pool.default_jobs () else cfg.jobs
+      in
+      let t =
+        {
+          cfg;
+          listen_fd;
+          wake_r;
+          wake_w;
+          sched = Scheduler.create ~max_pending:cfg.max_pending;
+          pool = Arde.Domain_pool.create ~jobs;
+          conns = Hashtbl.create 16;
+          counters =
+            {
+              received = Atomic.make 0;
+              ok = Atomic.make 0;
+              pings = Atomic.make 0;
+              stats_reqs = Atomic.make 0;
+              bad_frame = Atomic.make 0;
+              bad_request = Atomic.make 0;
+              overloaded = Atomic.make 0;
+              rejected_draining = Atomic.make 0;
+              internal_errors = Atomic.make 0;
+              deadline_cancelled = Atomic.make 0;
+            };
+          started = Unix.gettimeofday ();
+          drain_requested = Atomic.make false;
+          programs = Hashtbl.create 16;
+          programs_m = Mutex.create ();
+          program_hits = Atomic.make 0;
+          program_misses = Atomic.make 0;
+          worker = None;
+        }
+      in
+      t.worker <- Some (Domain.spawn (fun () -> worker_loop t));
+      t.cfg.log (Printf.sprintf "listening on %s" path);
+      Ok t)

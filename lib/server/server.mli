@@ -1,0 +1,69 @@
+(** The resident detection daemon behind [arde serve].
+
+    One process owns one long-lived {!Arde.Domain_pool.pool} and the
+    process-wide {!Arde.Analysis_cache}; requests arrive as frames
+    (see {!Protocol}) over a Unix domain socket, pass the
+    {!Scheduler}'s admission control, and execute one at a time on a
+    dedicated worker domain — the per-seed fan-out inside each request
+    is where the parallelism lives, so detection results stay
+    byte-identical to one-shot [arde run].
+
+    Threading: the calling domain runs the [select]-based connection
+    loop (accept, read, frame reassembly, immediate replies: ping,
+    stats, admission errors); the worker domain executes run requests
+    and writes their responses.  A per-connection write lock keeps
+    frames from interleaving.
+
+    Shutdown: {!initiate_drain} (async-signal-safe; {!handle_signals}
+    wires it to SIGTERM and SIGINT) flips the scheduler into draining —
+    queued and in-flight requests complete and their responses are
+    delivered, new connections and new requests get a structured
+    [draining] error — then {!run} tears everything down and returns,
+    so the CLI can exit 0. *)
+
+type config = {
+  socket_path : string;
+  max_pending : int;  (** admission-control bound on queued requests *)
+  max_frame : int;  (** per-connection inbound frame size limit *)
+  jobs : int;  (** resident pool width; [<= 0] means host core count *)
+  default_deadline_ms : int option;
+      (** applied to requests that carry no [deadline_ms] of their own *)
+  log : string -> unit;  (** server-side event log (pass [ignore] to mute) *)
+}
+
+val config :
+  ?max_pending:int ->
+  ?max_frame:int ->
+  ?jobs:int ->
+  ?default_deadline_ms:int ->
+  ?log:(string -> unit) ->
+  socket_path:string ->
+  unit ->
+  config
+(** Defaults: [max_pending = 64], [max_frame = Protocol.default_max_frame],
+    [jobs = 0], no default deadline, mute log. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Bind the socket (replacing a stale one left by a dead server),
+    spawn the worker domain and the resident pool.  [Error] if the path
+    is in use by a live server or cannot be bound. *)
+
+val run : t -> unit
+(** The connection loop.  Blocks until a drain completes, then closes
+    every connection, joins the worker, shuts the pool down and unlinks
+    the socket. *)
+
+val initiate_drain : t -> unit
+(** Request a graceful drain.  Async-signal-safe and idempotent: sets a
+    flag and pokes the loop's wake-up pipe; the loop does the rest. *)
+
+val handle_signals : t -> unit
+(** Route SIGTERM and SIGINT to {!initiate_drain} and ignore SIGPIPE
+    (disconnecting clients must not kill the server). *)
+
+val stats_json : t -> Arde.Json.t
+(** The same object a [stats] request returns: uptime, request counts
+    by outcome, queue state, program/analysis cache counters, pool
+    width. *)

@@ -3,6 +3,20 @@ module B = Builder
 
 type style = Compact | Realistic | Futex
 
+let style_name = function
+  | Compact -> "compact"
+  | Realistic -> "realistic"
+  | Futex -> "futex"
+
+let parse_style = function
+  | "compact" -> Ok Compact
+  | "realistic" -> Ok Realistic
+  | "futex" -> Ok Futex
+  | s ->
+      Error
+        (Printf.sprintf "unknown lowering style %S (compact, realistic, futex)"
+           s)
+
 let is_lowered_helper name =
   String.length name >= 2 && name.[0] = '_' && name.[1] = '_'
 

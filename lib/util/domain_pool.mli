@@ -25,3 +25,29 @@ val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the pool width to use when the
     caller expresses no preference. *)
+
+(** {1 Resident pools}
+
+    [map] spawns and joins domains per call — right for one-shot runs,
+    wrong for a server fanning out per request.  A {!pool} spawns its
+    workers once; {!map_pool} hands them one batch at a time and blocks
+    until the batch completes, with the same ordering, determinism and
+    exception contract as {!map}.  Concurrent {!map_pool} calls on the
+    same pool are serialized (one batch in flight); a call made from
+    inside a pool worker degrades to sequential [List.map], so nesting
+    cannot deadlock. *)
+
+type pool
+
+val create : jobs:int -> pool
+(** Spawn a resident pool of [max 1 jobs] workers ([jobs - 1] domains;
+    the submitting domain is always the batch's first worker). *)
+
+val width : pool -> int
+
+val map_pool : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!map} over the resident workers.  After {!shutdown} (or on a
+    1-wide pool) this is plain sequential [List.map]. *)
+
+val shutdown : pool -> unit
+(** Stop and join the worker domains.  Idempotent. *)

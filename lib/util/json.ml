@@ -83,10 +83,32 @@ let to_string ?(minify = true) j =
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                            *)
 
+type error = { at : int; reason : string }
+
+let error_to_string { at; reason } =
+  Printf.sprintf "JSON parse error at offset %d: %s" at reason
+
 exception Bad of int * string
 
-let parse s =
+(* Socket frames are attacker-controlled, so both knobs default to
+   finite: a frame of a million '['s must come back as a structured
+   error, not a stack overflow, and an over-long input must be refused
+   before the parser walks it. *)
+let default_max_depth = 512
+let default_max_size = 64 * 1024 * 1024
+
+let parse_checked ?(max_depth = default_max_depth)
+    ?(max_size = default_max_size) s =
   let n = String.length s in
+  if n > max_size then
+    Error
+      {
+        at = max_size;
+        reason =
+          Printf.sprintf "input too large: %d bytes exceeds limit of %d" n
+            max_size;
+      }
+  else
   let pos = ref 0 in
   let fail msg = raise (Bad (!pos, msg)) in
   let peek () = if !pos < n then Some s.[!pos] else None in
@@ -182,7 +204,7 @@ let parse s =
       | Some i -> Int i
       | None -> fail (Printf.sprintf "bad number %S" tok)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -191,6 +213,8 @@ let parse s =
     | Some 'f' -> literal "false" (Bool false)
     | Some '"' -> String (parse_string ())
     | Some '[' ->
+        if depth >= max_depth then
+          fail (Printf.sprintf "nesting deeper than %d" max_depth);
         advance ();
         skip_ws ();
         if peek () = Some ']' then begin
@@ -199,7 +223,7 @@ let parse s =
         end
         else begin
           let rec items acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -213,6 +237,8 @@ let parse s =
           List (items [])
         end
     | Some '{' ->
+        if depth >= max_depth then
+          fail (Printf.sprintf "nesting deeper than %d" max_depth);
         advance ();
         skip_ws ();
         if peek () = Some '}' then begin
@@ -225,7 +251,7 @@ let parse s =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -242,14 +268,16 @@ let parse s =
     | Some c -> fail (Printf.sprintf "unexpected %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v
   with
   | v -> Ok v
-  | exception Bad (at, msg) ->
-      Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)
+  | exception Bad (at, msg) -> Error { at; reason = msg }
+
+let parse ?max_depth ?max_size s =
+  Result.map_error error_to_string (parse_checked ?max_depth ?max_size s)
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                          *)

@@ -22,10 +22,36 @@ val to_string : ?minify:bool -> t -> string
     output is indented for human readers.  Strings are escaped per RFC
     8259; floats print with enough digits to round-trip. *)
 
-val parse : string -> (t, string) result
+(** {1 Parsing}
+
+    The parser also guards the server's socket boundary, so adversarial
+    input must come back as a structured error rather than a crash:
+    inputs longer than [max_size] are refused up front, and nesting
+    beyond [max_depth] containers fails cleanly instead of overflowing
+    the stack.  Both limits default to values far above anything the
+    repository's own serializers emit ({!default_max_depth} /
+    {!default_max_size}). *)
+
+type error = { at : int; reason : string }
+(** A parse failure: [at] is the byte offset in the input where the
+    parser gave up ([max_size] itself for over-long input, the opening
+    bracket for an over-deep container). *)
+
+val error_to_string : error -> string
+
+val default_max_depth : int
+(** 512 nested containers. *)
+
+val default_max_size : int
+(** 64 MiB. *)
+
+val parse_checked :
+  ?max_depth:int -> ?max_size:int -> string -> (t, error) result
 (** Parse a complete JSON document.  Numbers without [.], [e] or [E]
-    become [Int]; everything else numeric becomes [Float].  Errors carry
-    a character offset. *)
+    become [Int]; everything else numeric becomes [Float]. *)
+
+val parse : ?max_depth:int -> ?max_size:int -> string -> (t, string) result
+(** {!parse_checked} with the error rendered by {!error_to_string}. *)
 
 val member : string -> t -> t option
 (** [member k (Obj ...)] is the first binding of [k], if any; [None] on

@@ -17,6 +17,7 @@ let () =
       ("props", Test_props.suite);
       ("fuzz", Test_fuzz.suite);
       ("robustness", Test_robustness.suite);
+      ("server", Test_server.suite);
       ("parallel", Test_parallel.suite);
       ("engine-diff", Test_engine_diff.suite);
       ("machine-diff", Test_machine_diff.suite);

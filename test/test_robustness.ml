@@ -211,7 +211,7 @@ let gen_case =
 
 let health_coherent (h : D.health) =
   h.D.h_finished + h.D.h_deadlocked + h.D.h_livelocked + h.D.h_fuel_exhausted
-  + h.D.h_faulted + h.D.h_crashed
+  + h.D.h_faulted + h.D.h_crashed + h.D.h_cancelled
   = h.D.h_seeds
   &&
   match h.D.h_verdict with
@@ -316,6 +316,83 @@ let test_verdict_stability () =
     (List.filter (fun n -> not (dcl n)) !flips);
   Alcotest.(check bool) "compared a meaningful sample" true (!compared > 200)
 
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation — the primitive behind the serve daemon's
+   per-request deadlines and graceful drain.                           *)
+
+(* Stop after the first seed completes: with jobs = 1 the hook runs in
+   seed order, so exactly the remaining seeds become [Cancelled] while
+   the completed seed's report is salvaged. *)
+let test_cancelled_run_salvages_reports () =
+  let started = ref 0 in
+  let should_stop () =
+    incr started;
+    !started > 1
+  in
+  let options = options ~seeds:[ 1; 2; 3; 4; 5 ] () |> Arde.Options.with_jobs 1 in
+  let r = Arde.detect ~options ~should_stop spin_mode racy_program in
+  Alcotest.(check int) "one seed ran" 1 r.D.health.D.h_finished;
+  Alcotest.(check int) "rest cancelled" 4 r.D.health.D.h_cancelled;
+  Alcotest.(check bool) "degraded, not failed" true
+    (r.D.health.D.h_verdict = D.Degraded);
+  (match r.D.runs with
+  | { D.sr_outcome = D.Completed M.Finished; sr_steps; _ } :: rest ->
+      Alcotest.(check bool) "completed seed really ran" true (sr_steps > 0);
+      List.iter
+        (fun sr ->
+          match sr.D.sr_outcome with
+          | D.Cancelled ->
+              Alcotest.(check int)
+                (Printf.sprintf "seed %d never ran" sr.D.sr_seed)
+                0 sr.D.sr_steps
+          | o -> Alcotest.failf "expected cancelled, got %a" D.pp_seed_outcome o)
+        rest
+  | _ -> Alcotest.fail "expected first seed completed");
+  (* the completed seed's warnings survive in the merged report *)
+  Alcotest.(check bool) "salvaged race warnings" true
+    (Arde.Report.n_contexts r.D.merged > 0);
+  Alcotest.(check bool) "racy base reported" true
+    (List.mem "x" (D.racy_bases r))
+
+let test_cancelled_before_start () =
+  let options = options () |> Arde.Options.with_jobs 1 in
+  let r =
+    Arde.detect ~options ~should_stop:(fun () -> true) spin_mode racy_program
+  in
+  Alcotest.(check int) "everything cancelled" 3 r.D.health.D.h_cancelled;
+  Alcotest.(check bool) "degraded (cancellation is voluntary)" true
+    (r.D.health.D.h_verdict = D.Degraded);
+  Alcotest.(check int) "no findings" 0 (Arde.Report.n_contexts r.D.merged)
+
+let test_cancelled_health_round_trips () =
+  let options = options () |> Arde.Options.with_jobs 1 in
+  let stop = ref false in
+  let should_stop () =
+    let s = !stop in
+    stop := true;
+    s
+  in
+  let r = Arde.detect ~options ~should_stop spin_mode racy_program in
+  Alcotest.(check int) "two cancelled" 2 r.D.health.D.h_cancelled;
+  match D.health_of_json (D.health_to_json r.D.health) with
+  | Ok h -> Alcotest.(check bool) "health round-trips" true (h = r.D.health)
+  | Error e -> Alcotest.failf "health_of_json: %s" e
+
+let test_cancelled_run_on_resident_pool () =
+  let pool = Arde.Domain_pool.create ~jobs:2 in
+  Fun.protect
+    ~finally:(fun () -> Arde.Domain_pool.shutdown pool)
+    (fun () ->
+      let options = options ~seeds:[ 1; 2; 3; 4; 5; 6 ] () in
+      let r = Arde.detect ~options ~pool spin_mode racy_program in
+      Alcotest.(check int) "all seeds ran on the pool" 6
+        r.D.health.D.h_finished;
+      (* byte-identical to the spawning path *)
+      let r' = Arde.detect ~options spin_mode racy_program in
+      Alcotest.(check string) "pool result identical to spawn result"
+        (Arde.Json.to_string (D.result_to_json r'))
+        (Arde.Json.to_string (D.result_to_json r)))
+
 let suite =
   [
     Alcotest.test_case "deadlock is classified and tallied" `Quick test_deadlock;
@@ -337,4 +414,12 @@ let suite =
     Alcotest.test_case "chaos storm: 200+ runs, zero escapes" `Slow test_storm;
     Alcotest.test_case "benign perturbations never flip verdicts" `Slow
       test_verdict_stability;
+    Alcotest.test_case "cancelled run salvages completed-seed reports" `Quick
+      test_cancelled_run_salvages_reports;
+    Alcotest.test_case "cancellation before the first seed" `Quick
+      test_cancelled_before_start;
+    Alcotest.test_case "cancelled health round-trips through JSON" `Quick
+      test_cancelled_health_round_trips;
+    Alcotest.test_case "resident pool matches the spawning path" `Quick
+      test_cancelled_run_on_resident_pool;
   ]

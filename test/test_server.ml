@@ -1,0 +1,644 @@
+(* The serve subsystem: frame codec, request schemas, scheduler
+   admission control, and the daemon end to end over a real Unix domain
+   socket — byte-identical results vs the in-process driver, malformed
+   frames answered with structured errors, concurrent clients, deadlines
+   and the SIGTERM drain state machine. *)
+
+module J = Arde.Json
+module P = Arde_server.Protocol
+module S = Arde_server.Server
+module C = Arde_server.Client
+module W = Arde_workloads
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Protocol unit tests (no socket)                                     *)
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; String.make 100_000 'z'; "{\"a\":1}" ] in
+  List.iter
+    (fun payload ->
+      let d = P.decoder () in
+      let f = Bytes.of_string (P.frame payload) in
+      (* Feed one byte at a time: reassembly must not depend on chunking. *)
+      for i = 0 to Bytes.length f - 1 do
+        (match P.next_frame d with
+        | P.Await -> ()
+        | _ -> Alcotest.fail "frame completed early");
+        P.feed d f i 1
+      done;
+      match P.next_frame d with
+      | P.Frame got -> checks "payload" payload got
+      | _ -> Alcotest.fail "expected a complete frame")
+    payloads
+
+let test_frame_pipelined () =
+  let d = P.decoder () in
+  let bytes = P.frame "first" ^ P.frame "second" ^ P.frame "third" in
+  let b = Bytes.of_string bytes in
+  P.feed d b 0 (Bytes.length b);
+  let rec collect acc =
+    match P.next_frame d with
+    | P.Frame s -> collect (s :: acc)
+    | P.Await -> List.rev acc
+    | P.Too_large _ -> Alcotest.fail "unexpected too-large"
+  in
+  check (Alcotest.list Alcotest.string) "all frames"
+    [ "first"; "second"; "third" ]
+    (collect [])
+
+let test_frame_too_large () =
+  let d = P.decoder ~max_frame:64 () in
+  let b = Bytes.of_string (P.frame (String.make 65 'q')) in
+  P.feed d b 0 (Bytes.length b);
+  (match P.next_frame d with
+  | P.Too_large n -> check Alcotest.int "announced size" 65 n
+  | _ -> Alcotest.fail "expected Too_large");
+  (* A header with the sign bit set must not wrap into a small size. *)
+  let d = P.decoder () in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 0xF0000000l;
+  P.feed d hdr 0 4;
+  match P.next_frame d with
+  | P.Too_large _ -> ()
+  | _ -> Alcotest.fail "expected Too_large for sign-bit header"
+
+let test_request_roundtrip () =
+  let options = Arde.Options.make ~seeds:[ 3; 1 ] ~fuel:1234 ~jobs:2 () in
+  let mode = Arde.Config.Nolib_spin 5 in
+  let req =
+    P.run_request_json ~id:(J.Int 42) ~deadline_ms:750 ~program:"entry = m\n"
+      ~mode ~options ()
+  in
+  match P.parse_request (J.to_string req) with
+  | Ok (P.Run r) ->
+      check Alcotest.string "id" "42" (J.to_string r.P.rq_id);
+      checks "program" "entry = m\n" r.P.rq_program;
+      checks "mode" "nolib+spin:5" (Arde.Config.mode_id r.P.rq_mode);
+      check (Alcotest.option Alcotest.int) "deadline" (Some 750)
+        r.P.rq_deadline_ms;
+      checks "options survive the wire"
+        (J.to_string (Arde.Options.to_json options))
+        (J.to_string (Arde.Options.to_json r.P.rq_options))
+  | Ok _ -> Alcotest.fail "parsed as a non-run request"
+  | Error (_, _, e) -> Alcotest.failf "parse_request: %s" e
+
+let test_request_errors () =
+  let expect_code want payload =
+    match P.parse_request payload with
+    | Ok _ -> Alcotest.failf "accepted %S" payload
+    | Error (_, code, _) -> checks payload want (P.code_name code)
+  in
+  expect_code "bad_frame" "{not json";
+  expect_code "bad_frame" (String.make 80 '[');
+  expect_code "bad_request" {|{"type":"frobnicate"}|};
+  expect_code "bad_request" {|{"id":1}|};
+  expect_code "bad_request" {|{"type":"run","program":"x","mode":"warp:9"}|};
+  expect_code "bad_request"
+    {|{"type":"run","program":"x","mode":"lib","deadline_ms":-5}|};
+  expect_code "bad_request"
+    {|{"type":"run","program":"x","mode":"lib","options":{"seeds":"nope"}}|};
+  (* The id is recovered even from a bad request, for correlation. *)
+  match P.parse_request {|{"type":"frobnicate","id":7}|} with
+  | Error (id, _, _) -> checks "echoed id" "7" (J.to_string id)
+  | Ok _ -> Alcotest.fail "accepted unknown type"
+
+let test_mode_id_roundtrip () =
+  List.iter
+    (fun m ->
+      (match Arde.Config.parse_mode (Arde.Config.mode_id m) with
+      | Ok m' -> checkb "mode_id roundtrip" true (m = m')
+      | Error e -> Alcotest.failf "parse_mode (mode_id): %s" e);
+      match Arde.Config.parse_mode (Arde.Config.mode_name m) with
+      | Ok m' -> checkb "mode_name also parses" true (m = m')
+      | Error e -> Alcotest.failf "parse_mode (mode_name): %s" e)
+    (Arde.Config.Nolib_spin_locks 3 :: Arde.Config.all_table1_modes)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler unit tests                                                *)
+
+let test_scheduler_admission () =
+  let module Sch = Arde_server.Scheduler in
+  let s = Sch.create ~max_pending:2 in
+  checkb "accepted" true (Sch.submit s 1 = Sch.Accepted);
+  checkb "accepted" true (Sch.submit s 2 = Sch.Accepted);
+  checkb "overloaded beyond max_pending" true (Sch.submit s 3 = Sch.Overloaded);
+  check Alcotest.int "depth" 2 (Sch.depth s);
+  checkb "pop 1" true (Sch.next s = Some 1);
+  check Alcotest.int "in flight" 1 (Sch.in_flight s);
+  checkb "freed a slot" true (Sch.submit s 3 = Sch.Accepted);
+  Sch.begin_drain s;
+  checkb "draining refuses" true (Sch.submit s 4 = Sch.Draining);
+  checkb "queued work survives drain" true (Sch.next s = Some 2);
+  checkb "queued work survives drain" true (Sch.next s = Some 3);
+  checkb "then the worker is released" true (Sch.next s = None);
+  Sch.job_done s;
+  Sch.job_done s;
+  Sch.job_done s;
+  checkb "idle after drain" true (Sch.idle s)
+
+(* ------------------------------------------------------------------ *)
+(* Live-server harness                                                 *)
+
+type server = { t : S.t; path : string; runner : unit Domain.t }
+
+let socket_counter = ref 0
+
+let fresh_socket () =
+  incr socket_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "arde-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+
+let start ?max_pending ?max_frame ?jobs ?default_deadline_ms () =
+  let path = fresh_socket () in
+  let cfg =
+    S.config ?max_pending ?max_frame ?jobs ?default_deadline_ms
+      ~socket_path:path ()
+  in
+  match S.create cfg with
+  | Error e -> Alcotest.failf "server create: %s" e
+  | Ok t -> { t; path; runner = Domain.spawn (fun () -> S.run t) }
+
+let stop srv =
+  S.initiate_drain srv.t;
+  Domain.join srv.runner
+
+let with_server ?max_pending ?max_frame ?jobs ?default_deadline_ms f =
+  let srv = start ?max_pending ?max_frame ?jobs ?default_deadline_ms () in
+  Fun.protect ~finally:(fun () -> stop srv) (fun () -> f srv)
+
+let connect srv =
+  match C.connect ~socket_path:srv.path with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let with_client srv f =
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> C.close c) (fun () -> f c)
+
+let ok_exn label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+(* An endless register-only loop: runs for exactly [fuel] machine steps,
+   the knob behind every "slow request" below. *)
+let busy_tir = "entry = main\nfunc main():\n  e:\n    nop\n    goto e\n"
+
+let error_code resp =
+  match P.response_error resp with Some (code, _) -> code | None -> "none"
+
+(* Poll the server's own stats until [pred] holds — timing-free
+   synchronization on queue state (stats are answered by the connection
+   loop even mid-drain). *)
+let await_stats ?(tries = 400) cl ~what pred =
+  let rec go tries =
+    if tries = 0 then Alcotest.failf "timed out waiting for %s" what;
+    let stats =
+      Option.value ~default:J.Null
+        (J.member "stats" (ok_exn "stats" (C.stats cl)))
+    in
+    let at path =
+      List.fold_left (fun j k -> Option.bind j (J.member k)) (Some stats) path
+    in
+    let int_at path = Option.bind (at path) J.to_int in
+    let bool_at path = Option.bind (at path) J.to_bool in
+    if pred ~int_at ~bool_at then ()
+    else begin
+      Unix.sleepf 0.01;
+      go (tries - 1)
+    end
+  in
+  go tries
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity: served results vs the in-process driver              *)
+
+let identity_cases () =
+  let all = W.Racey.all () in
+  let cats =
+    List.sort_uniq compare (List.map (fun c -> c.W.Racey.category) all)
+  in
+  let picked =
+    List.filter_map
+      (fun cat ->
+        List.find_opt
+          (fun c -> c.W.Racey.category = cat && c.W.Racey.threads <= 4)
+          all)
+      cats
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take 3 picked
+
+let identity_options =
+  Arde.Options.make ~seeds:(List.init 16 (fun i -> i + 1)) ~fuel:30_000 ()
+
+let local_result_string case mode =
+  let r = Arde.detect ~options:identity_options mode case.W.Racey.program in
+  J.to_string (Arde.Driver.result_to_json r)
+
+let served_result_string cl case mode =
+  let resp =
+    ok_exn "run"
+      (C.run cl
+         ~program:(Arde.Pretty.program_to_string case.W.Racey.program)
+         ~mode ~options:identity_options ())
+  in
+  if not (P.response_ok resp) then
+    Alcotest.failf "server refused %s: %s" case.W.Racey.name (error_code resp);
+  match J.member "result" resp with
+  | Some r -> J.to_string r
+  | None -> Alcotest.fail "ok response without result"
+
+let test_byte_identity () =
+  let cases = identity_cases () in
+  checkb "picked some cases" true (cases <> []);
+  with_server ~jobs:1 (fun srv ->
+      with_client srv (fun cl ->
+          List.iter
+            (fun case ->
+              List.iter
+                (fun mode ->
+                  checks
+                    (Printf.sprintf "%s under %s" case.W.Racey.name
+                       (Arde.Config.mode_id mode))
+                    (local_result_string case mode)
+                    (served_result_string cl case mode))
+                Arde.Config.all_table1_modes)
+            cases))
+
+(* Eight concurrent clients, mixed valid and invalid traffic: every
+   valid request's result must still be byte-identical to the local
+   driver, and every invalid one must come back as a structured error
+   with the connection (and server) surviving. *)
+let test_concurrent_clients () =
+  let cases = identity_cases () in
+  let modes = Arde.Config.all_table1_modes in
+  let case i = List.nth cases (i mod List.length cases) in
+  let mode i = List.nth modes (i mod List.length modes) in
+  let expected =
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun m -> ((c.W.Racey.name, Arde.Config.mode_id m),
+                     local_result_string c m))
+          modes)
+      cases
+  in
+  let lookup c m =
+    List.assoc (c.W.Racey.name, Arde.Config.mode_id m) expected
+  in
+  with_server (fun srv ->
+      let client_body i () =
+        let failures = ref [] in
+        let fail fmt =
+          Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+        in
+        (match C.connect ~socket_path:srv.path with
+        | Error e -> fail "client %d: connect: %s" i e
+        | Ok cl ->
+            Fun.protect
+              ~finally:(fun () -> C.close cl)
+              (fun () ->
+                if i mod 4 = 3 then begin
+                  (* Invalid traffic: junk frame, unknown type, bad mode —
+                     each answered, none fatal to the connection. *)
+                  (match C.send_frame cl "{broken" with
+                  | Ok () -> ()
+                  | Error e -> fail "client %d: send: %s" i e);
+                  (match C.recv cl with
+                  | Ok resp when error_code resp = "bad_frame" -> ()
+                  | Ok resp ->
+                      fail "client %d: junk got %s" i (J.to_string resp)
+                  | Error e -> fail "client %d: recv: %s" i e);
+                  (match
+                     C.request cl (J.Obj [ ("type", J.String "warp") ])
+                   with
+                  | Ok resp when error_code resp = "bad_request" -> ()
+                  | Ok resp ->
+                      fail "client %d: warp got %s" i (J.to_string resp)
+                  | Error e -> fail "client %d: recv: %s" i e);
+                  match C.ping cl with
+                  | Ok resp when P.response_ok resp -> ()
+                  | Ok _ -> fail "client %d: ping refused" i
+                  | Error e -> fail "client %d: ping: %s" i e
+                end
+                else
+                  let c = case i and m = mode i in
+                  match
+                    C.run cl
+                      ~program:
+                        (Arde.Pretty.program_to_string c.W.Racey.program)
+                      ~mode:m ~options:identity_options ()
+                  with
+                  | Error e -> fail "client %d: run: %s" i e
+                  | Ok resp when not (P.response_ok resp) ->
+                      fail "client %d: refused: %s" i (error_code resp)
+                  | Ok resp -> (
+                      match J.member "result" resp with
+                      | None -> fail "client %d: no result" i
+                      | Some r ->
+                          if J.to_string r <> lookup c m then
+                            fail "client %d: result diverged on %s/%s" i
+                              c.W.Racey.name (Arde.Config.mode_id m))));
+        List.rev !failures
+      in
+      let domains =
+        List.init 8 (fun i -> Domain.spawn (client_body i))
+      in
+      let failures = List.concat_map Domain.join domains in
+      check (Alcotest.list Alcotest.string) "no client failures" [] failures)
+
+(* ------------------------------------------------------------------ *)
+(* Malformed input against a live server                               *)
+
+let test_malformed_frames () =
+  with_server ~max_frame:(256 * 1024) (fun srv ->
+      (* Oversized length header: structured error, then disconnect. *)
+      with_client srv (fun cl ->
+          let hdr = Bytes.create 4 in
+          Bytes.set_int32_be hdr 0 (Int32.of_int ((256 * 1024) + 1));
+          (match C.send_raw cl (Bytes.to_string hdr) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "send header: %s" e);
+          (match C.recv cl with
+          | Ok resp -> checks "oversized" "bad_frame" (error_code resp)
+          | Error e -> Alcotest.failf "recv: %s" e);
+          match C.recv cl with
+          | Error _ -> () (* server dropped the poisoned stream *)
+          | Ok resp ->
+              Alcotest.failf "expected disconnect, got %s" (J.to_string resp));
+      (* Truncated header, then mid-frame disconnect: server survives. *)
+      with_client srv (fun cl ->
+          ignore (C.send_raw cl "\x00\x00"));
+      with_client srv (fun cl ->
+          let b = Bytes.create 4 in
+          Bytes.set_int32_be b 0 100l;
+          ignore (C.send_raw cl (Bytes.to_string b ^ "only ten b")));
+      (* Invalid JSON / unknown type / bad program are per-request
+         errors: the connection stays usable. *)
+      with_client srv (fun cl ->
+          ignore (ok_exn "send" (C.send_frame cl "][ not json"));
+          checks "invalid json" "bad_frame"
+            (error_code (ok_exn "recv" (C.recv cl)));
+          checks "depth bomb" "bad_frame"
+            (error_code
+               (ok_exn "recv"
+                  (let bomb = String.make 80 '[' in
+                   ignore (ok_exn "send" (C.send_frame cl bomb));
+                   C.recv cl)));
+          let resp =
+            ok_exn "request"
+              (C.request cl
+                 (J.Obj [ ("type", J.String "selfdestruct"); ("id", J.Int 9) ]))
+          in
+          checks "unknown type" "bad_request" (error_code resp);
+          checks "id echoed" "9"
+            (J.to_string (Option.value ~default:J.Null (J.member "id" resp)));
+          let resp =
+            ok_exn "request"
+              (C.run cl ~program:"this is not tir"
+                 ~mode:Arde.Config.Helgrind_lib
+                 ~options:(Arde.Options.make ()) ())
+          in
+          checks "unparsable program" "bad_request" (error_code resp);
+          (* ... and the same connection still serves a real run. *)
+          let resp =
+            ok_exn "request"
+              (C.run cl ~program:busy_tir ~mode:Arde.Config.Helgrind_lib
+                 ~options:(Arde.Options.make ~seeds:[ 1 ] ~fuel:100 ())
+                 ())
+          in
+          checkb "healthy after abuse" true (P.response_ok resp)))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+
+let test_admission_control () =
+  with_server ~jobs:1 ~max_pending:1 (fun srv ->
+      let slow = Arde.Options.make ~seeds:[ 1 ] ~fuel:20_000_000 () in
+      let quick = Arde.Options.make ~seeds:[ 1 ] ~fuel:100 () in
+      with_client srv (fun blocker ->
+          (* Occupy the worker without waiting for the response. *)
+          ignore
+            (ok_exn "send slow"
+               (C.send_frame blocker
+                  (J.to_string
+                     (P.run_request_json ~id:(J.Int 0) ~program:busy_tir
+                        ~mode:Arde.Config.Helgrind_lib ~options:slow ()))));
+          with_client srv (fun cl ->
+              (* Wait until the worker has actually dequeued the slow
+                 request — otherwise it still occupies the queue slot
+                 and the whole burst would bounce. *)
+              await_stats cl ~what:"blocker in flight"
+                (fun ~int_at ~bool_at:_ ->
+                  int_at [ "queue"; "in_flight" ] = Some 1
+                  && int_at [ "queue"; "depth" ] = Some 0);
+              (* Burst three more: the queue holds one, so at least one
+                 must bounce with a structured overloaded error. *)
+              List.iter
+                (fun i ->
+                  ignore
+                    (ok_exn "send burst"
+                       (C.send_frame cl
+                          (J.to_string
+                             (P.run_request_json ~id:(J.Int i)
+                                ~program:busy_tir
+                                ~mode:Arde.Config.Helgrind_lib ~options:quick
+                                ())))))
+                [ 1; 2; 3 ];
+              let responses = List.map (fun _ -> ok_exn "recv" (C.recv cl)) [ 1; 2; 3 ] in
+              let overloaded, completed =
+                List.partition
+                  (fun r -> error_code r = "overloaded")
+                  responses
+              in
+              checkb "at least one bounced" true (overloaded <> []);
+              checkb "at least one served" true (completed <> []);
+              List.iter
+                (fun r -> checkb "non-bounced are ok" true (P.response_ok r))
+                completed);
+          (* The slow blocker still completes with its findings. *)
+          let resp = ok_exn "recv blocker" (C.recv blocker) in
+          checkb "blocker completed" true (P.response_ok resp)))
+
+(* ------------------------------------------------------------------ *)
+(* Per-request deadlines                                               *)
+
+let test_deadline_cancels_remaining_seeds () =
+  with_server ~jobs:1 (fun srv ->
+      with_client srv (fun cl ->
+          let options =
+            Arde.Options.make ~seeds:[ 1; 2; 3 ] ~fuel:20_000_000 ()
+          in
+          let resp =
+            ok_exn "run"
+              (C.run cl ~deadline_ms:100 ~program:busy_tir
+                 ~mode:Arde.Config.Helgrind_lib ~options ())
+          in
+          checkb "deadline is not an error" true (P.response_ok resp);
+          let health =
+            match
+              Option.bind
+                (Option.bind (J.member "result" resp) (J.member "health"))
+                (fun h -> Result.to_option (Arde.Driver.health_of_json h))
+            with
+            | Some h -> h
+            | None -> Alcotest.fail "no parsable health in response"
+          in
+          (* Seed 1 starts before the deadline and burns well past it;
+             seeds 2 and 3 must then be cancelled, not run. *)
+          check Alcotest.int "cancelled seeds" 2 health.Arde.Driver.h_cancelled;
+          check Alcotest.int "seed 1 ran to fuel exhaustion" 1
+            health.Arde.Driver.h_fuel_exhausted;
+          checkb "degraded, not failed" true
+            (health.Arde.Driver.h_verdict = Arde.Driver.Degraded)))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_stats () =
+  with_server ~max_pending:7 (fun srv ->
+      with_client srv (fun cl ->
+          ignore (ok_exn "ping" (C.ping cl));
+          let quick = Arde.Options.make ~seeds:[ 1 ] ~fuel:100 () in
+          let run () =
+            let r =
+              ok_exn "run"
+                (C.run cl ~program:busy_tir ~mode:Arde.Config.Helgrind_lib
+                   ~options:quick ())
+            in
+            checkb "run ok" true (P.response_ok r)
+          in
+          run ();
+          run ();
+          let resp = ok_exn "stats" (C.stats cl) in
+          checkb "stats ok" true (P.response_ok resp);
+          let stats =
+            Option.value ~default:J.Null (J.member "stats" resp)
+          in
+          let int_at path =
+            match
+              Option.bind
+                (List.fold_left
+                   (fun j k -> Option.bind j (J.member k))
+                   (Some stats) path)
+                J.to_int
+            with
+            | Some n -> n
+            | None ->
+                Alcotest.failf "stats missing %s" (String.concat "." path)
+          in
+          check Alcotest.int "received" 4 (int_at [ "requests"; "received" ]);
+          check Alcotest.int "ok runs" 2 (int_at [ "requests"; "ok" ]);
+          check Alcotest.int "pings" 1 (int_at [ "requests"; "ping" ]);
+          check Alcotest.int "max_pending echoes config" 7
+            (int_at [ "queue"; "max_pending" ]);
+          check Alcotest.int "program cache hit" 1
+            (int_at [ "programs"; "hits" ]);
+          check Alcotest.int "program cache miss" 1
+            (int_at [ "programs"; "misses" ]);
+          checkb "uptime present" true
+            (Option.bind (J.member "uptime_s" stats) J.to_float <> None);
+          checkb "pool width positive" true (int_at [ "pool_width" ] >= 1)))
+
+(* ------------------------------------------------------------------ *)
+(* SIGTERM drain                                                       *)
+
+let test_sigterm_drain () =
+  let old_term = Sys.signal Sys.sigterm Sys.Signal_default in
+  let old_int = Sys.signal Sys.sigint Sys.Signal_default in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int)
+    (fun () ->
+      let srv = start ~jobs:1 () in
+      S.handle_signals srv.t;
+      let inflight = connect srv in
+      let idle_pre_drain = connect srv in
+      (* A slow request is in flight when the signal lands. *)
+      ignore
+        (ok_exn "send slow"
+           (C.send_frame inflight
+              (J.to_string
+                 (P.run_request_json ~id:(J.Int 1) ~program:busy_tir
+                    ~mode:Arde.Config.Helgrind_lib
+                    ~options:
+                      (Arde.Options.make ~seeds:[ 1 ] ~fuel:100_000_000 ())
+                    ()))));
+      await_stats idle_pre_drain ~what:"slow run in flight"
+        (fun ~int_at ~bool_at:_ -> int_at [ "queue"; "in_flight" ] = Some 1);
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      await_stats idle_pre_drain ~what:"drain flag"
+        (fun ~int_at:_ ~bool_at -> bool_at [ "queue"; "draining" ] = Some true);
+      (* New work on a pre-drain connection: structured refusal. *)
+      let resp =
+        ok_exn "request during drain"
+          (C.run idle_pre_drain ~program:busy_tir
+             ~mode:Arde.Config.Helgrind_lib
+             ~options:(Arde.Options.make ~seeds:[ 1 ] ~fuel:100 ())
+             ())
+      in
+      checks "pre-drain connection refused" "draining" (error_code resp);
+      (* A brand-new connection: refused at accept, also structured. *)
+      (match C.connect ~socket_path:srv.path with
+      | Error _ -> () (* already torn down: acceptable, drain won the race *)
+      | Ok fresh ->
+          Fun.protect
+            ~finally:(fun () -> C.close fresh)
+            (fun () ->
+              match C.recv fresh with
+              | Ok resp ->
+                  checks "new connection refused" "draining"
+                    (error_code resp)
+              | Error _ -> () (* listener closed first *)));
+      (* The in-flight request still completes with a real result. *)
+      let resp = ok_exn "in-flight response" (C.recv inflight) in
+      checkb "in-flight request finished" true (P.response_ok resp);
+      checkb "carried a result" true (J.member "result" resp <> None);
+      C.close inflight;
+      C.close idle_pre_drain;
+      (* And the server loop returns (exit 0 in the CLI). *)
+      Domain.join srv.runner;
+      checkb "socket removed" false (Sys.file_exists srv.path))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "frame codec reassembles any chunking" `Quick
+      test_frame_roundtrip;
+    Alcotest.test_case "frame codec splits pipelined frames" `Quick
+      test_frame_pipelined;
+    Alcotest.test_case "frame codec rejects oversized frames" `Quick
+      test_frame_too_large;
+    Alcotest.test_case "run requests round-trip the option surface" `Quick
+      test_request_roundtrip;
+    Alcotest.test_case "malformed requests map to structured errors" `Quick
+      test_request_errors;
+    Alcotest.test_case "mode wire form round-trips" `Quick
+      test_mode_id_roundtrip;
+    Alcotest.test_case "scheduler admission control and drain" `Quick
+      test_scheduler_admission;
+    Alcotest.test_case "served results are byte-identical to the driver"
+      `Quick test_byte_identity;
+    Alcotest.test_case "8 concurrent clients, mixed valid and invalid"
+      `Quick test_concurrent_clients;
+    Alcotest.test_case "malformed frames against a live server" `Quick
+      test_malformed_frames;
+    Alcotest.test_case "admission control bounces past max_pending" `Quick
+      test_admission_control;
+    Alcotest.test_case "deadlines cancel remaining seeds cooperatively"
+      `Quick test_deadline_cancels_remaining_seeds;
+    Alcotest.test_case "stats report outcomes, queue and caches" `Quick
+      test_stats;
+    Alcotest.test_case "SIGTERM drains gracefully" `Quick test_sigterm_drain;
+  ]

@@ -90,6 +90,75 @@ let test_pick () =
     Alcotest.(check bool) "member" true (Array.mem x arr)
   done
 
+(* ---- JSON input hardening ----
+
+   The parser sits on the server's socket boundary, so adversarial
+   input must come back as a structured error — never a stack overflow
+   or an unbounded allocation. *)
+
+module J = Arde_util.Json
+
+let test_json_depth_cap () =
+  (* A frame of a hundred thousand '['s must fail cleanly, not blow the
+     stack.  The error points at the bracket that crossed the limit. *)
+  let deep = String.make 100_000 '[' in
+  (match J.parse_checked deep with
+  | Ok _ -> Alcotest.fail "over-deep input accepted"
+  | Error e ->
+      Alcotest.(check int) "fails at the limit-crossing bracket"
+        J.default_max_depth e.J.at;
+      Alcotest.(check bool) "names the depth limit" true
+        (contains e.J.reason "nesting deeper than"));
+  (* Mixed nesting counts objects too. *)
+  let mixed = String.concat "" (List.init 40 (fun _ -> "{\"a\":[")) in
+  match J.parse_checked ~max_depth:16 mixed with
+  | Ok _ -> Alcotest.fail "over-deep mixed input accepted"
+  | Error e ->
+      Alcotest.(check bool) "offset inside input" true
+        (e.J.at >= 0 && e.J.at < String.length mixed)
+
+let test_json_depth_cap_boundary () =
+  (* Exactly max_depth containers parse; one more fails. *)
+  let nested d = String.make d '[' ^ String.make d ']' in
+  (match J.parse_checked ~max_depth:8 (nested 8) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth-8 rejected at 8: %s" (J.error_to_string e));
+  match J.parse_checked ~max_depth:8 (nested 9) with
+  | Ok _ -> Alcotest.fail "depth-9 accepted at 8"
+  | Error e -> Alcotest.(check int) "fails at bracket 8" 8 e.J.at
+
+let test_json_size_cap () =
+  let big = "\"" ^ String.make 64 'x' ^ "\"" in
+  (match J.parse_checked ~max_size:32 big with
+  | Ok _ -> Alcotest.fail "over-long input accepted"
+  | Error e ->
+      Alcotest.(check int) "offset is the size limit" 32 e.J.at;
+      Alcotest.(check bool) "names both sizes" true
+        (contains e.J.reason "66 bytes" && contains e.J.reason "32"));
+  match J.parse_checked ~max_size:66 big with
+  | Ok (J.String s) -> Alcotest.(check int) "at-limit input parses" 64 (String.length s)
+  | _ -> Alcotest.fail "at-limit input rejected"
+
+let test_json_error_offsets () =
+  let check_offset input expected =
+    match J.parse_checked input with
+    | Ok _ -> Alcotest.failf "%S parsed" input
+    | Error e -> Alcotest.(check int) (Printf.sprintf "offset in %S" input) expected e.J.at
+  in
+  (* the byte where the parser gave up, in order: bad literal, missing
+     colon, unterminated string, trailing garbage *)
+  check_offset "{\"a\": nul}" 6;
+  check_offset "{\"a\" 1}" 5;
+  check_offset "\"abc" 4;
+  check_offset "[1,2] x" 6;
+  check_offset "[1,,2]" 3
+
+let test_json_parse_string_error_compat () =
+  (* The string-error variant still renders the offset. *)
+  match J.parse "[1,,2]" with
+  | Ok _ -> Alcotest.fail "parsed"
+  | Error msg -> Alcotest.(check bool) "offset rendered" true (contains msg "offset 3")
+
 (* ---- tables ---- *)
 
 let test_table_render () =
@@ -141,6 +210,11 @@ let suite =
     Alcotest.test_case "prng: bool is fair" `Quick test_bool_is_fair_enough;
     Alcotest.test_case "prng: float bounds" `Quick test_float_bounds;
     Alcotest.test_case "prng: pick members" `Quick test_pick;
+    Alcotest.test_case "json: depth cap is a structured error" `Quick test_json_depth_cap;
+    Alcotest.test_case "json: depth cap boundary" `Quick test_json_depth_cap_boundary;
+    Alcotest.test_case "json: size cap is a structured error" `Quick test_json_size_cap;
+    Alcotest.test_case "json: error offsets are accurate" `Quick test_json_error_offsets;
+    Alcotest.test_case "json: string errors keep the offset" `Quick test_json_parse_string_error_compat;
     Alcotest.test_case "table: renders and aligns" `Quick test_table_render;
     Alcotest.test_case "table: pads short rows" `Quick test_table_pads_short_rows;
     Alcotest.test_case "table: rejects long rows" `Quick test_table_rejects_long_rows;
