@@ -348,15 +348,18 @@ let serve_bench ~out () =
   let n_requests = List.length requests in
 
   (* ---- served phase: cold daemon, concurrent clients ---- *)
-  Arde.Analysis_cache.clear ();
-  Arde.Analysis_cache.reset_stats ();
   let path =
     Filename.concat
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "arde-bench-%d.sock" (Unix.getpid ()))
   in
+  (* One worker per client: each worker holds one request in flight, so
+     a narrower fleet would measure queue wait, not serving speed. *)
   let srv =
-    match S.create (S.config ~max_pending:256 ~socket_path:path ()) with
+    match
+      S.create
+        (S.config ~workers:clients ~max_pending:256 ~socket_path:path ())
+    with
     | Ok t -> t
     | Error e ->
         prerr_endline ("bench serve: " ^ e);
@@ -395,8 +398,10 @@ let serve_bench ~out () =
   in
   let results = List.concat_map Domain.join domains in
   let served_wall = Unix.gettimeofday () -. t0 in
-  let cache_stats = Arde.Analysis_cache.stats () in
-  let program_cache =
+  (* Detection now happens in worker processes: the daemon-side cache
+     story lives in the supervision stats (and each worker's response
+     carries its own analysis-cache delta). *)
+  let supervision =
     match C.connect ~socket_path:path with
     | Error _ -> J.Null
     | Ok cl ->
@@ -406,7 +411,8 @@ let serve_bench ~out () =
             match C.stats cl with
             | Ok resp ->
                 Option.value ~default:J.Null
-                  (Option.bind (J.member "stats" resp) (J.member "programs"))
+                  (Option.bind (J.member "stats" resp)
+                     (J.member "supervision"))
             | Error _ -> J.Null)
   in
   S.initiate_drain srv;
@@ -496,6 +502,105 @@ let serve_bench ~out () =
         ("in-process", Unix.gettimeofday () -. t0)
   in
 
+  (* ---- chaos phase: the same serving stack under injected crashes ----
+     A fresh daemon with a fault plan that SIGKILLs each worker on every
+     5th request; clients retry with bounded backoff.  The phase gates on
+     crash-only behaviour, not speed: every request completes, crashes
+     and restarts stay proportional to the plan, and a crash bundle is
+     sealed for each kill. *)
+  let chaos_kill_every = 5 in
+  let chaos_path = path ^ ".chaos" in
+  let chaos_srv =
+    match
+      S.create
+        (S.config ~workers:2 ~max_pending:256 ~restart_backoff_ms:20
+           ~chaos_plan:(Printf.sprintf "kill:%d" chaos_kill_every)
+           ~socket_path:chaos_path ())
+    with
+    | Ok t -> t
+    | Error e ->
+        prerr_endline ("bench serve: chaos: " ^ e);
+        exit 1
+  in
+  let chaos_runner = Domain.spawn (fun () -> S.run chaos_srv) in
+  let chaos_indexed = List.mapi (fun i r -> (i, r)) one_round in
+  let chaos_t0 = Unix.gettimeofday () in
+  let chaos_domains =
+    List.init clients (fun cnum ->
+        Domain.spawn (fun () ->
+            List.filter_map
+              (fun (i, (name, text, mode)) ->
+                if i mod clients <> cnum then None
+                else
+                  let policy =
+                    C.retry_policy ~attempts:10 ~backoff_ms:10
+                      ~max_backoff_ms:200 ~jitter_seed:(cnum + i) ()
+                  in
+                  let outcome, retries =
+                    C.submit_with_retry ~socket_path:chaos_path ~policy
+                      ~program:text ~mode ~options ()
+                  in
+                  Some
+                    (match outcome with
+                    | Ok resp when P.response_ok resp -> `Ok retries
+                    | Ok resp ->
+                        `Failed
+                          (Printf.sprintf "%s: %s" name
+                             (match P.response_error resp with
+                             | Some (c, m) -> c ^ ": " ^ m
+                             | None -> "refused"))
+                    | Error e -> `Failed (name ^ ": " ^ e)))
+              chaos_indexed))
+  in
+  let chaos_results = List.concat_map Domain.join chaos_domains in
+  let chaos_wall = Unix.gettimeofday () -. chaos_t0 in
+  let chaos_sup =
+    match C.connect ~socket_path:chaos_path with
+    | Error _ -> J.Null
+    | Ok cl ->
+        Fun.protect
+          ~finally:(fun () -> C.close cl)
+          (fun () ->
+            match C.stats cl with
+            | Ok resp ->
+                Option.value ~default:J.Null
+                  (Option.bind (J.member "stats" resp)
+                     (J.member "supervision"))
+            | Error _ -> J.Null)
+  in
+  S.initiate_drain chaos_srv;
+  Domain.join chaos_runner;
+  let chaos_ok =
+    List.length (List.filter (function `Ok _ -> true | _ -> false) chaos_results)
+  in
+  let chaos_failed =
+    List.filter_map (function `Failed m -> Some m | _ -> None) chaos_results
+  in
+  let chaos_retries =
+    List.fold_left
+      (fun acc -> function `Ok r -> acc + r | _ -> acc)
+      0 chaos_results
+  in
+  let chaos_int key =
+    match Option.bind (J.member key chaos_sup) J.to_int with
+    | Some n -> n
+    | None -> -1
+  in
+  let chaos_crashes = chaos_int "crashes"
+  and chaos_restarts = chaos_int "restarts"
+  and chaos_bundles = chaos_int "bundles_sealed" in
+  (* Every kill is one crash; executions = requests + retries.  Allow +2
+     slack for kills landing between requests of different clients. *)
+  let chaos_crash_bound =
+    ((List.length one_round + chaos_retries) / chaos_kill_every) + 2
+  in
+  let chaos_pass =
+    chaos_failed = [] && chaos_crashes > 0
+    && chaos_crashes <= chaos_crash_bound
+    && chaos_restarts <= chaos_crash_bound
+    && chaos_bundles > 0
+  in
+
   let pctls sample =
     let sorted = Array.of_list (List.sort compare sample) in
     let pctl q =
@@ -536,7 +641,9 @@ let serve_bench ~out () =
     if oneshot_rps > 0. then served_rps /. oneshot_rps else 0.
   in
   let warm_speedup = if oneshot_rps > 0. then warm_rps /. oneshot_rps else 0. in
-  let ci_pass = refused = [] && dropped = [] && warm_speedup >= 1.0 in
+  let ci_pass =
+    refused = [] && dropped = [] && warm_speedup >= 1.0 && chaos_pass
+  in
   let all_lat = List.map snd latencies in
   let json =
     J.Obj
@@ -548,6 +655,7 @@ let serve_bench ~out () =
           J.Obj
             [
               ("clients", J.Int clients);
+              ("workers", J.Int clients);
               ("rounds", J.Int rounds);
               ("requests", J.Int n_requests);
               ("unique_programs", J.Int (List.length one_round));
@@ -580,8 +688,7 @@ let serve_bench ~out () =
               ("ok", J.Int (List.length latencies));
               ("refused", J.Int (List.length refused));
               ("dropped", J.Int (List.length dropped));
-              ("analysis_cache", Arde.Analysis_cache.stats_to_json cache_stats);
-              ("program_cache", program_cache);
+              ("supervision", supervision);
             ] );
         ( "oneshot",
           J.Obj
@@ -590,6 +697,20 @@ let serve_bench ~out () =
               ("requests", J.Int (List.length one_round));
               ("wall_s", J.Float oneshot_wall);
               ("throughput_rps", J.Float oneshot_rps);
+            ] );
+        ( "chaos",
+          J.Obj
+            [
+              ("plan", J.String (Printf.sprintf "kill:%d" chaos_kill_every));
+              ("requests", J.Int (List.length one_round));
+              ("ok", J.Int chaos_ok);
+              ("failed", J.Int (List.length chaos_failed));
+              ("retries", J.Int chaos_retries);
+              ("wall_s", J.Float chaos_wall);
+              ( "throughput_rps",
+                J.Float (float_of_int chaos_ok /. chaos_wall) );
+              ("supervision", chaos_sup);
+              ("pass", J.Bool chaos_pass);
             ] );
         ("speedup", J.Float warm_speedup);
         ("overall_speedup", J.Float overall_speedup);
@@ -618,18 +739,28 @@ let serve_bench ~out () =
     n_requests clients served_rps (1000. *. a50) (1000. *. a95) (1000. *. a99)
     warm_rps (1000. *. w95) oneshot_kind oneshot_rps warm_speedup
     overall_speedup;
+  Printf.printf
+    "chaos (kill:%d): %d/%d ok, %d retries, %d crashes, %d restarts, %d \
+     bundles sealed\n"
+    chaos_kill_every chaos_ok (List.length one_round) chaos_retries
+    chaos_crashes chaos_restarts chaos_bundles;
   Printf.printf "wrote %s\n" out;
   List.iter (Printf.eprintf "bench serve: refused: %s\n") refused;
   List.iter (Printf.eprintf "bench serve: dropped: %s\n") dropped;
+  List.iter (Printf.eprintf "bench serve: chaos failed: %s\n") chaos_failed;
   if not ci_pass then begin
     Printf.eprintf
-      "bench serve: FAIL: %d refused, %d dropped, warm speedup %.2fx (gate: \
-       0 refused, 0 dropped, >= 1.0x)\n"
-      (List.length refused) (List.length dropped) warm_speedup;
+      "bench serve: FAIL: %d refused, %d dropped, warm speedup %.2fx, chaos \
+       %s (gate: 0 refused, 0 dropped, >= 1.0x, chaos pass)\n"
+      (List.length refused) (List.length dropped) warm_speedup
+      (if chaos_pass then "pass" else "FAIL");
     exit 1
   end
 
 let () =
+  (* The serve benchmark hosts a supervisor whose workers re-exec this
+     very binary; the hook must intercept the marker first. *)
+  Arde_server.Worker.hook ();
   let args = List.tl (Array.to_list Sys.argv) in
   let rec out_path = function
     | "-o" :: p :: _ -> p

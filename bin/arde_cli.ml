@@ -560,16 +560,54 @@ let serve_cmd =
              run requests are refused with a structured $(b,overloaded) \
              error.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker processes.  Each owns its own domain pool and caches; \
+             requests are routed by program-digest affinity and a crashed \
+             worker is restarted under exponential backoff.")
+  in
+  let spool_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Crash-bundle spool directory (default: the socket path plus \
+             $(b,.spool)).  Workers journal every request here before \
+             executing it; when one dies the journal is sealed into \
+             $(b,DIR/bundles/) for replay with $(b,arde postmortem).")
+  in
+  let watchdog_arg =
+    Arg.(
+      value & opt int 120_000
+      & info [ "watchdog-ms" ] ~docv:"MS"
+          ~doc:
+            "SIGKILL bound for a worker executing a request that carries \
+             no deadline; requests with deadlines get their deadline plus \
+             a fixed grace instead.")
+  in
+  let chaos_plan_arg =
+    (* Deliberately undocumented in the manpage: a fault-injection hook
+       for the crash-storm tests and CI, not an operator surface. *)
+    Arg.(
+      value & opt string ""
+      & info [ "chaos-plan" ] ~docv:"PLAN" ~docs:Manpage.s_none)
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the stderr event log.")
   in
-  let run socket max_pending jobs default_deadline_ms quiet =
+  let run socket workers max_pending jobs default_deadline_ms spool
+      watchdog_ms chaos_plan quiet =
     let log =
       if quiet then ignore
       else fun m -> Printf.eprintf "[arde-serve] %s\n%!" m
     in
     let cfg =
-      Arde_server.Server.config ~max_pending ?jobs ?default_deadline_ms ~log
+      Arde_server.Server.config ~workers ~max_pending ?jobs
+        ?default_deadline_ms ~watchdog_ms ?spool_dir:spool ~chaos_plan ~log
         ~socket_path:socket ()
     in
     match Arde_server.Server.create cfg with
@@ -584,16 +622,38 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the resident detection daemon: a long-lived domain pool and \
-          warm analysis cache behind a framed JSON protocol on a Unix \
-          domain socket.  SIGTERM drains gracefully (in-flight requests \
-          finish, new work is refused with a structured error) and exits 0.")
+         "Run the crash-only detection daemon: a supervisor process routing \
+          framed JSON requests to worker processes with long-lived domain \
+          pools and warm caches.  A crashed worker yields a structured \
+          $(b,worker_crashed) error plus a durable crash bundle, and is \
+          restarted with backoff.  SIGTERM drains gracefully (in-flight \
+          requests finish, new work is refused with a structured error) \
+          and exits 0.")
     Term.(
-      const run $ socket_arg $ max_pending_arg $ jobs_arg $ deadline_arg
-      $ quiet_arg)
+      const run $ socket_arg $ workers_arg $ max_pending_arg $ jobs_arg
+      $ deadline_arg $ spool_arg $ watchdog_arg $ chaos_plan_arg $ quiet_arg)
 
 let submit_cmd =
-  let run socket name mode opts deadline_ms =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry budget for idempotent-safe failures only: a refused or \
+             missing socket, a $(b,draining) refusal, or a \
+             $(b,worker_crashed) error.  Completed responses are never \
+             retried, so their exit codes (including 3 for a failed run) \
+             are preserved.")
+  in
+  let retry_backoff_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "retry-backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "First retry delay; doubles per retry (capped at 40x) with \
+             deterministic jitter in [0.5, 1.5) of the nominal delay.")
+  in
+  let run socket name mode opts deadline_ms retries retry_backoff_ms =
     match find_program name with
     | Error e ->
         prerr_endline e;
@@ -601,17 +661,19 @@ let submit_cmd =
     | Ok (p, case) ->
         let options = opts Arde.Options.default in
         let program = Arde.Pretty.program_to_string p in
-        let reply =
-          match Arde_server.Client.connect ~socket_path:socket with
-          | Error e -> Error e
-          | Ok cl ->
-              let r =
-                Arde_server.Client.run cl ?deadline_ms ~program ~mode ~options
-                  ()
-              in
-              Arde_server.Client.close cl;
-              r
+        let policy =
+          Arde_server.Client.retry_policy ~attempts:retries
+            ~backoff_ms:retry_backoff_ms
+            ~max_backoff_ms:(retry_backoff_ms * 40)
+            ~jitter_seed:(Unix.getpid ()) ()
         in
+        let reply, attempts =
+          Arde_server.Client.submit_with_retry ~socket_path:socket ~policy
+            ?deadline_ms ~program ~mode ~options ()
+        in
+        if attempts > 0 then
+          Printf.eprintf "submit: retried %d time%s\n%!" attempts
+            (if attempts = 1 then "" else "s");
         (match reply with
         | Error e ->
             prerr_endline ("submit: " ^ e);
@@ -649,12 +711,148 @@ let submit_cmd =
        ~doc:
          "Submit a workload to a running $(b,arde serve) daemon and print \
           the same JSON object $(b,arde run --format json) would (exit \
-          codes 0-3 likewise; 4 on transport or server errors).")
+          codes 0-3 likewise; 4 on transport or server errors, including \
+          an exhausted retry budget).")
     Term.(
       const run $ socket_arg $ name_arg $ mode_arg $ common_opts
-      $ deadline_arg)
+      $ deadline_arg $ retries_arg $ retry_backoff_arg)
+
+let stats_cmd =
+  let run socket =
+    match Arde_server.Client.connect ~socket_path:socket with
+    | Error e ->
+        prerr_endline ("stats: " ^ e);
+        exit 4
+    | Ok cl ->
+        Fun.protect
+          ~finally:(fun () -> Arde_server.Client.close cl)
+          (fun () ->
+            match Arde_server.Client.stats cl with
+            | Error e ->
+                prerr_endline ("stats: " ^ e);
+                exit 4
+            | Ok resp -> (
+                match Arde.Json.member "stats" resp with
+                | Some s ->
+                    print_json s;
+                    exit 0
+                | None ->
+                    prerr_endline "stats: malformed server response";
+                    exit 4))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Query a running $(b,arde serve) daemon's statistics: per-outcome \
+          request counts, queue depth, supervision counters (crashes, \
+          restarts, watchdog kills, sealed crash bundles, open circuit \
+          breakers) and per-worker health, as JSON on stdout.")
+    Term.(const run $ socket_arg)
+
+(* ---- postmortem ---- *)
+
+let postmortem_cmd =
+  let bundle_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUNDLE" ~doc:"Path to a sealed crash bundle.")
+  in
+  let run bundle jobs =
+    let module S = Arde_server.Spool in
+    let module P = Arde_server.Protocol in
+    let module J = Arde.Json in
+    match S.load bundle with
+    | Error e ->
+        prerr_endline ("postmortem: " ^ e);
+        exit 1
+    | Ok meta -> (
+        match S.bundle_request meta with
+        | Error e ->
+            prerr_endline ("postmortem: " ^ e);
+            exit 1
+        | Ok req_json -> (
+            (* Replay through the production request parser: the bundle
+               stores the verbatim wire request, so a replay exercises
+               exactly the path the crashed worker took. *)
+            match P.parse_request (J.to_string req_json) with
+            | Error (_, code, msg) ->
+                Printf.eprintf "postmortem: unreplayable request (%s): %s\n"
+                  (P.code_name code) msg;
+                exit 1
+            | Ok (P.Ping _ | P.Stats _) ->
+                prerr_endline "postmortem: bundle holds a non-run request";
+                exit 1
+            | Ok (P.Run req) -> (
+                let meta_field name =
+                  match J.member name meta with
+                  | Some ((J.String _ | J.Int _ | J.Float _) as v) ->
+                      [ (name, v) ]
+                  | _ -> []
+                in
+                match Arde.Parse.program req.P.rq_program with
+                | Error e ->
+                    Printf.eprintf "postmortem: program: %s\n"
+                      (Arde.Parse.error_to_string e);
+                    exit 1
+                | Ok program ->
+                    let pool =
+                      Arde.Domain_pool.create
+                        ~jobs:
+                          (match jobs with
+                          | Some j when j > 0 -> j
+                          | _ -> Arde.Domain_pool.default_jobs ())
+                    in
+                    let started = Unix.gettimeofday () in
+                    let should_stop =
+                      match req.P.rq_deadline_ms with
+                      | None -> fun () -> false
+                      | Some ms ->
+                          fun () ->
+                            (Unix.gettimeofday () -. started) *. 1000.
+                            > float_of_int ms
+                    in
+                    let response =
+                      match
+                        Arde.detect ~options:req.P.rq_options ~pool
+                          ~should_stop
+                          ~program_digest:(Digest.string req.P.rq_program)
+                          req.P.rq_mode program
+                      with
+                      | result ->
+                          P.ok_response ~id:req.P.rq_id
+                            [ ("result", Arde.Driver.result_to_json result) ]
+                      | exception e ->
+                          P.error_response ~id:req.P.rq_id P.Internal
+                            (Printexc.to_string e)
+                    in
+                    Arde.Domain_pool.shutdown pool;
+                    print_json
+                      (J.Obj
+                         ([ ("bundle", J.String bundle) ]
+                         @ meta_field "crash_reason"
+                         @ meta_field "sealed_at"
+                         @ meta_field "worker"
+                         @ meta_field "pid"
+                         @ meta_field "digest"
+                         @ [ ("response", response) ]));
+                    exit (if P.response_ok response then 0 else 3))))
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Replay a crash bundle sealed by $(b,arde serve): parse the \
+          journaled wire request with the production parser, re-run the \
+          detection locally, and print the bundle metadata together with \
+          the response the crashed worker would have produced.  Exit 0 \
+          when the replay completes, 3 when it yields an error response, \
+          1 on an unreadable bundle.")
+    Term.(const run $ bundle_arg $ jobs_arg)
 
 let () =
+  (* Must run before cmdliner sees argv: an invocation carrying the
+     worker marker is a serve worker process, not a CLI session. *)
+  Arde_server.Worker.hook ();
   let doc = "ad-hoc synchronization identification for enhanced race detection" in
   let info = Cmd.info "arde" ~version:"1.0.0" ~doc in
   exit
@@ -663,5 +861,5 @@ let () =
           [
             list_cmd; show_cmd; spin_report_cmd; run_cmd; trace_cmd; fmt_cmd;
             compare_cmd; suite_cmd; parsec_cmd; chaos_cmd; serve_cmd;
-            submit_cmd;
+            submit_cmd; stats_cmd; postmortem_cmd;
           ]))

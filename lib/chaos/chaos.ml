@@ -140,6 +140,79 @@ let report_to_json r =
              r.ch_escaped) );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Serve-path fault plans                                             *)
+
+module Serve = struct
+  type fault =
+    | Kill_self
+    | Wedge
+    | Torn_frame
+    | Slow_frame
+    | Spool_enospc
+
+  let fault_name = function
+    | Kill_self -> "kill"
+    | Wedge -> "wedge"
+    | Torn_frame -> "torn"
+    | Slow_frame -> "slow"
+    | Spool_enospc -> "spool"
+
+  let fault_of_name = function
+    | "kill" -> Some Kill_self
+    | "wedge" -> Some Wedge
+    | "torn" -> Some Torn_frame
+    | "slow" -> Some Slow_frame
+    | "spool" -> Some Spool_enospc
+    | _ -> None
+
+  type plan = (fault * int) list
+
+  let empty : plan = []
+
+  let to_string plan =
+    String.concat ","
+      (List.map (fun (f, k) -> Printf.sprintf "%s:%d" (fault_name f) k) plan)
+
+  let parse s =
+    if String.trim s = "" then Ok empty
+    else
+      let entries = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: tl -> (
+            match String.index_opt e ':' with
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "chaos plan entry %S is not of the form FAULT:K" e)
+            | Some i -> (
+                let name = String.trim (String.sub e 0 i) in
+                let period =
+                  String.trim (String.sub e (i + 1) (String.length e - i - 1))
+                in
+                match (fault_of_name name, int_of_string_opt period) with
+                | None, _ ->
+                    Error
+                      (Printf.sprintf
+                         "unknown chaos fault %S (use kill, wedge, torn, \
+                          slow or spool)"
+                         name)
+                | Some f, Some k when k > 0 -> go ((f, k) :: acc) tl
+                | Some _, _ ->
+                    Error
+                      (Printf.sprintf
+                         "chaos fault %S needs a positive period, got %S"
+                         name period)))
+      in
+      go [] entries
+
+  let fires plan ~count =
+    List.filter_map
+      (fun (f, k) -> if count > 0 && count mod k = 0 then Some f else None)
+      plan
+end
+
 let pp_report ppf r =
   Format.fprintf ppf
     "%d perturbed runs: %d healthy, %d degraded, %d failed, %d escaped \

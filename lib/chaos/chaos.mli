@@ -75,6 +75,52 @@ val storm :
     detector runs, perturbations drawn from [Prng.create seed], and
     tallies the resulting health verdicts. *)
 
+(** {1 Serve-path fault plans}
+
+    Deterministic fault injection for the crash-only serving stack: a
+    {!Serve.plan} names which process-level faults a worker inflicts on
+    itself and how often, counted in requests that worker has executed.
+    The plan travels to worker processes as a string (the hidden
+    [--chaos-plan] flag), so it must round-trip through
+    {!Serve.to_string} / {!Serve.parse}.  The supervisor's job is to
+    make every one of these faults invisible to clients except as a
+    structured, retryable error. *)
+
+module Serve : sig
+  type fault =
+    | Kill_self
+        (** SIGKILL the worker process mid-request, after the spool
+            journal is written — the moral equivalent of a segfault. *)
+    | Wedge
+        (** Stop answering: burn wall-clock ignoring [should_stop] until
+            the supervisor's watchdog kills the worker. *)
+    | Torn_frame
+        (** Write half of the response frame, then exit — the supervisor
+            sees EOF mid-frame and must treat it as a crash. *)
+    | Slow_frame
+        (** Dribble the response frame byte-group by byte-group — the
+            supervisor's reassembly must survive arbitrary chunking. *)
+    | Spool_enospc
+        (** Fail the spool journal write with ENOSPC — journaling is
+            best-effort, the request must still be served. *)
+
+  type plan = (fault * int) list
+  (** Each [(fault, k)] entry fires on every request whose per-worker
+      ordinal is a positive multiple of [k]. *)
+
+  val empty : plan
+
+  val parse : string -> (plan, string) result
+  (** Parse ["kill:13,wedge:40"]-style specs.  [""] is {!empty}. *)
+
+  val to_string : plan -> string
+
+  val fires : plan -> count:int -> fault list
+  (** The faults due on the [count]-th request ([count >= 1]). *)
+
+  val fault_name : fault -> string
+end
+
 val pp_report : Format.formatter -> report -> unit
 
 val report_to_json : report -> Arde_util.Json.t

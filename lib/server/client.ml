@@ -12,7 +12,7 @@ type t = {
 
 let connect ~socket_path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  match Util.connect fd (Unix.ADDR_UNIX socket_path) with
   | () ->
       Ok
         {
@@ -42,7 +42,7 @@ let send_raw t bytes =
     let off = ref 0 in
     match
       while !off < len do
-        off := !off + Unix.write_substring t.cl_fd bytes !off (len - !off)
+        off := !off + Util.write_substring t.cl_fd bytes !off (len - !off)
       done
     with
     | () -> Ok ()
@@ -63,7 +63,7 @@ let recv t =
       | P.Too_large n ->
           Error (Printf.sprintf "response frame too large (%d bytes)" n)
       | P.Await -> (
-          match Unix.read t.cl_fd t.cl_buf 0 (Bytes.length t.cl_buf) with
+          match Util.read t.cl_fd t.cl_buf 0 (Bytes.length t.cl_buf) with
           | 0 -> Error "connection closed by server"
           | n ->
               P.feed t.cl_dec t.cl_buf 0 n;
@@ -78,8 +78,98 @@ let request t json =
   | Error _ as e -> e
   | Ok () -> recv t
 
-let run t ?id ?deadline_ms ~program ~mode ~options () =
-  request t (P.run_request_json ?id ?deadline_ms ~program ~mode ~options ())
+let run t ?id ?deadline_ms ?retry ~program ~mode ~options () =
+  request t
+    (P.run_request_json ?id ?deadline_ms ?retry ~program ~mode ~options ())
 
 let stats t = request t (P.stats_request ())
 let ping t = request t (P.ping_request ())
+
+(* ------------------------------------------------------------------ *)
+(* Retry policy                                                       *)
+
+type retry_policy = {
+  rp_attempts : int;
+  rp_backoff_ms : int;
+  rp_max_backoff_ms : int;
+  rp_jitter_seed : int;
+  rp_sleep : float -> unit;
+}
+
+let no_retry =
+  {
+    rp_attempts = 0;
+    rp_backoff_ms = 50;
+    rp_max_backoff_ms = 2_000;
+    rp_jitter_seed = 0;
+    rp_sleep = Util.sleepf;
+  }
+
+let retry_policy ?(attempts = 0) ?(backoff_ms = 50) ?(max_backoff_ms = 2_000)
+    ?(jitter_seed = 0) ?(sleep = Util.sleepf) () =
+  {
+    rp_attempts = max 0 attempts;
+    rp_backoff_ms = max 1 backoff_ms;
+    rp_max_backoff_ms = max 1 max_backoff_ms;
+    rp_jitter_seed = jitter_seed;
+    rp_sleep = sleep;
+  }
+
+let backoff_delay_s policy prng ~attempt =
+  let base =
+    min policy.rp_max_backoff_ms
+      (policy.rp_backoff_ms * (1 lsl min attempt 20))
+  in
+  (* Uniform in [0.5, 1.5) of the base: staggers a retry herd without
+     ever waiting more than 1.5x the nominal schedule. *)
+  let factor = 0.5 +. Arde.Prng.float prng 1.0 in
+  float_of_int base *. factor /. 1000.
+
+(* What happened to one attempt, as seen by the retry loop. *)
+type attempt_outcome =
+  | Final of (J.t, string) result
+  | Retryable of (J.t, string) result
+
+let attempt_once ~socket_path ~id ~deadline_ms ~program ~mode ~options
+    ~attempt =
+  match connect ~socket_path with
+  | Error e ->
+      (* The daemon was not reachable (refused, missing socket): nothing
+         ran, unconditionally safe to retry. *)
+      Retryable (Error e)
+  | Ok c ->
+      let outcome =
+        match
+          run c ?id ?deadline_ms ~retry:attempt ~program ~mode ~options ()
+        with
+        | Error _ as e ->
+            (* A transport failure after the request was sent is not
+               provably pre-execution, and run requests are answered in
+               order, so the conservative policy is to surface it. *)
+            Final e
+        | Ok response -> (
+            match P.response_error response with
+            | Some (code, _) when P.retryable_code code ->
+                Retryable (Ok response)
+            | _ -> Final (Ok response))
+      in
+      close c;
+      outcome
+
+let submit_with_retry ~socket_path ~policy ?id ?deadline_ms ~program ~mode
+    ~options () =
+  let prng = Arde.Prng.create policy.rp_jitter_seed in
+  let rec go attempt =
+    match
+      attempt_once ~socket_path ~id ~deadline_ms ~program ~mode ~options
+        ~attempt
+    with
+    | Final r -> (r, attempt)
+    | Retryable r ->
+        if attempt >= policy.rp_attempts then (r, attempt)
+        else begin
+          policy.rp_sleep (backoff_delay_s policy prng ~attempt);
+          go (attempt + 1)
+        end
+  in
+  go 0

@@ -24,6 +24,7 @@ val run :
   t ->
   ?id:Arde.Json.t ->
   ?deadline_ms:int ->
+  ?retry:int ->
   program:string ->
   mode:Arde.Config.mode ->
   options:Arde.Options.t ->
@@ -31,10 +32,63 @@ val run :
   (Arde.Json.t, string) result
 (** Submit a detection run; returns the whole response object (check
     {!Protocol.response_ok} / {!Protocol.response_error}, extract
-    ["result"] and ["analysis_cache"] on success). *)
+    ["result"] and ["analysis_cache"] on success).  [retry] marks a
+    resend (see {!Protocol.run_request_json}). *)
 
 val stats : t -> (Arde.Json.t, string) result
 val ping : t -> (Arde.Json.t, string) result
+
+(** {1 Retry policy}
+
+    Bounded exponential backoff with deterministic jitter, retrying only
+    failures that are provably idempotent-safe — the request never
+    started executing: a refused or missing socket (connection-level
+    failure), a structured [draining] refusal, or a [worker_crashed]
+    error (the run died; detection is pure, so re-running is safe).
+    [overloaded] is deliberately {e not} retried: it is the server
+    asking for less traffic, and hammering it defeats admission
+    control.  Transport failures {e after} the request was sent are
+    surfaced, not retried. *)
+
+type retry_policy = {
+  rp_attempts : int;  (** retries after the first attempt; 0 = one shot *)
+  rp_backoff_ms : int;  (** first delay; doubles per retry *)
+  rp_max_backoff_ms : int;
+  rp_jitter_seed : int;
+      (** seeds the jitter {!Arde.Prng} — equal seeds give reproducible
+          schedules *)
+  rp_sleep : float -> unit;  (** injectable for tests *)
+}
+
+val no_retry : retry_policy
+
+val retry_policy :
+  ?attempts:int ->
+  ?backoff_ms:int ->
+  ?max_backoff_ms:int ->
+  ?jitter_seed:int ->
+  ?sleep:(float -> unit) ->
+  unit ->
+  retry_policy
+(** Defaults: [attempts = 0], [backoff_ms = 50], [max_backoff_ms =
+    2_000], [jitter_seed = 0], [sleep = Util.sleepf].  Each delay is the
+    doubled-and-capped base scaled by a jitter factor in [\[0.5, 1.5)]. *)
+
+val submit_with_retry :
+  socket_path:string ->
+  policy:retry_policy ->
+  ?id:Arde.Json.t ->
+  ?deadline_ms:int ->
+  program:string ->
+  mode:Arde.Config.mode ->
+  options:Arde.Options.t ->
+  unit ->
+  (Arde.Json.t, string) result * int
+(** Run one request under the policy, opening a fresh connection per
+    attempt and marking resends with the wire [retry] field.  Returns
+    the final outcome (the last retryable failure verbatim when the
+    budget runs out — a completed response's own exit semantics are
+    never masked) and the number of retries actually performed. *)
 
 (** {1 Low-level access} (protocol tests) *)
 

@@ -29,6 +29,8 @@ let decoder ?(max_frame = default_max_frame) () =
 
 type frame_result = Frame of string | Await | Too_large of int
 
+let decoder_pending d = d.dlen
+
 let feed d src off len =
   if len < 0 || off < 0 || off + len > Bytes.length src then
     invalid_arg "Protocol.feed";
@@ -62,7 +64,14 @@ let next_frame d =
 (* ------------------------------------------------------------------ *)
 (* Error codes                                                        *)
 
-type error_code = Bad_frame | Bad_request | Overloaded | Draining | Internal
+type error_code =
+  | Bad_frame
+  | Bad_request
+  | Overloaded
+  | Draining
+  | Internal
+  | Worker_crashed
+  | Deadline_expired
 
 let code_name = function
   | Bad_frame -> "bad_frame"
@@ -70,6 +79,18 @@ let code_name = function
   | Overloaded -> "overloaded"
   | Draining -> "draining"
   | Internal -> "internal"
+  | Worker_crashed -> "worker_crashed"
+  | Deadline_expired -> "deadline_expired"
+
+(* Idempotent-safe to retry: the request provably did not complete a
+   detection run whose answer the client then threw away — the daemon
+   was not reachable, refused before execution, or the executing worker
+   died.  (Detection is pure, so even a lost completed run would be safe
+   to re-run; but [overloaded] is the server asking for {e less}
+   traffic, so the client-side policy deliberately excludes it.) *)
+let retryable_code = function
+  | "worker_crashed" | "draining" -> true
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                           *)
@@ -80,11 +101,13 @@ type run_request = {
   rq_mode : Arde.Config.mode;
   rq_options : Arde.Options.t;
   rq_deadline_ms : int option;
+  rq_retry : int; (* which retry attempt this is; 0 = first send *)
 }
 
 type request = Run of run_request | Stats of J.t | Ping of J.t
 
-let run_request_json ?(id = J.Null) ?deadline_ms ~program ~mode ~options () =
+let run_request_json ?(id = J.Null) ?deadline_ms ?retry ~program ~mode
+    ~options () =
   J.Obj
     ([
        ("type", J.String "run");
@@ -93,10 +116,13 @@ let run_request_json ?(id = J.Null) ?deadline_ms ~program ~mode ~options () =
        ("mode", J.String (Arde.Config.mode_id mode));
        ("options", Arde.Options.to_json options);
      ]
+    @ (match deadline_ms with
+      | None -> []
+      | Some d -> [ ("deadline_ms", J.Int d) ])
     @
-    match deadline_ms with
-    | None -> []
-    | Some d -> [ ("deadline_ms", J.Int d) ])
+    match retry with
+    | None | Some 0 -> []
+    | Some n -> [ ("retry", J.Int n) ])
 
 let stats_request ?(id = J.Null) () =
   J.Obj [ ("type", J.String "stats"); ("id", id) ]
@@ -151,7 +177,15 @@ let parse_request payload =
                     Error (id, Bad_request,
                            "deadline_ms must be a positive integer"))
           in
-          Ok (Run { rq_id = id; rq_program; rq_mode; rq_options; rq_deadline_ms })
+          let rq_retry =
+            match Option.bind (J.member "retry" j) J.to_int with
+            | Some n when n > 0 -> n
+            | _ -> 0
+          in
+          Ok
+            (Run
+               { rq_id = id; rq_program; rq_mode; rq_options; rq_deadline_ms;
+                 rq_retry })
       | Some other ->
           Error (id, Bad_request,
                  Printf.sprintf "unknown request type %S" other)
@@ -190,6 +224,81 @@ let response_error j =
         Option.value ~default:"" (Option.bind (J.member name e) J.to_str)
       in
       Some (f "code", f "message")
+
+(* ------------------------------------------------------------------ *)
+(* The supervisor <-> worker wire                                     *)
+
+(* Workers speak the same frame codec over a socketpair held by the
+   supervisor.  Request and response bodies cross this hop as {e raw
+   bytes}, never re-parsed or re-serialized: a [job] header frame is
+   followed by one frame holding the client's request verbatim (so the
+   worker's spool journal records exactly what arrived on the public
+   socket), and a [done] header frame — carrying the outcome code the
+   supervisor needs for its counters — is followed by one frame holding
+   the response bytes the supervisor forwards untouched.  Run requests
+   are several hundred kilobytes of program text; parsing them once per
+   process instead of once per hop is most of the serving hot path. *)
+
+let hello_frame ~worker ~pid =
+  J.Obj
+    [ ("type", J.String "hello"); ("worker", J.Int worker); ("pid", J.Int pid) ]
+
+let job_frame ~job ~digest =
+  J.Obj
+    [
+      ("type", J.String "job");
+      ("job", J.Int job);
+      ("digest", J.String digest);
+    ]
+
+let done_frame ~job ~spool_error ~code =
+  J.Obj
+    [
+      ("type", J.String "done");
+      ("job", J.Int job);
+      ("spool_error", J.Bool spool_error);
+      ("code", J.String code);
+    ]
+
+type worker_msg =
+  | W_hello of int  (** the worker's pid *)
+  | W_done of { wd_job : int; wd_spool_error : bool; wd_code : string }
+      (** the response bytes follow in the next frame, verbatim *)
+
+let parse_worker_msg payload =
+  match J.parse_checked payload with
+  | Error e -> Error (J.error_to_string e)
+  | Ok j -> (
+      match Option.bind (J.member "type" j) J.to_str with
+      | Some "hello" -> (
+          match Option.bind (J.member "pid" j) J.to_int with
+          | Some pid -> Ok (W_hello pid)
+          | None -> Error "hello without pid")
+      | Some "done" -> (
+          match
+            ( Option.bind (J.member "job" j) J.to_int,
+              Option.bind (J.member "code" j) J.to_str )
+          with
+          | Some wd_job, Some wd_code ->
+              let wd_spool_error =
+                Option.value ~default:false
+                  (Option.bind (J.member "spool_error" j) J.to_bool)
+              in
+              Ok (W_done { wd_job; wd_spool_error; wd_code })
+          | _ -> Error "done without job id or code")
+      | Some other -> Error (Printf.sprintf "unknown worker message %S" other)
+      | None -> Error "worker message without type")
+
+let parse_job payload =
+  match J.parse_checked payload with
+  | Error e -> Error (J.error_to_string e)
+  | Ok j -> (
+      match
+        ( Option.bind (J.member "job" j) J.to_int,
+          Option.bind (J.member "digest" j) J.to_str )
+      with
+      | Some job, Some digest -> Ok (job, digest)
+      | _ -> Error "job frame without job id or digest")
 
 (* ------------------------------------------------------------------ *)
 (* The shared one-shot output shape                                   *)

@@ -44,6 +44,10 @@ val feed : decoder -> Bytes.t -> int -> int -> unit
 val next_frame : decoder -> frame_result
 (** Call repeatedly after {!feed} until it returns [Await]. *)
 
+val decoder_pending : decoder -> int
+(** Bytes buffered but not yet returned as a frame — nonzero at stream
+    EOF means the peer died mid-frame (a torn reply). *)
+
 (** {1 Error codes}
 
     Structured failure vocabulary carried in error responses. *)
@@ -56,10 +60,22 @@ type error_code =
   | Overloaded  (** admission control: the pending queue is full *)
   | Draining  (** the server is shutting down and refuses new work *)
   | Internal  (** unexpected server-side exception *)
+  | Worker_crashed
+      (** the worker process executing (or destined to execute) this
+          request died — crash, watchdog kill, or torn reply; the
+          request itself may be fine and is safe to retry *)
+  | Deadline_expired
+      (** the request's deadline elapsed while it was still queued, so
+          no detection work was started *)
 
 val code_name : error_code -> string
 (** ["bad_frame"], ["bad_request"], ["overloaded"], ["draining"],
-    ["internal"]. *)
+    ["internal"], ["worker_crashed"], ["deadline_expired"]. *)
+
+val retryable_code : string -> bool
+(** The client retry policy's allow-list: [true] only for
+    ["worker_crashed"] and ["draining"] (connection-refused transport
+    errors are classified by the client itself). *)
 
 (** {1 Requests} *)
 
@@ -72,6 +88,9 @@ type run_request = {
       (** wall-clock budget for the detection run; on expiry remaining
           seeds are cancelled cooperatively (the response still carries
           every completed seed's findings) *)
+  rq_retry : int;
+      (** which resend of an earlier attempt this is; [0] on the first
+          send — feeds the server's [retries] counter *)
 }
 
 type request =
@@ -82,11 +101,14 @@ type request =
 val run_request_json :
   ?id:Arde.Json.t ->
   ?deadline_ms:int ->
+  ?retry:int ->
   program:string ->
   mode:Arde.Config.mode ->
   options:Arde.Options.t ->
   unit ->
   Arde.Json.t
+(** [retry] (when [> 0]) marks the request as the [n]-th resend of an
+    earlier attempt, feeding the server's [retries] counter. *)
 
 val stats_request : ?id:Arde.Json.t -> unit -> Arde.Json.t
 val ping_request : ?id:Arde.Json.t -> unit -> Arde.Json.t
@@ -111,6 +133,45 @@ val response_ok : Arde.Json.t -> bool
 
 val response_error : Arde.Json.t -> (string * string) option
 (** [(code, message)] when the response is an error. *)
+
+(** {1 The supervisor <-> worker wire}
+
+    Worker processes speak the same frame codec over a socketpair held
+    by the supervisor.  Request and response bodies cross this hop as
+    {e raw bytes}: a [job] header frame is followed by one frame holding
+    the client's request verbatim (the worker journals exactly those
+    bytes to the spool, which is what makes crash bundles replayable
+    with the production request parser), and a [done] header frame is
+    followed by one frame of response bytes the supervisor forwards
+    untouched.  Run requests are hundreds of kilobytes of program text;
+    each parse or serialize pass over them costs milliseconds, so the
+    hop adds none of its own. *)
+
+val hello_frame : worker:int -> pid:int -> Arde.Json.t
+(** Sent once by a worker when it is ready to execute (domain pool
+    built, spool reachable). *)
+
+val job_frame : job:int -> digest:string -> Arde.Json.t
+(** The header announcing job [job]; the supervisor sends the raw
+    request bytes in the very next frame.  [digest] is the hex digest of
+    the request's program text — the supervisor already computed it for
+    affinity routing, so the worker need not digest the program again. *)
+
+val done_frame : job:int -> spool_error:bool -> code:string -> Arde.Json.t
+(** The header completing job [job], carrying the response's outcome
+    [code] (["ok"] or an error code) for the supervisor's counters; the
+    worker sends the raw response bytes in the very next frame. *)
+
+type worker_msg =
+  | W_hello of int  (** the worker's pid *)
+  | W_done of { wd_job : int; wd_spool_error : bool; wd_code : string }
+      (** the response bytes follow in the next frame, verbatim *)
+
+val parse_worker_msg : string -> (worker_msg, string) result
+
+val parse_job : string -> (int * string, string) result
+(** The job id and program digest of a [job] header frame; the request
+    bytes follow in the next frame. *)
 
 (** {1 The shared one-shot output shape}
 

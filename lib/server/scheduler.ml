@@ -1,64 +1,94 @@
-(* Bounded request queue + drain state machine.  See scheduler.mli. *)
+(* Per-worker affinity queues with global admission control.
+   See scheduler.mli. *)
 
 type 'job t = {
-  m : Mutex.t;
-  nonempty : Condition.t;
-  q : 'job Queue.t;
+  queues : 'job Queue.t array;
+  busy : bool array;
   max_pending : int;
-  mutable inflight : int;
+  mutable queued : int;
   mutable drain : bool;
+  mutable refused : int;
+  mutable cancelled : int;
 }
 
-let create ~max_pending =
+let create ~workers ~max_pending =
+  let workers = max 1 workers in
   {
-    m = Mutex.create ();
-    nonempty = Condition.create ();
-    q = Queue.create ();
+    queues = Array.init workers (fun _ -> Queue.create ());
+    busy = Array.make workers false;
     max_pending = max 1 max_pending;
-    inflight = 0;
+    queued = 0;
     drain = false;
+    refused = 0;
+    cancelled = 0;
   }
+
+let workers t = Array.length t.queues
 
 type admission = Accepted | Overloaded | Draining
 
-let locked t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+let submit t ~slot job =
+  if t.drain then Draining
+  else if t.queued >= t.max_pending then begin
+    (* The refused job never held a slot; count it and leave capacity
+       untouched so the very next submission can be admitted. *)
+    t.refused <- t.refused + 1;
+    Overloaded
+  end
+  else begin
+    Queue.add job t.queues.(slot);
+    t.queued <- t.queued + 1;
+    Accepted
+  end
 
-let submit t job =
-  locked t (fun () ->
-      if t.drain then Draining
-      else if Queue.length t.q >= t.max_pending then Overloaded
-      else begin
-        Queue.add job t.q;
-        Condition.signal t.nonempty;
-        Accepted
-      end)
+let enqueue t ~slot job =
+  (* Re-routing path: the job already passed admission (it held a queue
+     slot on a worker that died), so no admission check and no bound —
+     capacity was reserved when it was first accepted. *)
+  Queue.add job t.queues.(slot);
+  t.queued <- t.queued + 1
 
-let next t =
-  locked t (fun () ->
-      let rec wait () =
-        if not (Queue.is_empty t.q) then begin
-          t.inflight <- t.inflight + 1;
-          Some (Queue.pop t.q)
-        end
-        else if t.drain then None
-        else begin
-          Condition.wait t.nonempty t.m;
-          wait ()
-        end
-      in
-      wait ())
+let take t ~slot =
+  if t.busy.(slot) || Queue.is_empty t.queues.(slot) then None
+  else begin
+    let job = Queue.pop t.queues.(slot) in
+    t.queued <- t.queued - 1;
+    t.busy.(slot) <- true;
+    Some job
+  end
 
-let job_done t =
-  locked t (fun () -> t.inflight <- max 0 (t.inflight - 1))
+let finish t ~slot = t.busy.(slot) <- false
+let busy t ~slot = t.busy.(slot)
+let slot_depth t ~slot = Queue.length t.queues.(slot)
 
-let begin_drain t =
-  locked t (fun () ->
-      t.drain <- true;
-      Condition.broadcast t.nonempty)
+let drain_slot t ~slot =
+  let q = t.queues.(slot) in
+  let jobs = List.of_seq (Queue.to_seq q) in
+  t.queued <- t.queued - Queue.length q;
+  Queue.clear q;
+  jobs
 
-let draining t = locked t (fun () -> t.drain)
-let depth t = locked t (fun () -> Queue.length t.q)
-let in_flight t = locked t (fun () -> t.inflight)
-let idle t = locked t (fun () -> Queue.is_empty t.q && t.inflight = 0)
+let remove t ~pred =
+  let removed = ref [] in
+  Array.iter
+    (fun q ->
+      let keep = Queue.create () in
+      Queue.iter
+        (fun job -> if pred job then removed := job :: !removed else Queue.add job keep)
+        q;
+      Queue.clear q;
+      Queue.transfer keep q)
+    t.queues;
+  let removed = List.rev !removed in
+  let n = List.length removed in
+  t.queued <- t.queued - n;
+  t.cancelled <- t.cancelled + n;
+  removed
+
+let begin_drain t = t.drain <- true
+let draining t = t.drain
+let depth t = t.queued
+let in_flight t = Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.busy
+let idle t = t.queued = 0 && in_flight t = 0
+let refused t = t.refused
+let cancelled t = t.cancelled

@@ -1,59 +1,101 @@
-(** The resident detection daemon behind [arde serve].
+(** The crash-only detection daemon behind [arde serve].
 
-    One process owns one long-lived {!Arde.Domain_pool.pool} and the
-    process-wide {!Arde.Analysis_cache}; requests arrive as frames
-    (see {!Protocol}) over a Unix domain socket, pass the
-    {!Scheduler}'s admission control, and execute one at a time on a
-    dedicated worker domain — the per-seed fan-out inside each request
-    is where the parallelism lives, so detection results stay
-    byte-identical to one-shot [arde run].
+    The process that binds the socket is a {e supervisor}: it owns no
+    domain pool and runs no detection.  It forks out (via re-exec — see
+    {!Worker}) [workers] worker processes, each with its own resident
+    {!Arde.Domain_pool.pool}, program cache and analysis cache, bridged
+    over a socketpair.  Run requests are routed by program-digest
+    affinity so repeat submissions keep hitting the worker whose caches
+    are already warm; each worker executes one request at a time.
 
-    Threading: the calling domain runs the [select]-based connection
-    loop (accept, read, frame reassembly, immediate replies: ping,
-    stats, admission errors); the worker domain executes run requests
-    and writes their responses.  A per-connection write lock keeps
-    frames from interleaving.
+    Crash-only means worker death is a handled input, not a failure
+    mode: the request a dead worker was executing is answered with a
+    structured [worker_crashed] error (never a dropped connection), its
+    journaled request is sealed into a durable, replayable crash bundle
+    (see {!Spool} and [arde postmortem]), its queued work is re-routed,
+    and the slot restarts under exponential backoff with a restart-storm
+    circuit breaker.  A watchdog SIGKILLs workers that overrun their
+    request deadline (plus grace) or the idle watchdog bound.
+
+    Threading: the supervisor is one domain-free thread around
+    [Unix.select] — it must stay domain-free because OCaml 5 processes
+    that created domains cannot spawn children cheaply, and because a
+    single-owner loop needs no locks.  All writes go through
+    non-blocking {!Util.outbuf}s so a slow client or wedged worker can
+    never stall the loop.
 
     Shutdown: {!initiate_drain} (async-signal-safe; {!handle_signals}
-    wires it to SIGTERM and SIGINT) flips the scheduler into draining —
-    queued and in-flight requests complete and their responses are
-    delivered, new connections and new requests get a structured
-    [draining] error — then {!run} tears everything down and returns,
-    so the CLI can exit 0. *)
+    wires it to SIGTERM and SIGINT) refuses new work with structured
+    [draining] errors, lets queued and in-flight requests finish,
+    flushes responses, then closes every worker's pipe (their drain
+    signal) and reaps them, SIGKILLing stragglers after a grace
+    period. *)
 
 type config = {
   socket_path : string;
-  max_pending : int;  (** admission-control bound on queued requests *)
+  workers : int;  (** worker processes; [<= 0] means 2 *)
+  max_pending : int;  (** global admission bound on queued requests *)
   max_frame : int;  (** per-connection inbound frame size limit *)
-  jobs : int;  (** resident pool width; [<= 0] means host core count *)
+  jobs : int;  (** per-worker pool width; [<= 0] means host core count *)
   default_deadline_ms : int option;
       (** applied to requests that carry no [deadline_ms] of their own *)
+  watchdog_ms : int;
+      (** kill bound for requests with no effective deadline *)
+  watchdog_grace_ms : int;
+      (** slack past a request's deadline before the SIGKILL — covers
+          the worker's own cooperative-cancellation latency *)
+  restart_backoff_ms : int;  (** first respawn delay; doubles per crash *)
+  restart_backoff_max_ms : int;
+  breaker_threshold : int;
+      (** crashes within the window that open a slot's circuit *)
+  breaker_window_s : float;  (** storm window, and the cooldown *)
+  spool_dir : string option;  (** default: [socket_path ^ ".spool"] *)
+  chaos_plan : string;
+      (** fault plan forwarded to workers (see {!Arde.Chaos.Serve});
+          [""] means none *)
+  worker_exec : string option;
+      (** binary to re-exec as workers; default [Sys.executable_name] *)
   log : string -> unit;  (** server-side event log (pass [ignore] to mute) *)
 }
 
 val config :
+  ?workers:int ->
   ?max_pending:int ->
   ?max_frame:int ->
   ?jobs:int ->
   ?default_deadline_ms:int ->
+  ?watchdog_ms:int ->
+  ?watchdog_grace_ms:int ->
+  ?restart_backoff_ms:int ->
+  ?restart_backoff_max_ms:int ->
+  ?breaker_threshold:int ->
+  ?breaker_window_s:float ->
+  ?spool_dir:string ->
+  ?chaos_plan:string ->
+  ?worker_exec:string ->
   ?log:(string -> unit) ->
   socket_path:string ->
   unit ->
   config
-(** Defaults: [max_pending = 64], [max_frame = Protocol.default_max_frame],
-    [jobs = 0], no default deadline, mute log. *)
+(** Defaults: [workers = 2], [max_pending = 64],
+    [max_frame = Protocol.default_max_frame], [jobs = 0], no default
+    deadline, [watchdog_ms = 120_000], [watchdog_grace_ms = 2_000],
+    [restart_backoff_ms = 100], [restart_backoff_max_ms = 5_000],
+    [breaker_threshold = 5], [breaker_window_s = 10.], mute log. *)
 
 type t
 
 val create : config -> (t, string) result
 (** Bind the socket (replacing a stale one left by a dead server),
-    spawn the worker domain and the resident pool.  [Error] if the path
-    is in use by a live server or cannot be bound. *)
+    create the spool directories, validate the chaos plan, and spawn the
+    worker processes.  [Error] if the path is in use by a live server,
+    cannot be bound, the spool is unwritable, or the plan is
+    malformed. *)
 
 val run : t -> unit
-(** The connection loop.  Blocks until a drain completes, then closes
-    every connection, joins the worker, shuts the pool down and unlinks
-    the socket. *)
+(** The supervisor loop.  Blocks until a drain completes, then flushes
+    pending responses, closes every connection, shuts the workers down
+    and unlinks the socket. *)
 
 val initiate_drain : t -> unit
 (** Request a graceful drain.  Async-signal-safe and idempotent: sets a
@@ -64,6 +106,8 @@ val handle_signals : t -> unit
     (disconnecting clients must not kill the server). *)
 
 val stats_json : t -> Arde.Json.t
-(** The same object a [stats] request returns: uptime, request counts
-    by outcome, queue state, program/analysis cache counters, pool
-    width. *)
+(** The same object a [stats] request returns: uptime, monotonic request
+    counters (including [worker_crashed], [deadline_expired], [retries]
+    and [spool_errors]), queue state, the supervision block (crashes,
+    restarts, watchdog kills, sealed bundles, per-worker health) and the
+    spool location. *)

@@ -1,0 +1,41 @@
+(** The worker-process half of the crash-only serving stack.
+
+    A worker executes one run request at a time: it reads [job] frames
+    from its stdin, journals each request to the {!Spool} before
+    touching it, runs the detection pipeline with a process-local
+    program cache and domain pool, and writes [done] frames back on the
+    same fd — stdin is the supervisor's socketpair end and carries
+    frames in both directions.  Stdout is deliberately {e not} part of
+    the protocol (host binaries may link libraries that print there
+    before {!hook} runs); the supervisor points it at stderr.  Stdin
+    EOF is the drain signal, SIGKILL the crash-class one.
+
+    {2 Why exec, not fork}
+
+    OCaml 5 forbids [Unix.fork] in any process that has ever created a
+    domain — and both detection and the test harness create domains
+    freely.  So workers are launched by re-executing the {e host
+    binary} with {!marker} as [argv.(1)]: every executable that may
+    host a supervisor (the CLI, the test runner, the benchmark) calls
+    {!hook} as the very first thing in [main], and an invocation
+    carrying the marker becomes a worker and never returns. *)
+
+val marker : string
+(** ["__arde-serve-worker__"] — the sentinel [argv.(1)] of a worker
+    invocation. *)
+
+val hook : unit -> unit
+(** Call first in every [main] of a binary that may host a supervisor.
+    No-op unless [Sys.argv.(1)] is {!marker}; otherwise runs the worker
+    loop on stdin/stdout and [exit]s (0 after a clean drain, 64-70 on
+    startup or protocol failures). *)
+
+val worker_args :
+  spool:string ->
+  index:int ->
+  jobs:int ->
+  max_frame:int ->
+  chaos_plan:string ->
+  string array
+(** The argv tail (starting with {!marker}) the supervisor passes to
+    [Unix.create_process] when spawning worker [index]. *)

@@ -10,11 +10,22 @@ type t =
 (* ------------------------------------------------------------------ *)
 (* Printing                                                           *)
 
+(* Strings dominate both directions of the serve wire (program texts are
+   hundreds of kilobytes), so the escaper copies maximal clean runs with
+   [Buffer.add_substring] instead of walking char by char. *)
 let escape_to buf s =
+  let n = String.length s in
+  let needs_escape c = c = '"' || c = '\\' || Char.code c < 0x20 in
   Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    while !i < n && not (needs_escape (String.unsafe_get s !i)) do
+      incr i
+    done;
+    if !i > start then Buffer.add_substring buf s start (!i - start);
+    if !i < n then begin
+      (match s.[!i] with
       | '"' -> Buffer.add_string buf "\\\""
       | '\\' -> Buffer.add_string buf "\\\\"
       | '\n' -> Buffer.add_string buf "\\n"
@@ -22,10 +33,10 @@ let escape_to buf s =
       | '\t' -> Buffer.add_string buf "\\t"
       | '\b' -> Buffer.add_string buf "\\b"
       | '\012' -> Buffer.add_string buf "\\f"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+      | c -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c)));
+      incr i
+    end
+  done;
   Buffer.add_char buf '"'
 
 let float_to_string f =
@@ -143,7 +154,33 @@ let parse_checked ?(max_depth = default_max_depth)
   in
   let parse_string () =
     expect '"';
-    let buf = Buffer.create 16 in
+    (* Fast path: scan the maximal run of plain characters by direct
+       indexing.  A string with no escapes (the overwhelmingly common
+       case, including the multi-hundred-kilobyte program texts on the
+       serve wire) is a single [String.sub]; escaped strings fall back
+       to a buffer but still copy plain runs chunk-wise. *)
+    let scan_plain from =
+      let i = ref from in
+      while
+        !i < n
+        &&
+        let c = String.unsafe_get s !i in
+        c <> '"' && c <> '\\'
+      do
+        incr i
+      done;
+      !i
+    in
+    let start = !pos in
+    let stop = scan_plain start in
+    if stop < n && String.unsafe_get s stop = '"' then begin
+      pos := stop + 1;
+      String.sub s start (stop - start)
+    end
+    else begin
+    pos := stop;
+    let buf = Buffer.create (stop - start + 16) in
+    Buffer.add_substring buf s start (stop - start);
     let rec go () =
       match peek () with
       | None -> fail "unterminated string"
@@ -177,13 +214,15 @@ let parse_checked ?(max_depth = default_max_depth)
           | _ -> fail "bad escape");
           advance ();
           go ())
-      | Some c ->
-          Buffer.add_char buf c;
-          advance ();
+      | Some _ ->
+          let stop = scan_plain !pos in
+          Buffer.add_substring buf s !pos (stop - !pos);
+          pos := stop;
           go ()
     in
     go ();
     Buffer.contents buf
+    end
   in
   let parse_number () =
     let start = !pos in

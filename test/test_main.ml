@@ -1,4 +1,8 @@
 let () =
+  (* The serve tests start a supervisor that re-execs THIS binary as its
+     worker processes; the hook must intercept the marker before
+     alcotest ever sees argv. *)
+  Arde_server.Worker.hook ();
   Alcotest.run "arde"
     [
       ("util", Test_util.suite);

@@ -122,28 +122,67 @@ let test_mode_id_roundtrip () =
 
 let test_scheduler_admission () =
   let module Sch = Arde_server.Scheduler in
-  let s = Sch.create ~max_pending:2 in
-  checkb "accepted" true (Sch.submit s 1 = Sch.Accepted);
-  checkb "accepted" true (Sch.submit s 2 = Sch.Accepted);
-  checkb "overloaded beyond max_pending" true (Sch.submit s 3 = Sch.Overloaded);
+  let s = Sch.create ~workers:2 ~max_pending:2 in
+  checkb "accepted" true (Sch.submit s ~slot:0 1 = Sch.Accepted);
+  checkb "accepted" true (Sch.submit s ~slot:1 2 = Sch.Accepted);
+  checkb "overloaded beyond max_pending (global bound)" true
+    (Sch.submit s ~slot:0 3 = Sch.Overloaded);
   check Alcotest.int "depth" 2 (Sch.depth s);
-  checkb "pop 1" true (Sch.next s = Some 1);
+  check Alcotest.int "refusals counted" 1 (Sch.refused s);
+  checkb "pop slot 0" true (Sch.take s ~slot:0 = Some 1);
+  checkb "slot 0 busy" true (Sch.busy s ~slot:0);
+  checkb "one job per slot" true (Sch.take s ~slot:0 = None);
   check Alcotest.int "in flight" 1 (Sch.in_flight s);
-  checkb "freed a slot" true (Sch.submit s 3 = Sch.Accepted);
+  checkb "taking freed a queue slot" true (Sch.submit s ~slot:0 3 = Sch.Accepted);
   Sch.begin_drain s;
-  checkb "draining refuses" true (Sch.submit s 4 = Sch.Draining);
-  checkb "queued work survives drain" true (Sch.next s = Some 2);
-  checkb "queued work survives drain" true (Sch.next s = Some 3);
-  checkb "then the worker is released" true (Sch.next s = None);
-  Sch.job_done s;
-  Sch.job_done s;
-  Sch.job_done s;
+  checkb "draining refuses" true (Sch.submit s ~slot:0 4 = Sch.Draining);
+  checkb "queued work survives drain" true (Sch.take s ~slot:1 = Some 2);
+  checkb "queued work survives drain" true
+    (Sch.take s ~slot:0 = None (* still busy with job 1 *));
+  Sch.finish s ~slot:0;
+  checkb "slot 0 serves its queue after finishing" true
+    (Sch.take s ~slot:0 = Some 3);
+  Sch.finish s ~slot:0;
+  Sch.finish s ~slot:1;
   checkb "idle after drain" true (Sch.idle s)
+
+(* Refused and deadline-cancelled requests must release their queue
+   slot immediately: admission capacity recovers right after a refusal
+   burst, not when a worker gets around to the backlog. *)
+let test_scheduler_capacity_recovery () =
+  let module Sch = Arde_server.Scheduler in
+  let s = Sch.create ~workers:1 ~max_pending:3 in
+  List.iter
+    (fun j -> checkb "fill" true (Sch.submit s ~slot:0 j = Sch.Accepted))
+    [ 1; 2; 3 ];
+  (* A refusal burst: none of these may consume capacity. *)
+  List.iter
+    (fun j ->
+      checkb "refused at capacity" true (Sch.submit s ~slot:0 j = Sch.Overloaded))
+    [ 4; 5; 6; 7; 8 ];
+  check Alcotest.int "burst counted" 5 (Sch.refused s);
+  check Alcotest.int "depth unchanged by the burst" 3 (Sch.depth s);
+  (* Deadline-cancel one queued job: capacity must recover at once. *)
+  let cancelled = Sch.remove s ~pred:(fun j -> j = 2) in
+  checkb "cancelled the queued job" true (cancelled = [ 2 ]);
+  check Alcotest.int "cancellation counted" 1 (Sch.cancelled s);
+  checkb "capacity recovered immediately" true
+    (Sch.submit s ~slot:0 9 = Sch.Accepted);
+  checkb "and is bounded again" true (Sch.submit s ~slot:0 10 = Sch.Overloaded);
+  (* Dead-slot re-routing also conserves capacity. *)
+  let orphans = Sch.drain_slot s ~slot:0 in
+  check Alcotest.int "orphans" 3 (List.length orphans);
+  check Alcotest.int "queue empty" 0 (Sch.depth s);
+  List.iter (fun j -> Sch.enqueue s ~slot:0 j) orphans;
+  check Alcotest.int "re-routed jobs restored" 3 (Sch.depth s);
+  checkb "still bounded after re-route" true
+    (Sch.submit s ~slot:0 11 = Sch.Overloaded);
+  checkb "queue order preserved" true (Sch.take s ~slot:0 = Some 1)
 
 (* ------------------------------------------------------------------ *)
 (* Live-server harness                                                 *)
 
-type server = { t : S.t; path : string; runner : unit Domain.t }
+type server = { t : S.t; path : string; spool : string; runner : unit Domain.t }
 
 let socket_counter = ref 0
 
@@ -153,22 +192,52 @@ let fresh_socket () =
     (Filename.get_temp_dir_name ())
     (Printf.sprintf "arde-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
 
-let start ?max_pending ?max_frame ?jobs ?default_deadline_ms () =
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun entry -> rm_rf (Filename.concat path entry))
+        (try Sys.readdir path with Sys_error _ -> [||]);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+(* The default worker fleet for tests is small and quick to restart;
+   the breaker window is kept tiny so deliberate crash storms in these
+   tests exercise restarts, not the circuit breaker (which gets its own
+   dedicated test). *)
+let start ?(workers = 2) ?max_pending ?max_frame ?(jobs = 2)
+    ?default_deadline_ms ?watchdog_ms ?(restart_backoff_ms = 10)
+    ?breaker_threshold ?(breaker_window_s = 0.001) ?(chaos_plan = "") () =
   let path = fresh_socket () in
   let cfg =
-    S.config ?max_pending ?max_frame ?jobs ?default_deadline_ms
-      ~socket_path:path ()
+    S.config ~workers ?max_pending ?max_frame ~jobs ?default_deadline_ms
+      ?watchdog_ms ~restart_backoff_ms ?breaker_threshold ~breaker_window_s
+      ~chaos_plan ~socket_path:path ()
   in
   match S.create cfg with
   | Error e -> Alcotest.failf "server create: %s" e
-  | Ok t -> { t; path; runner = Domain.spawn (fun () -> S.run t) }
+  | Ok t ->
+      {
+        t;
+        path;
+        spool = path ^ ".spool";
+        runner = Domain.spawn (fun () -> S.run t);
+      }
 
 let stop srv =
   S.initiate_drain srv.t;
-  Domain.join srv.runner
+  Domain.join srv.runner;
+  rm_rf srv.spool
 
-let with_server ?max_pending ?max_frame ?jobs ?default_deadline_ms f =
-  let srv = start ?max_pending ?max_frame ?jobs ?default_deadline_ms () in
+let with_server ?workers ?max_pending ?max_frame ?jobs ?default_deadline_ms
+    ?watchdog_ms ?restart_backoff_ms ?breaker_threshold ?breaker_window_s
+    ?chaos_plan f =
+  let srv =
+    start ?workers ?max_pending ?max_frame ?jobs ?default_deadline_ms
+      ?watchdog_ms ?restart_backoff_ms ?breaker_threshold ?breaker_window_s
+      ?chaos_plan ()
+  in
   Fun.protect ~finally:(fun () -> stop srv) (fun () -> f srv)
 
 let connect srv =
@@ -539,15 +608,37 @@ let test_stats () =
           check Alcotest.int "received" 4 (int_at [ "requests"; "received" ]);
           check Alcotest.int "ok runs" 2 (int_at [ "requests"; "ok" ]);
           check Alcotest.int "pings" 1 (int_at [ "requests"; "ping" ]);
+          check Alcotest.int "no crashes" 0
+            (int_at [ "requests"; "worker_crashed" ]);
+          check Alcotest.int "no retries" 0 (int_at [ "requests"; "retries" ]);
+          check Alcotest.int "no spool errors" 0
+            (int_at [ "requests"; "spool_errors" ]);
           check Alcotest.int "max_pending echoes config" 7
             (int_at [ "queue"; "max_pending" ]);
-          check Alcotest.int "program cache hit" 1
-            (int_at [ "programs"; "hits" ]);
-          check Alcotest.int "program cache miss" 1
-            (int_at [ "programs"; "misses" ]);
+          check Alcotest.int "no refusals" 0 (int_at [ "queue"; "refused" ]);
+          check Alcotest.int "supervision: quiet fleet" 0
+            (int_at [ "supervision"; "crashes" ]
+            + int_at [ "supervision"; "restarts" ]
+            + int_at [ "supervision"; "watchdog_kills" ]
+            + int_at [ "supervision"; "bundles_sealed" ]
+            + int_at [ "supervision"; "breaker_open" ]);
+          (match
+             Option.bind (J.member "supervision" stats) (J.member "workers")
+           with
+          | Some (J.List ws) ->
+              check Alcotest.int "per-worker health rows" 2 (List.length ws);
+              List.iter
+                (fun w ->
+                  match Option.bind (J.member "state" w) J.to_str with
+                  | Some ("live" | "starting") -> ()
+                  | s ->
+                      Alcotest.failf "unexpected worker state %s"
+                        (Option.value ~default:"?" s))
+                ws
+          | _ -> Alcotest.fail "stats missing supervision.workers");
+          check Alcotest.int "no bundles" 0 (int_at [ "spool"; "bundles" ]);
           checkb "uptime present" true
-            (Option.bind (J.member "uptime_s" stats) J.to_float <> None);
-          checkb "pool width positive" true (int_at [ "pool_width" ] >= 1)))
+            (Option.bind (J.member "uptime_s" stats) J.to_float <> None)))
 
 (* ------------------------------------------------------------------ *)
 (* SIGTERM drain                                                       *)
@@ -611,6 +702,491 @@ let test_sigterm_drain () =
       checkb "socket removed" false (Sys.file_exists srv.path))
 
 (* ------------------------------------------------------------------ *)
+(* Shared plumbing units: chaos plans, outbufs, atomic writes, retry   *)
+
+let test_chaos_plan_parse () =
+  let module CS = Arde.Chaos.Serve in
+  (match CS.parse "kill:3,wedge:5" with
+  | Ok plan ->
+      checks "roundtrip" "kill:3,wedge:5" (CS.to_string plan);
+      checkb "fires on multiples" true (CS.fires plan ~count:6 = [ CS.Kill_self ]);
+      checkb "fires both" true
+        (CS.fires plan ~count:15 = [ CS.Kill_self; CS.Wedge ]);
+      checkb "quiet otherwise" true (CS.fires plan ~count:7 = [])
+  | Error e -> Alcotest.failf "parse: %s" e);
+  checkb "empty plan" true (CS.parse "" = Ok CS.empty);
+  List.iter
+    (fun s ->
+      match CS.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "kill:0"; "bogus:2"; "kill"; "kill:-3"; "kill:x" ]
+
+let test_outbuf_flush () =
+  let module U = Arde_server.Util in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  let ob = U.outbuf () in
+  U.outbuf_push ob "hello ";
+  U.outbuf_push ob "world";
+  checkb "buffered" false (U.outbuf_is_empty ob);
+  (match U.outbuf_flush ob a with
+  | U.Flushed -> ()
+  | _ -> Alcotest.fail "expected Flushed");
+  let buf = Bytes.create 64 in
+  let n = Unix.read b buf 0 64 in
+  checks "bytes arrive in order" "hello world" (Bytes.sub_string buf 0 n);
+  (* A closed peer surfaces as Peer_gone, not an exception. *)
+  Unix.close b;
+  U.outbuf_push ob "late";
+  (match U.outbuf_flush ob a with
+  | U.Peer_gone -> ()
+  | _ -> Alcotest.fail "expected Peer_gone");
+  Unix.close a
+
+let test_write_file_atomic () =
+  let module U = Arde_server.Util in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "arde-atomic-%d.txt" (Unix.getpid ()))
+  in
+  (match U.write_file_atomic path "first" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write: %s" e);
+  checkb "readable" true (U.read_file path = Ok "first");
+  (match U.write_file_atomic path "second" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rewrite: %s" e);
+  checkb "replaced atomically" true (U.read_file path = Ok "second");
+  Sys.remove path;
+  match U.write_file_atomic "/nonexistent-dir/x/y" "z" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrote into a missing directory"
+
+(* The retry schedule is bounded, exponential, jittered and
+   deterministic for a fixed seed; a dead socket burns the whole budget
+   and surfaces the transport error. *)
+let test_retry_schedule () =
+  let dead = fresh_socket () in
+  let delays = ref [] in
+  let schedule seed =
+    delays := [];
+    let policy =
+      C.retry_policy ~attempts:3 ~backoff_ms:50 ~max_backoff_ms:150
+        ~jitter_seed:seed
+        ~sleep:(fun d -> delays := d :: !delays)
+        ()
+    in
+    let outcome, retries =
+      C.submit_with_retry ~socket_path:dead ~policy ~program:busy_tir
+        ~mode:Arde.Config.Helgrind_lib
+        ~options:(Arde.Options.make ~seeds:[ 1 ] ~fuel:10 ())
+        ()
+    in
+    (match outcome with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "a dead socket produced a response");
+    check Alcotest.int "used the whole budget" 3 retries;
+    List.rev !delays
+  in
+  let d1 = schedule 42 in
+  check Alcotest.int "one delay per retry" 3 (List.length d1);
+  List.iteri
+    (fun i d ->
+      let nominal = float_of_int (min 150 (50 * (1 lsl i))) /. 1000. in
+      checkb
+        (Printf.sprintf "delay %d within jitter band (%.3f vs %.3f)" i d
+           nominal)
+        true
+        (d >= (0.5 *. nominal) -. 1e-9 && d < 1.5 *. nominal))
+    d1;
+  checkb "deterministic for equal seeds" true (schedule 42 = d1);
+  checkb "seed changes the schedule" true (schedule 43 <> d1)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-only serving: fault injection end to end                      *)
+
+let quick_options = Arde.Options.make ~seeds:[ 1; 2 ] ~fuel:2_000 ()
+
+let submit_quick ?(attempts = 0) srv case =
+  let policy =
+    C.retry_policy ~attempts ~backoff_ms:5 ~max_backoff_ms:50 ~jitter_seed:7
+      ()
+  in
+  C.submit_with_retry ~socket_path:srv.path ~policy
+    ~program:(Arde.Pretty.program_to_string case.W.Racey.program)
+    ~mode:Arde.Config.Helgrind_lib ~options:quick_options ()
+
+(* A worker SIGKILLed mid-request yields a structured [worker_crashed]
+   response on the same connection — never a dropped connection — plus
+   a sealed, replayable crash bundle. *)
+let test_worker_crash_structured () =
+  with_server ~workers:1 ~chaos_plan:"kill:1" (fun srv ->
+      let case = List.hd (identity_cases ()) in
+      let program = Arde.Pretty.program_to_string case.W.Racey.program in
+      with_client srv (fun cl ->
+          let resp =
+            ok_exn "run" (C.run cl ~program ~mode:Arde.Config.Helgrind_lib
+                            ~options:quick_options ())
+          in
+          checks "structured crash error" "worker_crashed" (error_code resp);
+          (* The same connection is still usable afterwards. *)
+          let pong = ok_exn "ping after crash" (C.ping cl) in
+          checkb "connection survived the crash" true (P.response_ok pong));
+      (* The journaled request was sealed into a bundle that replays
+         through the production parser to the same result the direct
+         driver produces. *)
+      let module Spool = Arde_server.Spool in
+      let spool = ok_exn "spool" (Spool.create ~root:srv.spool) in
+      match Spool.bundles spool with
+      | [] -> Alcotest.fail "no crash bundle sealed"
+      | bundle :: _ -> (
+          let meta = ok_exn "load bundle" (Spool.load bundle) in
+          let req_json = ok_exn "bundle request" (Spool.bundle_request meta) in
+          match P.parse_request (J.to_string req_json) with
+          | Ok (P.Run req) ->
+              checks "journaled program is verbatim" program req.P.rq_program;
+              let replayed =
+                Arde.detect ~options:req.P.rq_options req.P.rq_mode
+                  (Result.get_ok (Arde.Parse.program req.P.rq_program))
+              in
+              let local =
+                Arde.detect ~options:quick_options Arde.Config.Helgrind_lib
+                  case.W.Racey.program
+              in
+              checks "replay is byte-identical to the direct driver"
+                (J.to_string (Arde.Driver.result_to_json local))
+                (J.to_string (Arde.Driver.result_to_json replayed))
+          | Ok _ -> Alcotest.fail "bundle holds a non-run request"
+          | Error (_, _, e) -> Alcotest.failf "bundle request unparsable: %s" e))
+
+(* 200 requests against a fleet whose workers are killed every 8th
+   execution: with retries enabled every client completes (none hang),
+   every completed report is byte-identical to the direct driver, and
+   the restart count stays proportional to the injected crashes. *)
+let test_crash_storm () =
+  let cases = identity_cases () in
+  let expected =
+    List.map
+      (fun c ->
+        ( c.W.Racey.name,
+          J.to_string
+            (Arde.Driver.result_to_json
+               (Arde.detect ~options:quick_options Arde.Config.Helgrind_lib
+                  c.W.Racey.program)) ))
+      cases
+  in
+  with_server ~workers:2 ~chaos_plan:"kill:8" (fun srv ->
+      let total = 200 and clients = 4 in
+      let per_client = total / clients in
+      let client_body ci () =
+        let failures = ref [] in
+        let retries = ref 0 in
+        for r = 1 to per_client do
+          let case =
+            List.nth cases ((ci + r) mod List.length cases)
+          in
+          let outcome, attempts = submit_quick ~attempts:10 srv case in
+          retries := !retries + attempts;
+          match outcome with
+          | Error e ->
+              failures :=
+                Printf.sprintf "client %d req %d: %s" ci r e :: !failures
+          | Ok resp when not (P.response_ok resp) ->
+              failures :=
+                Printf.sprintf "client %d req %d: %s" ci r (error_code resp)
+                :: !failures
+          | Ok resp -> (
+              match J.member "result" resp with
+              | None ->
+                  failures :=
+                    Printf.sprintf "client %d req %d: no result" ci r
+                    :: !failures
+              | Some result ->
+                  if
+                    J.to_string result <> List.assoc case.W.Racey.name expected
+                  then
+                    failures :=
+                      Printf.sprintf "client %d req %d: result diverged on %s"
+                        ci r case.W.Racey.name
+                      :: !failures)
+        done;
+        (List.rev !failures, !retries)
+      in
+      let domains = List.init clients (fun ci -> Domain.spawn (client_body ci)) in
+      let results = List.map Domain.join domains in
+      let failures = List.concat_map fst results in
+      let retries = List.fold_left (fun acc (_, r) -> acc + r) 0 results in
+      check (Alcotest.list Alcotest.string) "every request completed" []
+        failures;
+      checkb "the chaos plan actually fired" true (retries > 0);
+      with_client srv (fun cl ->
+          let stats =
+            Option.value ~default:J.Null
+              (J.member "stats" (ok_exn "stats" (C.stats cl)))
+          in
+          let int_at path =
+            match
+              Option.bind
+                (List.fold_left
+                   (fun j k -> Option.bind j (J.member k))
+                   (Some stats) path)
+                J.to_int
+            with
+            | Some n -> n
+            | None -> Alcotest.failf "stats missing %s" (String.concat "." path)
+          in
+          let crashes = int_at [ "supervision"; "crashes" ] in
+          let restarts = int_at [ "supervision"; "restarts" ] in
+          checkb "crashes happened" true (crashes > 0);
+          (* Every injected kill fires once per 8 executions; executions
+             are the 200 requests plus their retries.  Restarts may not
+             exceed the injected crash budget (no restart storms of our
+             own making). *)
+          let execs = total + retries in
+          checkb
+            (Printf.sprintf "restarts bounded (%d restarts, %d crashes, %d \
+                             executions)"
+               restarts crashes execs)
+            true
+            (restarts <= (execs / 8) + 2);
+          check Alcotest.int "server counted the retried requests"
+            retries
+            (int_at [ "requests"; "retries" ]);
+          checkb "bundles sealed for the crashes" true
+            (int_at [ "supervision"; "bundles_sealed" ] > 0)))
+
+(* A wedged worker (ignores all cooperative cancellation) trips the
+   watchdog, is SIGKILLed, and the request is answered with a
+   structured error naming the watchdog. *)
+let test_watchdog_kills_wedged_worker () =
+  with_server ~workers:1 ~watchdog_ms:400 ~chaos_plan:"wedge:2" (fun srv ->
+      let case = List.hd (identity_cases ()) in
+      with_client srv (fun cl ->
+          let program = Arde.Pretty.program_to_string case.W.Racey.program in
+          let run () =
+            ok_exn "run"
+              (C.run cl ~program ~mode:Arde.Config.Helgrind_lib
+                 ~options:quick_options ())
+          in
+          let first = run () in
+          checkb "first request fine" true (P.response_ok first);
+          let second = run () in
+          checks "wedged request -> structured error" "worker_crashed"
+            (error_code second);
+          (match P.response_error second with
+          | Some (_, msg) ->
+              checkb
+                (Printf.sprintf "reason names the watchdog: %s" msg)
+                true
+                (Astring.String.is_infix ~affix:"watchdog" msg)
+          | None -> Alcotest.fail "no error payload");
+          await_stats cl ~what:"watchdog kill counted"
+            (fun ~int_at ~bool_at:_ ->
+              int_at [ "supervision"; "watchdog_kills" ] = Some 1)));
+  ()
+
+(* A worker that dies mid-reply (torn frame) must be treated as a
+   crash, not parsed as a response. *)
+let test_torn_reply_frame () =
+  with_server ~workers:1 ~chaos_plan:"torn:2" (fun srv ->
+      let case = List.hd (identity_cases ()) in
+      with_client srv (fun cl ->
+          let program = Arde.Pretty.program_to_string case.W.Racey.program in
+          let run () =
+            ok_exn "run"
+              (C.run cl ~program ~mode:Arde.Config.Helgrind_lib
+                 ~options:quick_options ())
+          in
+          checkb "first request fine" true (P.response_ok (run ()));
+          let second = run () in
+          checks "torn reply -> structured error" "worker_crashed"
+            (error_code second);
+          match P.response_error second with
+          | Some (_, msg) ->
+              checkb
+                (Printf.sprintf "reason names the torn stream: %s" msg)
+                true
+                (Astring.String.is_infix ~affix:"torn" msg)
+          | None -> Alcotest.fail "no error payload"))
+
+(* Spool writes are best-effort: a full disk (injected ENOSPC) must not
+   fail the request, only mark it in the stats. *)
+let test_spool_enospc_not_fatal () =
+  with_server ~workers:1 ~chaos_plan:"spool:2" (fun srv ->
+      let case = List.hd (identity_cases ()) in
+      with_client srv (fun cl ->
+          let program = Arde.Pretty.program_to_string case.W.Racey.program in
+          let run () =
+            ok_exn "run"
+              (C.run cl ~program ~mode:Arde.Config.Helgrind_lib
+                 ~options:quick_options ())
+          in
+          checkb "first request fine" true (P.response_ok (run ()));
+          checkb "unjournaled request still served" true
+            (P.response_ok (run ()));
+          await_stats cl ~what:"spool error counted"
+            (fun ~int_at ~bool_at:_ ->
+              int_at [ "requests"; "spool_errors" ] = Some 1)))
+
+(* Crash-looping every single request trips the restart-storm circuit
+   breaker: the slot is marked broken and further requests are refused
+   immediately with a structured error instead of queueing behind a
+   doomed restart loop. *)
+let test_restart_storm_circuit_breaker () =
+  with_server ~workers:1 ~chaos_plan:"kill:1" ~breaker_threshold:3
+    ~breaker_window_s:30. (fun srv ->
+      let case = List.hd (identity_cases ()) in
+      let program = Arde.Pretty.program_to_string case.W.Racey.program in
+      let crash_once () =
+        with_client srv (fun cl ->
+            let resp =
+              ok_exn "run"
+                (C.run cl ~program ~mode:Arde.Config.Helgrind_lib
+                   ~options:quick_options ())
+            in
+            checks "every request crashes" "worker_crashed" (error_code resp))
+      in
+      crash_once ();
+      crash_once ();
+      crash_once ();
+      with_client srv (fun cl ->
+          await_stats cl ~what:"circuit open"
+            (fun ~int_at ~bool_at:_ ->
+              int_at [ "supervision"; "breaker_open" ] = Some 1);
+          let resp =
+            ok_exn "run against a broken fleet"
+              (C.run cl ~program ~mode:Arde.Config.Helgrind_lib
+                 ~options:quick_options ())
+          in
+          checks "refused while broken" "worker_crashed" (error_code resp);
+          match P.response_error resp with
+          | Some (_, msg) ->
+              checkb
+                (Printf.sprintf "refusal names the circuit: %s" msg)
+                true
+                (Astring.String.is_infix ~affix:"circuit" msg)
+          | None -> Alcotest.fail "no error payload"))
+
+(* A request whose deadline elapses while still queued is cancelled
+   without touching a worker, releases its admission slot, and is
+   answered with [deadline_expired]. *)
+let test_deadline_expires_in_queue () =
+  with_server ~workers:1 (fun srv ->
+      with_client srv (fun blocker ->
+          ignore
+            (ok_exn "send slow"
+               (C.send_frame blocker
+                  (J.to_string
+                     (P.run_request_json ~id:(J.Int 0) ~program:busy_tir
+                        ~mode:Arde.Config.Helgrind_lib
+                        ~options:
+                          (Arde.Options.make ~seeds:[ 1 ] ~fuel:20_000_000 ())
+                        ()))));
+          with_client srv (fun cl ->
+              await_stats cl ~what:"blocker in flight"
+                (fun ~int_at ~bool_at:_ ->
+                  int_at [ "queue"; "in_flight" ] = Some 1);
+              let resp =
+                ok_exn "queued run with a tight deadline"
+                  (C.run cl ~deadline_ms:100 ~program:busy_tir
+                     ~mode:Arde.Config.Helgrind_lib ~options:quick_options ())
+              in
+              checks "expired in the queue" "deadline_expired"
+                (error_code resp);
+              await_stats cl ~what:"cancellation released the slot"
+                (fun ~int_at ~bool_at:_ ->
+                  int_at [ "queue"; "cancelled" ] = Some 1
+                  && int_at [ "queue"; "depth" ] = Some 0));
+          let resp = ok_exn "blocker completes" (C.recv blocker) in
+          checkb "blocker unaffected" true (P.response_ok resp)))
+
+(* SIGTERM landing while a cold program (never parsed by any worker) is
+   queued: the drain must still execute it to completion. *)
+let test_drain_races_cold_fill () =
+  let srv = start ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf srv.spool)
+    (fun () ->
+      let case = List.hd (List.rev (identity_cases ())) in
+      let cl = connect srv in
+      ignore
+        (ok_exn "send cold request"
+           (C.send_frame cl
+              (J.to_string
+                 (P.run_request_json ~id:(J.Int 1)
+                    ~program:
+                      (Arde.Pretty.program_to_string case.W.Racey.program)
+                    ~mode:Arde.Config.Helgrind_lib ~options:quick_options ()))));
+      (* Drain as soon as the request is admitted — typically before the
+         cold worker has even said hello, so the request races the cold
+         start as well as the cache fill.  (Drain before admission would
+         be a plain structured refusal, which is not this test.) *)
+      with_client srv (fun probe ->
+          await_stats probe ~what:"cold request admitted"
+            (fun ~int_at ~bool_at:_ ->
+              match
+                (int_at [ "queue"; "depth" ], int_at [ "queue"; "in_flight" ])
+              with
+              | Some d, Some f -> d + f >= 1
+              | _ -> false));
+      S.initiate_drain srv.t;
+      let resp = ok_exn "cold response under drain" (C.recv cl) in
+      checkb "cold request completed during drain" true (P.response_ok resp);
+      checks "byte-identical to the direct driver"
+        (J.to_string
+           (Arde.Driver.result_to_json
+              (Arde.detect ~options:quick_options Arde.Config.Helgrind_lib
+                 case.W.Racey.program)))
+        (J.to_string
+           (Option.value ~default:J.Null (J.member "result" resp)));
+      C.close cl;
+      Domain.join srv.runner;
+      checkb "socket removed" false (Sys.file_exists srv.path))
+
+(* A client that vanishes mid-request must cost nothing but the wasted
+   work: no crash, no wedged slot, and the next client is served. *)
+let test_client_disconnect_mid_response () =
+  with_server ~workers:1 (fun srv ->
+      let case = List.hd (identity_cases ()) in
+      (* In flight: the worker is executing when the client dies. *)
+      let doomed = connect srv in
+      ignore
+        (ok_exn "send"
+           (C.send_frame doomed
+              (J.to_string
+                 (P.run_request_json ~id:(J.Int 1) ~program:busy_tir
+                    ~mode:Arde.Config.Helgrind_lib
+                    ~options:(Arde.Options.make ~seeds:[ 1 ] ~fuel:2_000_000 ())
+                    ()))));
+      with_client srv (fun cl ->
+          await_stats cl ~what:"doomed request in flight"
+            (fun ~int_at ~bool_at:_ ->
+              int_at [ "queue"; "in_flight" ] = Some 1);
+          C.close doomed;
+          (* Still queued when the client dies: dropped at dispatch. *)
+          let doomed2 = connect srv in
+          ignore
+            (ok_exn "send queued"
+               (C.send_frame doomed2
+                  (J.to_string
+                     (P.run_request_json ~id:(J.Int 2) ~program:busy_tir
+                        ~mode:Arde.Config.Helgrind_lib ~options:quick_options
+                        ()))));
+          C.close doomed2;
+          let resp =
+            ok_exn "next client"
+              (C.run cl
+                 ~program:(Arde.Pretty.program_to_string case.W.Racey.program)
+                 ~mode:Arde.Config.Helgrind_lib ~options:quick_options ())
+          in
+          checkb "server healthy after disconnects" true (P.response_ok resp);
+          await_stats cl ~what:"no crashes from disconnects"
+            (fun ~int_at ~bool_at:_ ->
+              int_at [ "supervision"; "crashes" ] = Some 0
+              && int_at [ "queue"; "in_flight" ] = Some 0)))
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -641,4 +1217,32 @@ let suite =
     Alcotest.test_case "stats report outcomes, queue and caches" `Quick
       test_stats;
     Alcotest.test_case "SIGTERM drains gracefully" `Quick test_sigterm_drain;
+    Alcotest.test_case "refused and cancelled requests release capacity"
+      `Quick test_scheduler_capacity_recovery;
+    Alcotest.test_case "chaos plans parse, print and fire deterministically"
+      `Quick test_chaos_plan_parse;
+    Alcotest.test_case "outbuf flushes in order and reports dead peers"
+      `Quick test_outbuf_flush;
+    Alcotest.test_case "atomic file writes replace, never tear" `Quick
+      test_write_file_atomic;
+    Alcotest.test_case "retry schedule is bounded, jittered, deterministic"
+      `Quick test_retry_schedule;
+    Alcotest.test_case "worker crash -> structured error + replayable bundle"
+      `Quick test_worker_crash_structured;
+    Alcotest.test_case "crash storm: 200 requests, zero hung clients" `Quick
+      test_crash_storm;
+    Alcotest.test_case "watchdog SIGKILLs wedged workers" `Quick
+      test_watchdog_kills_wedged_worker;
+    Alcotest.test_case "torn reply frames are crashes, not responses" `Quick
+      test_torn_reply_frame;
+    Alcotest.test_case "spool ENOSPC is not fatal to the request" `Quick
+      test_spool_enospc_not_fatal;
+    Alcotest.test_case "restart storms trip the circuit breaker" `Quick
+      test_restart_storm_circuit_breaker;
+    Alcotest.test_case "deadlines expire queued requests in place" `Quick
+      test_deadline_expires_in_queue;
+    Alcotest.test_case "drain races a cold-cache fill" `Quick
+      test_drain_races_cold_fill;
+    Alcotest.test_case "client disconnect mid-response is survivable" `Quick
+      test_client_disconnect_mid_response;
   ]
