@@ -149,7 +149,13 @@ let parallel_bench ~out () =
   let seeds = List.init 16 (fun i -> i + 1) in
   let opts jobs = Arde.Options.make ~seeds ~fuel:400_000 ~jobs () in
   let run_all jobs =
-    List.iter (fun p -> ignore (Arde.detect ~options:(opts jobs) mode p)) progs
+    List.iter
+      (fun p ->
+        ignore
+          (Arde.detect
+             ~ctx:(Arde.Driver.ctx ~options:(opts jobs) ())
+             ~mode (Arde.Input.Program p)))
+      progs
   in
   (* per-stage wall times, measured fresh on one representative *)
   let rep = List.hd progs in
@@ -181,8 +187,12 @@ let parallel_bench ~out () =
   (* acceptance probe: a 5-seed run against the warm cache records hits *)
   Arde.Analysis_cache.reset_stats ();
   ignore
-    (Arde.detect ~options:(Arde.Options.make ~seeds:[ 1; 2; 3; 4; 5 ] ()) mode
-       rep);
+    (Arde.detect
+       ~ctx:
+         (Arde.Driver.ctx
+            ~options:(Arde.Options.make ~seeds:[ 1; 2; 3; 4; 5 ] ())
+            ())
+       ~mode (Arde.Input.Program rep));
   let cs = Arde.Analysis_cache.stats () in
   let json =
     J.Obj
@@ -276,6 +286,33 @@ let machine_bench ~out () =
   | [] -> ()
   | failures ->
       List.iter (Printf.eprintf "bench machine: FAIL: %s\n") failures;
+      exit 1
+
+(* ---- the record/replay benchmark ----
+
+   `bench replay [-o PATH]` prices the recording sink against the bare
+   machine's quiet fast path, and replayed detection against the live
+   run it reproduces, writing both halves (plus trace size per event and
+   the byte-identity verdict) to BENCH_replay.json.  Exits non-zero when
+   the CI gate fails: any replayed result diverging from its live run,
+   or recording overhead above 1.1x quiet on streamcluster under
+   nolib+spin(7). *)
+
+let replay_bench ~out () =
+  let module J = Arde.Json in
+  let rows = Arde_harness.Replay_bench.run ~repeats:5 () in
+  section "Record/replay: sink overhead and replay throughput";
+  print_string (Arde_harness.Replay_bench.render rows);
+  let oc = open_out out in
+  output_string oc
+    (J.to_string ~minify:false (Arde_harness.Replay_bench.to_json rows));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  match Arde_harness.Replay_bench.gate rows with
+  | [] -> ()
+  | failures ->
+      List.iter (Printf.eprintf "bench replay: FAIL: %s\n") failures;
       exit 1
 
 (* ---- golden-trace fixture generator ----
@@ -497,7 +534,11 @@ let serve_bench ~out () =
             Arde.Analysis_cache.clear ();
             match Arde.Parse.program text with
             | Error _ -> ()
-            | Ok p -> ignore (Arde.detect ~options mode p))
+            | Ok p ->
+                ignore
+                  (Arde.detect
+                     ~ctx:(Arde.Driver.ctx ~options ())
+                     ~mode (Arde.Input.Program p)))
           one_round;
         ("in-process", Unix.gettimeofday () -. t0)
   in
@@ -790,6 +831,13 @@ let () =
       ~out:
         (match out_path args with
         | "BENCH_parallel.json" -> "BENCH_engine.json"
+        | p -> p)
+      ()
+  else if List.mem "replay" args then
+    replay_bench
+      ~out:
+        (match out_path args with
+        | "BENCH_parallel.json" -> "BENCH_replay.json"
         | p -> p)
       ()
   else if List.mem "parallel" args then parallel_bench ~out:(out_path args) ()

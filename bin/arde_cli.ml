@@ -250,6 +250,76 @@ let spin_report_cmd =
        ~doc:"Run the instrumentation phase and report spinning read loops.")
     Term.(const run $ name_arg $ lower_arg $ k_arg)
 
+(* ---- run / replay shared output ----
+   One renderer behind both `arde run` and `arde replay` (and the
+   local half of record --detect): the result prints identically
+   whether it came from a live run or a trace. *)
+
+let render_result ~format ~workload ?case ?analysis_cache result =
+  let health = result.Arde.Driver.health in
+  let code =
+    exit_code
+      ~races:(Arde.Report.n_contexts result.Arde.Driver.merged > 0)
+      health
+  in
+  let verdict =
+    Option.map
+      (fun c ->
+        Arde.Classify.classify c.W.Racey.expectation
+          ~reported:(Arde.Driver.racy_bases result))
+      case
+  in
+  match format with
+  | Json -> (
+      (* Built from the serialized result by the same function
+         `arde submit` uses, so the two paths stay byte-identical. *)
+      match
+        Arde_server.Protocol.run_output ~workload
+          ?expectation:(Option.map (fun c -> c.W.Racey.expectation) case)
+          ?analysis_cache
+          (Arde.Driver.result_to_json result)
+      with
+      | Ok (obj, code) ->
+          print_json obj;
+          code
+      | Error e ->
+          prerr_endline ("internal: malformed result json: " ^ e);
+          3)
+  | Text ->
+      Printf.printf "mode: %s   spin loops found: %d\n"
+        (Arde.Config.mode_name result.Arde.Driver.mode)
+        result.Arde.Driver.n_spin_loops;
+      List.iter
+        (fun sr ->
+          Format.printf "seed %d: %a, %d steps, %d contexts, %d spin edges@."
+            sr.Arde.Driver.sr_seed Arde.Driver.pp_seed_outcome
+            sr.Arde.Driver.sr_outcome sr.Arde.Driver.sr_steps
+            sr.Arde.Driver.sr_contexts sr.Arde.Driver.sr_spin_edges)
+        result.Arde.Driver.runs;
+      Format.printf "%a@." Arde.Report.pp result.Arde.Driver.merged;
+      List.iter
+        (fun d -> Format.printf "static: %a@." Arde.Cv_checker.pp_diagnostic d)
+        result.Arde.Driver.static_cv_hazards;
+      List.iter
+        (fun sr ->
+          List.iter
+            (fun d ->
+              Format.printf "seed %d: %a@." sr.Arde.Driver.sr_seed
+                Arde.Cv_checker.pp_diagnostic d)
+            sr.Arde.Driver.sr_cv_diagnostics)
+        result.Arde.Driver.runs;
+      (match verdict with
+      | None -> ()
+      | Some v ->
+          Format.printf "verdict: %s (%a)@."
+            (match Arde.Classify.outcome_of v with
+            | Arde.Classify.Correct -> "correctly analyzed"
+            | Arde.Classify.False_alarm -> "FALSE ALARM"
+            | Arde.Classify.Missed_race -> "MISSED RACE")
+            Arde.Classify.pp_verdict v);
+      Format.printf "health: %a@." Arde.Driver.pp_health health;
+      code
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -261,76 +331,18 @@ let run_cmd =
     | Ok (p, case) ->
         let options = opts Arde.Options.default in
         let before = Arde.Analysis_cache.stats () in
-        let result = Arde.detect ~options mode p in
+        let result =
+          Arde.detect ~ctx:(Arde.Driver.ctx ~options ()) ~mode
+            (Arde.Input.Program p)
+        in
         let cache_delta =
           Arde.Analysis_cache.stats_delta ~before
             ~after:(Arde.Analysis_cache.stats ())
         in
-        let health = result.Arde.Driver.health in
-        let code =
-          exit_code
-            ~races:(Arde.Report.n_contexts result.Arde.Driver.merged > 0)
-            health
-        in
-        let verdict =
-          Option.map
-            (fun c ->
-              Arde.Classify.classify c.W.Racey.expectation
-                ~reported:(Arde.Driver.racy_bases result))
-            case
-        in
-        (match format with
-        | Json -> (
-            (* Built from the serialized result by the same function
-               `arde submit` uses, so the two paths stay byte-identical. *)
-            match
-              Arde_server.Protocol.run_output ~workload:name
-                ?expectation:(Option.map (fun c -> c.W.Racey.expectation) case)
-                ~analysis_cache:(Arde.Analysis_cache.stats_to_json cache_delta)
-                (Arde.Driver.result_to_json result)
-            with
-            | Ok (obj, code) ->
-                print_json obj;
-                exit code
-            | Error e ->
-                prerr_endline ("internal: malformed result json: " ^ e);
-                exit 3)
-        | Text ->
-            Printf.printf "mode: %s   spin loops found: %d\n"
-              (Arde.Config.mode_name mode)
-              result.Arde.Driver.n_spin_loops;
-            List.iter
-              (fun sr ->
-                Format.printf
-                  "seed %d: %a, %d steps, %d contexts, %d spin edges@."
-                  sr.Arde.Driver.sr_seed Arde.Driver.pp_seed_outcome
-                  sr.Arde.Driver.sr_outcome sr.Arde.Driver.sr_steps
-                  sr.Arde.Driver.sr_contexts sr.Arde.Driver.sr_spin_edges)
-              result.Arde.Driver.runs;
-            Format.printf "%a@." Arde.Report.pp result.Arde.Driver.merged;
-            List.iter
-              (fun d ->
-                Format.printf "static: %a@." Arde.Cv_checker.pp_diagnostic d)
-              result.Arde.Driver.static_cv_hazards;
-            List.iter
-              (fun sr ->
-                List.iter
-                  (fun d ->
-                    Format.printf "seed %d: %a@." sr.Arde.Driver.sr_seed
-                      Arde.Cv_checker.pp_diagnostic d)
-                  sr.Arde.Driver.sr_cv_diagnostics)
-              result.Arde.Driver.runs;
-            (match verdict with
-            | None -> ()
-            | Some v ->
-                Format.printf "verdict: %s (%a)@."
-                  (match Arde.Classify.outcome_of v with
-                  | Arde.Classify.Correct -> "correctly analyzed"
-                  | Arde.Classify.False_alarm -> "FALSE ALARM"
-                  | Arde.Classify.Missed_race -> "MISSED RACE")
-                  Arde.Classify.pp_verdict v);
-            Format.printf "health: %a@." Arde.Driver.pp_health health);
-        exit code
+        exit
+          (render_result ~format ~workload:name ?case
+             ~analysis_cache:(Arde.Analysis_cache.stats_to_json cache_delta)
+             result)
   in
   Cmd.v
     (Cmd.info "run"
@@ -338,6 +350,179 @@ let run_cmd =
          "Run a workload under a detector configuration.  Exit codes: 0 \
           clean, 1 races reported, 2 degraded run, 3 failed run.")
     Term.(const run $ name_arg $ mode_arg $ common_opts $ format_arg)
+
+(* ---- record / replay ---- *)
+
+let read_binary_file path =
+  match open_in_bin path with
+  | ic ->
+      let len = in_channel_length ic in
+      let data = really_input_string ic len in
+      close_in ic;
+      Ok data
+  | exception Sys_error e -> Error e
+
+let write_binary_file path data =
+  match open_out_bin path with
+  | oc -> (
+      match
+        output_string oc data;
+        close_out oc
+      with
+      | () -> Ok ()
+      | exception Sys_error e -> Error e)
+  | exception Sys_error e -> Error e
+
+let record_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the binary trace.")
+  in
+  let detect_arg =
+    Arg.(
+      value & flag
+      & info [ "detect" ]
+          ~doc:
+            "Run the full detection pipeline alongside the recording and \
+             print its result (exit codes as $(b,arde run)); without it \
+             only the cheap recording pass runs and the exit code is 0.")
+  in
+  let run name mode opts out detect_too format =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok (p, case) ->
+        let options = opts Arde.Options.default in
+        let ctx = Arde.Driver.ctx ~options () in
+        (match
+           Arde.record ~ctx ~mode ~detect:detect_too ~source:name
+             (Arde.Input.Program p)
+         with
+        | Error e ->
+            prerr_endline ("record: " ^ e);
+            exit 3
+        | Ok { Arde.Driver.rec_trace; rec_result } -> (
+            (match write_binary_file out rec_trace with
+            | Ok () -> ()
+            | Error e ->
+                prerr_endline ("record: " ^ e);
+                exit 3);
+            Printf.eprintf "recorded %s under %s: %d seed(s), %d bytes -> %s\n%!"
+              name
+              (Arde.Config.mode_name mode)
+              (List.length options.Arde.Options.seeds)
+              (String.length rec_trace) out;
+            match rec_result with
+            | None -> exit 0
+            | Some result ->
+                exit (render_result ~format ~workload:name ?case result)))
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Execute a workload with the trace sink attached and write the \
+          compact binary trace; $(b,arde replay) later reproduces the \
+          detection results byte-for-byte without re-running the machine.")
+    Term.(
+      const run $ name_arg $ mode_arg $ common_opts $ out_arg $ detect_arg
+      $ format_arg)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"A binary trace written by arde record.")
+  in
+  let socket_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Submit the trace to a running $(b,arde serve) daemon (the \
+             replay-farm path) instead of replaying locally.")
+  in
+  let run file socket format =
+    match read_binary_file file with
+    | Error e ->
+        prerr_endline ("replay: " ^ e);
+        exit 4
+    | Ok trace -> (
+        (* Label the output (and classify labelled catalog cases) by the
+           recorded source, same as the local path — the header read is
+           cheap and skips the event bodies. *)
+        let workload, case =
+          match Arde.Trace_codec.read_header trace with
+          | Ok { Arde.Trace_codec.h_source = ""; _ } | Error _ -> (file, None)
+          | Ok { Arde.Trace_codec.h_source = s; _ } -> (
+              match W.Catalog.find s with
+              | Some (W.Catalog.Case c) -> (s, Some c)
+              | _ -> (s, None))
+        in
+        match socket with
+        | Some socket_path -> (
+            let reply, _attempts =
+              Arde_server.Client.submit_trace_with_retry ~socket_path
+                ~policy:Arde_server.Client.no_retry ~trace ()
+            in
+            match reply with
+            | Error e ->
+                prerr_endline ("replay: " ^ e);
+                exit 4
+            | Ok resp when not (Arde_server.Protocol.response_ok resp) -> (
+                match Arde_server.Protocol.response_error resp with
+                | Some (code, msg) ->
+                    Printf.eprintf "replay: server error (%s): %s\n" code msg;
+                    exit 4
+                | None ->
+                    prerr_endline "replay: malformed server response";
+                    exit 4)
+            | Ok resp -> (
+                match Arde.Json.member "result" resp with
+                | None ->
+                    prerr_endline "replay: response carries no result";
+                    exit 4
+                | Some result_json -> (
+                    match
+                      Arde_server.Protocol.run_output ~workload
+                        ?expectation:
+                          (Option.map
+                             (fun c -> c.W.Racey.expectation)
+                             case)
+                        ?analysis_cache:
+                          (Arde.Json.member "analysis_cache" resp)
+                        result_json
+                    with
+                    | Ok (obj, code) ->
+                        print_json obj;
+                        exit code
+                    | Error e ->
+                        prerr_endline ("replay: malformed result json: " ^ e);
+                        exit 4)))
+        | None -> (
+            match Arde.Recorded.of_string trace with
+            | Error e ->
+                prerr_endline ("replay: " ^ file ^ ": " ^ e);
+                exit 4
+            | Ok recorded ->
+                let result =
+                  Arde.detect (Arde.Input.Recorded_trace recorded)
+                in
+                exit (render_result ~format ~workload ?case result)))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a recorded binary trace through the detector without \
+          re-executing the program; the output (and exit code 0-3) is \
+          byte-identical to the run that recorded it.  Exit 4 on an \
+          unreadable trace or a transport error.")
+    Term.(const run $ file_arg $ socket_opt_arg $ format_arg)
 
 (* ---- trace ---- *)
 
@@ -378,9 +563,111 @@ let trace_cmd =
           (fun tid n -> if n > 0 then Format.printf "  T%d: %d steps@." tid n)
           res.Arde.Machine.thread_steps
   in
-  Cmd.v
-    (Cmd.info "trace" ~doc:"Dump a machine event trace.")
-    Term.(const run $ name_arg $ seed_arg $ limit_arg $ lower_arg)
+  let dump_term = Term.(const run $ name_arg $ seed_arg $ limit_arg $ lower_arg) in
+  let codec_outcome_name =
+    let module C = Arde.Trace_codec in
+    function
+    | C.Finished -> "finished"
+    | C.Deadlock tids ->
+        Printf.sprintf "deadlock [%s]"
+          (String.concat ", " (List.map string_of_int tids))
+    | C.Fuel_exhausted -> "fuel-exhausted"
+    | C.Livelock sites ->
+        Printf.sprintf "livelock (%d site%s)" (List.length sites)
+          (if List.length sites = 1 then "" else "s")
+    | C.Fault { ftid; msg; _ } -> Printf.sprintf "fault T%d: %s" ftid msg
+    | C.Crashed (_, msg) -> "crashed: " ^ msg
+    | C.Cancelled -> "cancelled"
+  in
+  let info_cmd =
+    let file_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"TRACE" ~doc:"A binary trace written by arde record.")
+    in
+    (* Header and per-seed framing only: event bodies are skipped, never
+       decoded, so this stays fast on huge traces. *)
+    let run file format =
+      match read_binary_file file with
+      | Error e ->
+          prerr_endline ("trace info: " ^ e);
+          exit 4
+      | Ok data -> (
+          match Arde.Trace_codec.read_info data with
+          | Error e ->
+              prerr_endline
+                ("trace info: " ^ file ^ ": "
+                ^ Arde.Trace_codec.error_to_string e);
+              exit 4
+          | Ok (h, summaries) -> (
+              let module C = Arde.Trace_codec in
+              match format with
+              | Json ->
+                  let module J = Arde.Json in
+                  let options_json =
+                    match J.parse h.C.h_options with
+                    | Ok j -> j
+                    | Error _ -> J.String h.C.h_options
+                  in
+                  print_json
+                    (J.Obj
+                       [
+                         ("version", J.Int C.format_version);
+                         ("digest", J.String h.C.h_digest);
+                         ("mode", J.String h.C.h_mode);
+                         ("source", J.String h.C.h_source);
+                         ("options", options_json);
+                         ("program_bytes", J.Int (String.length h.C.h_program));
+                         ("trace_bytes", J.Int (String.length data));
+                         ( "seeds",
+                           J.List
+                             (List.map
+                                (fun s ->
+                                  J.Obj
+                                    [
+                                      ("seed", J.Int s.C.y_seed);
+                                      ("events", J.Int s.C.y_n_events);
+                                      ("bytes", J.Int s.C.y_bytes);
+                                      ("steps", J.Int s.C.y_steps);
+                                      ( "outcome",
+                                        J.String
+                                          (codec_outcome_name s.C.y_outcome)
+                                      );
+                                    ])
+                                summaries) );
+                       ])
+              | Text ->
+                  Printf.printf "trace:   %s (%d bytes, format v%d)\n" file
+                    (String.length data) C.format_version;
+                  Printf.printf "source:  %s\n"
+                    (if h.C.h_source = "" then "(none)" else h.C.h_source);
+                  Printf.printf "mode:    %s\n" h.C.h_mode;
+                  Printf.printf "digest:  %s\n" h.C.h_digest;
+                  Printf.printf "options: %s\n" h.C.h_options;
+                  Printf.printf "program: %d bytes of canonical TIR\n"
+                    (String.length h.C.h_program);
+                  List.iter
+                    (fun s ->
+                      Printf.printf
+                        "seed %4d: %7d events, %7d bytes, %8d steps, %s\n"
+                        s.C.y_seed s.C.y_n_events s.C.y_bytes s.C.y_steps
+                        (codec_outcome_name s.C.y_outcome))
+                    summaries))
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:
+           "Print a binary trace's header and per-seed summaries without \
+            decoding any event body.")
+      Term.(const run $ file_arg $ format_arg)
+  in
+  Cmd.group ~default:dump_term
+    (Cmd.info "trace"
+       ~doc:
+         "Dump a machine event trace (default), or inspect recorded binary \
+          traces with $(b,arde trace info).")
+    [ info_cmd ]
 
 (* ---- compare ---- *)
 
@@ -783,60 +1070,97 @@ let postmortem_cmd =
             | Ok (P.Ping _ | P.Stats _) ->
                 prerr_endline "postmortem: bundle holds a non-run request";
                 exit 1
-            | Ok (P.Run req) -> (
+            | Ok (P.Run req) ->
                 let meta_field name =
                   match J.member name meta with
                   | Some ((J.String _ | J.Int _ | J.Float _) as v) ->
                       [ (name, v) ]
                   | _ -> []
                 in
-                match Arde.Parse.program req.P.rq_program with
-                | Error e ->
-                    Printf.eprintf "postmortem: program: %s\n"
-                      (Arde.Parse.error_to_string e);
-                    exit 1
-                | Ok program ->
-                    let pool =
-                      Arde.Domain_pool.create
-                        ~jobs:
-                          (match jobs with
-                          | Some j when j > 0 -> j
-                          | _ -> Arde.Domain_pool.default_jobs ())
-                    in
-                    let started = Unix.gettimeofday () in
-                    let should_stop =
-                      match req.P.rq_deadline_ms with
-                      | None -> fun () -> false
-                      | Some ms ->
-                          fun () ->
-                            (Unix.gettimeofday () -. started) *. 1000.
-                            > float_of_int ms
-                    in
-                    let response =
-                      match
-                        Arde.detect ~options:req.P.rq_options ~pool
-                          ~should_stop
-                          ~program_digest:(Digest.string req.P.rq_program)
-                          req.P.rq_mode program
-                      with
-                      | result ->
-                          P.ok_response ~id:req.P.rq_id
-                            [ ("result", Arde.Driver.result_to_json result) ]
-                      | exception e ->
-                          P.error_response ~id:req.P.rq_id P.Internal
-                            (Printexc.to_string e)
-                    in
-                    Arde.Domain_pool.shutdown pool;
-                    print_json
-                      (J.Obj
-                         ([ ("bundle", J.String bundle) ]
-                         @ meta_field "crash_reason"
-                         @ meta_field "sealed_at"
-                         @ meta_field "worker"
-                         @ meta_field "pid"
-                         @ meta_field "digest"
-                         @ [ ("response", response) ]));
-                    exit (if P.response_ok response then 0 else 3))))
+                (* Prefer the sealed trace: a record-mode request that
+                   died during detection left one, and replaying it
+                   reproduces exactly the detection the worker was in
+                   the middle of — no machine re-execution, no schedule
+                   doubt.  Fall back to re-running the journaled
+                   request. *)
+                let sealed_trace =
+                  match S.bundle_trace meta with
+                  | Ok t -> t
+                  | Error e ->
+                      Printf.eprintf "postmortem: %s (ignoring it)\n" e;
+                      None
+                in
+                let replay_source, input =
+                  match (sealed_trace, req.P.rq_payload) with
+                  | Some trace, _ -> ("sealed-trace", `Trace trace)
+                  | None, P.Rq_trace trace -> ("request-trace", `Trace trace)
+                  | None, P.Rq_program p -> ("program", `Program p)
+                in
+                let pool =
+                  Arde.Domain_pool.create
+                    ~jobs:
+                      (match jobs with
+                      | Some j when j > 0 -> j
+                      | _ -> Arde.Domain_pool.default_jobs ())
+                in
+                let started = Unix.gettimeofday () in
+                let should_stop =
+                  match req.P.rq_deadline_ms with
+                  | None -> fun () -> false
+                  | Some ms ->
+                      fun () ->
+                        (Unix.gettimeofday () -. started) *. 1000.
+                        > float_of_int ms
+                in
+                let detect ?options ?program_digest ?mode input =
+                  match
+                    Arde.detect
+                      ~ctx:
+                        (Arde.Driver.ctx ?options ~pool ~should_stop
+                           ?program_digest ())
+                      ?mode input
+                  with
+                  | result ->
+                      P.ok_response ~id:req.P.rq_id
+                        [ ("result", Arde.Driver.result_to_json result) ]
+                  | exception e ->
+                      P.error_response ~id:req.P.rq_id P.Internal
+                        (Printexc.to_string e)
+                in
+                let response =
+                  match input with
+                  | `Trace trace -> (
+                      match Arde.Recorded.of_string trace with
+                      | Error e ->
+                          P.error_response ~id:req.P.rq_id P.Bad_request
+                            ("trace: " ^ e)
+                      | Ok recorded ->
+                          detect (Arde.Input.Recorded_trace recorded))
+                  | `Program { P.rp_program; rp_mode; rp_options; _ } -> (
+                      match Arde.Parse.program rp_program with
+                      | Error e ->
+                          Printf.eprintf "postmortem: program: %s\n"
+                            (Arde.Parse.error_to_string e);
+                          exit 1
+                      | Ok program ->
+                          detect ~options:rp_options
+                            ~program_digest:(Digest.string rp_program)
+                            ~mode:rp_mode (Arde.Input.Program program))
+                in
+                Arde.Domain_pool.shutdown pool;
+                print_json
+                  (J.Obj
+                     ([ ("bundle", J.String bundle) ]
+                     @ meta_field "crash_reason"
+                     @ meta_field "sealed_at"
+                     @ meta_field "worker"
+                     @ meta_field "pid"
+                     @ meta_field "digest"
+                     @ [
+                         ("replayed_from", J.String replay_source);
+                         ("response", response);
+                       ]));
+                exit (if P.response_ok response then 0 else 3)))
   in
   Cmd.v
     (Cmd.info "postmortem"
@@ -859,7 +1183,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; show_cmd; spin_report_cmd; run_cmd; trace_cmd; fmt_cmd;
-            compare_cmd; suite_cmd; parsec_cmd; chaos_cmd; serve_cmd;
-            submit_cmd; stats_cmd; postmortem_cmd;
+            list_cmd; show_cmd; spin_report_cmd; run_cmd; record_cmd;
+            replay_cmd; trace_cmd; fmt_cmd; compare_cmd; suite_cmd;
+            parsec_cmd; chaos_cmd; serve_cmd; submit_cmd; stats_cmd;
+            postmortem_cmd;
           ]))

@@ -50,7 +50,7 @@ let program =
     [ main; producer; consumer ]
 
 let show_mode mode =
-  let result = Arde.detect mode program in
+  let result = Arde.detect ~mode (Arde.Input.Program program) in
   Format.printf "--- %s ---@." (Arde.Config.mode_name mode);
   Format.printf "spin loops found by the instrumentation phase: %d@."
     result.Arde.Driver.n_spin_loops;

@@ -29,7 +29,11 @@ let () =
       Format.printf "k = %-2d" k;
       List.iter
         (fun (_, program) ->
-          let result = Arde.detect (Arde.Config.Helgrind_spin k) program in
+          let result =
+            Arde.detect
+              ~mode:(Arde.Config.Helgrind_spin k)
+              (Arde.Input.Program program)
+          in
           let n = Arde.Report.n_contexts result.Arde.Driver.merged in
           Format.printf " %-5s" (if n = 0 then "ok" else string_of_int n))
         cases;

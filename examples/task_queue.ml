@@ -27,7 +27,7 @@ let () =
   Format.printf "%a@." Arde.Instrument.pp_summary inst;
   List.iter
     (fun mode ->
-      let result = Arde.detect mode program in
+      let result = Arde.detect ~mode (Arde.Input.Program program) in
       let report = result.Arde.Driver.merged in
       Format.printf "--- %s: %d context(s) ---@."
         (Arde.Config.mode_name mode)

@@ -63,7 +63,7 @@ let () =
   Format.printf "%a@." Arde.Instrument.pp_summary inst;
   List.iter
     (fun mode ->
-      let result = Arde.detect mode program in
+      let result = Arde.detect ~mode (Arde.Input.Program program) in
       Format.printf "%-16s -> %d warning context(s)@."
         (Arde.Config.mode_name mode)
         (Arde.Report.n_contexts result.Arde.Driver.merged))

@@ -4,6 +4,7 @@
 module Machine = Arde_runtime.Machine
 module Sched = Arde_runtime.Sched
 module Driver = Arde_detect.Driver
+module Input = Arde_detect.Input
 module Config = Arde_detect.Config
 module Prng = Arde_util.Prng
 
@@ -91,7 +92,11 @@ type report = {
 }
 
 let run_one ?(options = Options.default) mode program p =
-  match Driver.run ~options:(apply options p) mode program with
+  match
+    Driver.run
+      ~ctx:(Driver.ctx ~options:(apply options p) ())
+      ~mode (Input.Program program)
+  with
   | result -> Ok result
   | exception e -> Error (Printexc.to_string e)
 

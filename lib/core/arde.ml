@@ -34,10 +34,24 @@ module Lock_infer = Arde_cfg.Lock_infer
 
 (* Execution substrate. *)
 module Event = Arde_runtime.Event
+
+module Observer = Arde_runtime.Observer
+(** The one composition surface for event consumers: engines, checkers,
+    trace collectors and recording sinks all expose an [Observer.t], and
+    all fan-out goes through [Observer.tee]/[tee_all].  [Observer.none]
+    (physical identity) arms the machine's quiet fast path. *)
+
 module Sched = Arde_runtime.Sched
 module Machine = Arde_runtime.Machine
 module Machine_ref = Arde_runtime.Machine_ref
 module Trace = Arde_runtime.Trace
+
+module Trace_codec = Arde_runtime.Trace_codec
+(** The compact binary trace format: varint-encoded events over
+    per-section interned vocabulary, a versioned header carrying program
+    digest, mode and knobs, and per-seed sections sealed with an
+    integrity hash.  [Trace_codec.sink_observer] is the recording
+    observer; see DESIGN.md for the wire layout. *)
 
 (* Detection. *)
 module Vector_clock = Arde_vclock.Vector_clock
@@ -52,6 +66,16 @@ module Engine_ref = Arde_detect.Engine_ref
 module Cv_checker = Arde_detect.Cv_checker
 module Options = Arde_detect.Options
 module Analysis_cache = Arde_detect.Analysis_cache
+
+module Recorded = Arde_detect.Recorded
+(** A loaded recording: the typed (mode/options/program) view of a
+    binary trace, validated end to end. *)
+
+module Input = Arde_detect.Input
+(** What detection consumes — [Text], [Program] or [Recorded_trace].
+    Every front door ({!detect}, [Driver.run], the serve protocol)
+    takes one. *)
+
 module Driver = Arde_detect.Driver
 
 (* Robustness: deterministic fault injection for the pipeline itself. *)
@@ -64,24 +88,33 @@ module Classify = Classify
 module Prng = Arde_util.Prng
 module Table = Arde_util.Table
 module Json = Arde_util.Json
+module Base64 = Arde_util.Base64
 module Domain_pool = Arde_util.Domain_pool
 
 let analyze_spins ~k program = Instrument.analyze ~k program
 (** Run only the instrumentation phase: find and classify spinning read
     loops with window [k]. *)
 
-let detect ?options ?pool ?should_stop ?program_digest mode program =
-  Driver.run ?options ?pool ?should_stop ?program_digest mode program
-(** Run the full pipeline — lowering if the mode requires it, spin
-    instrumentation if the mode has a window, execution under each seed,
-    race detection — and return the merged result.  [pool],
-    [should_stop] and [program_digest] are the serve daemon's hooks: a
-    resident domain pool for the per-seed stage, a cooperative
-    between-seeds cancellation check, and a precomputed cache key that
-    lets a warm request skip the canonical-digest pretty-print. *)
+let detect ?ctx ?mode input = Driver.run ?ctx ?mode input
+(** Run detection on an {!Input.t} — the one front door.  For program
+    inputs this is the full pipeline: lowering if the mode requires it,
+    spin instrumentation if the mode has a window, execution under each
+    seed, race detection, deterministic merge.  For a recorded trace the
+    machine never runs: the recording replays through a fresh engine
+    ({!Driver.replay}) and yields the same result bytes as the live run
+    that produced it.  [ctx] ({!Driver.ctx}) carries the how — options,
+    engine choice, a resident domain pool, cooperative cancellation, a
+    precomputed cache digest. *)
+
+let record ?ctx ?mode ?detect ?source input =
+  Driver.record ?ctx ?mode ?detect ?source input
+(** Execute once and seal the event stream into a binary trace
+    ({!Driver.record}); replaying it with {!detect} later reproduces the
+    detection results without re-running the program. *)
 
 let classify_case ?options mode expectation program =
-  let result = Driver.run ?options mode program in
+  let ctx = Driver.ctx ?options () in
+  let result = Driver.run ~ctx ~mode (Input.Program program) in
   Classify.classify expectation ~reported:(Driver.racy_bases result)
 (** Detect and classify against ground truth in one call (unit-suite
     helper). *)

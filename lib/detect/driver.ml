@@ -1,10 +1,10 @@
 open Arde_tir.Types
 module Machine = Arde_runtime.Machine
 module Sched = Arde_runtime.Sched
+module Observer = Arde_runtime.Observer
+module Codec = Arde_runtime.Trace_codec
 
 type options = Options.t
-
-let default_options = Options.default
 
 (* ------------------------------------------------------------------ *)
 (* Engine selection                                                   *)
@@ -15,7 +15,7 @@ let default_options = Options.default
    (chaos injection included) through both and asserts byte-identical
    results. *)
 type engine = {
-  e_observer : Arde_runtime.Event.t -> unit;
+  e_observer : Observer.t;
   e_report : unit -> Report.t;
   e_spin_edges : unit -> int;
   e_memory_words : unit -> int;
@@ -47,6 +47,32 @@ let ref_engine : engine_factory =
     e_spin_edges = (fun () -> Engine_ref.n_spin_edges e);
     e_memory_words = (fun () -> Engine_ref.memory_words e);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Run context                                                        *)
+
+type ctx = {
+  c_options : Options.t;
+  c_engine : engine_factory;
+  c_pool : Arde_util.Domain_pool.pool option;
+  c_should_stop : unit -> bool;
+  c_program_digest : string option;
+}
+
+let never_stop () = false
+
+let ctx ?(options = Options.default) ?(engine = opt_engine) ?pool
+    ?(should_stop = never_stop) ?program_digest () =
+  {
+    c_options = options;
+    c_engine = engine;
+    c_pool = pool;
+    c_should_stop = should_stop;
+    c_program_digest = program_digest;
+  }
+
+let default_ctx = ctx ()
+let default_mode = Config.Helgrind_spin 7
 
 type seed_outcome =
   | Completed of Machine.outcome
@@ -179,9 +205,14 @@ let prepare ?digest (options : Options.t) mode program =
    catches those itself), while escaping exceptions — broken machine
    invariants, an observer blowing up, injected chaos — become a
    [Crashed] outcome carrying whatever partial report the engine had
-   accumulated.  One sick seed never takes down the others. *)
+   accumulated.  One sick seed never takes down the others.
+
+   When a [sink] is supplied, it is teed {e between} the chaos injector
+   and the engine: the recorded stream is exactly the stream the engine
+   saw (an injector raising mid-run truncates both identically), which
+   is what makes replay reproduce even crashed seeds byte for byte. *)
 let run_seed (options : Options.t) mode ~engine_factory ~instrument
-    ~cv_mutexes ~inferred_locks compiled seed =
+    ~cv_mutexes ~inferred_locks ?sink compiled seed =
   let detector_cfg =
     Config.make ~sensitivity:options.Options.sensitivity
       ~cap:options.Options.cap mode
@@ -189,12 +220,17 @@ let run_seed (options : Options.t) mode ~engine_factory ~instrument
   let engine = engine_factory detector_cfg ~cv_mutexes ~inferred_locks ~instrument in
   let cv_checker = Cv_checker.create () in
   let observer =
-    Arde_runtime.Trace.tee engine.e_observer (Cv_checker.observer cv_checker)
+    Observer.tee engine.e_observer (Cv_checker.observer cv_checker)
+  in
+  let observer =
+    match sink with
+    | None -> observer
+    | Some s -> Observer.tee (Codec.sink_observer s) observer
   in
   let observer =
     match options.Options.inject with
     | None -> observer
-    | Some f -> Arde_runtime.Trace.tee (f ~seed) observer
+    | Some f -> Observer.tee (Observer.of_fn (f ~seed)) observer
   in
   let mcfg =
     {
@@ -282,58 +318,347 @@ let announce_clamp note =
     Printf.eprintf "arde: %s\n%!" note
   end
 
-let run ?(options = Options.default) ?(engine = opt_engine) ?pool
-    ?(should_stop = fun () -> false) ?program_digest mode program =
-  match prepare ?digest:program_digest options mode program with
-  | exception e -> failed_result mode (snd (describe_exn e))
+let clamp_notes options =
+  match Options.jobs_clamp options with
+  | None -> []
+  | Some (requested, host) ->
+      let note =
+        Printf.sprintf "jobs: requested %d clamped to host core count %d"
+          requested host
+      in
+      announce_clamp note;
+      [ note ]
+
+(* ------------------------------------------------------------------ *)
+(* Trailer mapping: seed outcome ↔ the codec's machine-free mirror     *)
+
+let codec_outcome = function
+  | Completed Machine.Finished -> Codec.Finished
+  | Completed (Machine.Deadlock tids) -> Codec.Deadlock tids
+  | Completed Machine.Fuel_exhausted -> Codec.Fuel_exhausted
+  | Completed (Machine.Livelock sites) ->
+      Codec.Livelock
+        (List.map
+           (fun s ->
+             {
+               Codec.w_tid = s.Machine.sp_tid;
+               w_loop = s.Machine.sp_loop;
+               w_loc = s.Machine.sp_loc;
+               w_bases = s.Machine.sp_bases;
+             })
+           sites)
+  | Completed (Machine.Fault { ftid; floc; msg }) ->
+      Codec.Fault { ftid; floc; msg }
+  | Crashed (l, msg) -> Codec.Crashed (l, msg)
+  | Cancelled -> Codec.Cancelled
+
+let seed_outcome_of_codec = function
+  | Codec.Finished -> Completed Machine.Finished
+  | Codec.Deadlock tids -> Completed (Machine.Deadlock tids)
+  | Codec.Fuel_exhausted -> Completed Machine.Fuel_exhausted
+  | Codec.Livelock sites ->
+      Completed
+        (Machine.Livelock
+           (List.map
+              (fun w ->
+                {
+                  Machine.sp_tid = w.Codec.w_tid;
+                  sp_loop = w.Codec.w_loop;
+                  sp_loc = w.Codec.w_loc;
+                  sp_bases = w.Codec.w_bases;
+                })
+              sites))
+  | Codec.Fault { ftid; floc; msg } -> Completed (Machine.Fault { ftid; floc; msg })
+  | Codec.Crashed (l, msg) -> Crashed (l, msg)
+  | Codec.Cancelled -> Cancelled
+
+let trailer_of_seed_run sr =
+  {
+    Codec.t_outcome = codec_outcome sr.sr_outcome;
+    t_steps = sr.sr_steps;
+    t_check_failures = sr.sr_check_failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The live pipeline, shared by [run] and [record]                    *)
+
+let fan_out (c : ctx) options body seeds =
+  match c.c_pool with
+  | Some p -> Arde_util.Domain_pool.map_pool p body seeds
+  | None ->
+      let jobs = Options.effective_jobs options ~n_seeds:(List.length seeds) in
+      Arde_util.Domain_pool.map ~jobs body seeds
+
+let finish_result mode ~program ~instrument ~notes per_seed =
+  let merged = merge_reports per_seed in
+  let runs = List.map fst per_seed in
+  let n_spin_loops =
+    match instrument with
+    | Some inst -> List.length (Arde_cfg.Instrument.spins inst)
+    | None -> 0
+  in
+  {
+    mode;
+    merged;
+    runs;
+    n_spin_loops;
+    static_cv_hazards = (try Cv_checker.static_check program with _ -> []);
+    health = health_of ~notes runs;
+  }
+
+(* Execute the live pipeline; with [record] also seal one codec section
+   per seed.  Returns the sections in seed order, matching [runs]. *)
+let run_live (c : ctx) mode program ~record =
+  match prepare ?digest:c.c_program_digest c.c_options mode program with
+  | exception e -> (failed_result mode (snd (describe_exn e)), [])
   | program, instrument, cv_mutexes, inferred_locks, compiled ->
-      let jobs =
-        Options.effective_jobs options
-          ~n_seeds:(List.length options.Options.seeds)
-      in
-      let clamp_notes =
-        match Options.jobs_clamp options with
-        | None -> []
-        | Some (requested, host) ->
-            let note =
-              Printf.sprintf
-                "jobs: requested %d clamped to host core count %d" requested
-                host
-            in
-            announce_clamp note;
-            [ note ]
-      in
+      let options = c.c_options in
+      let notes = clamp_notes options in
       (* Cooperative cancellation: the hook is consulted once per seed,
          before that seed's machine is built.  Seeds already executing
          run to completion (their findings are salvaged); seeds whose
          slot comes up after the hook fires become [Cancelled]. *)
       let seed_body seed =
-        if should_stop () then cancelled_run seed
+        if c.c_should_stop () then
+          ( cancelled_run seed,
+            if record then Some (Codec.cancelled_section ~seed) else None )
+        else begin
+          let sink = if record then Some (Codec.sink ()) else None in
+          let ((sr, _) as seed_res) =
+            run_seed options mode ~engine_factory:c.c_engine ~instrument
+              ~cv_mutexes ~inferred_locks ?sink compiled seed
+          in
+          let section =
+            Option.map
+              (fun s -> Codec.section_of_sink s ~seed (trailer_of_seed_run sr))
+              sink
+          in
+          (seed_res, section)
+        end
+      in
+      let out = fan_out c options seed_body options.Options.seeds in
+      let per_seed = List.map fst out in
+      let sections = List.filter_map snd out in
+      (finish_result mode ~program ~instrument ~notes per_seed, sections)
+
+(* ------------------------------------------------------------------ *)
+(* Inputs                                                             *)
+
+let resolve_text text =
+  match Arde_tir.Parse.program text with
+  | Error e -> Error (Arde_tir.Parse.error_to_string e)
+  | Ok program -> (
+      match Arde_tir.Validate.check program with
+      | Ok () -> Ok program
+      | Error errs ->
+          Error
+            (String.concat "; " (List.map Arde_tir.Validate.error_to_string errs)))
+
+(* ------------------------------------------------------------------ *)
+(* Replay: the detection half alone, fed from a recording             *)
+
+let replay_section (options : Options.t) mode ~engine_factory ~instrument
+    ~cv_mutexes ~inferred_locks (sec : Codec.section) =
+  let trailer = sec.Codec.s_trailer in
+  if trailer.Codec.t_outcome = Codec.Cancelled then
+    cancelled_run sec.Codec.s_seed
+  else
+    let detector_cfg =
+      Config.make ~sensitivity:options.Options.sensitivity
+        ~cap:options.Options.cap mode
+    in
+    let engine =
+      engine_factory detector_cfg ~cv_mutexes ~inferred_locks ~instrument
+    in
+    let cv_checker = Cv_checker.create () in
+    let observer =
+      Observer.tee engine.e_observer (Cv_checker.observer cv_checker)
+    in
+    let seed = sec.Codec.s_seed in
+    let finish outcome check_failures steps =
+      let rep = try Some (engine.e_report ()) with _ -> None in
+      ( {
+          sr_seed = seed;
+          sr_outcome = outcome;
+          sr_steps = steps;
+          sr_contexts =
+            (match rep with Some r -> Report.n_contexts r | None -> 0);
+          sr_capped = (match rep with Some r -> Report.capped r | None -> false);
+          sr_spin_edges = (try engine.e_spin_edges () with _ -> 0);
+          sr_memory_words = (try engine.e_memory_words () with _ -> 0);
+          sr_check_failures = check_failures;
+          sr_cv_diagnostics = (try Cv_checker.finalize cv_checker with _ -> []);
+        },
+        rep )
+    in
+    match Codec.decode_events sec (fun ev -> Observer.emit observer ev) with
+    | Ok () ->
+        finish
+          (seed_outcome_of_codec trailer.Codec.t_outcome)
+          trailer.Codec.t_check_failures trailer.Codec.t_steps
+    | Error e ->
+        (* The recording itself is sick (hash-valid but undecodable, or
+           an engine blew up mid-stream): surface it like a crashed seed,
+           salvaging whatever the engine got through. *)
+        finish (Crashed (None, "replay: " ^ Codec.error_to_string e)) [] 0
+    | exception e ->
+        let floc, msg = describe_exn e in
+        finish (Crashed (floc, msg)) [] 0
+
+let replay ?(ctx = default_ctx) recorded =
+  (* Everything that shapes detection comes from the recording — mode,
+     sensitivity, cap, seeds — so a replayed result is comparable byte
+     for byte with the live run that produced the trace.  The caller's
+     [ctx] contributes only execution machinery: engine choice, pool,
+     cancellation. *)
+  let mode = Recorded.mode recorded in
+  let options = Recorded.options recorded in
+  let program = Recorded.program recorded in
+  (* verified equal to the canonical digest at load time *)
+  let digest = Digest.from_hex (Recorded.digest_hex recorded) in
+  match prepare ~digest options mode program with
+  | exception e -> failed_result mode (snd (describe_exn e))
+  | program, instrument, cv_mutexes, inferred_locks, _compiled ->
+      let notes = clamp_notes options in
+      let section_body sec =
+        if ctx.c_should_stop () then cancelled_run sec.Codec.s_seed
         else
-          run_seed options mode ~engine_factory:engine ~instrument ~cv_mutexes
-            ~inferred_locks compiled seed
+          replay_section options mode ~engine_factory:ctx.c_engine ~instrument
+            ~cv_mutexes ~inferred_locks sec
       in
       let per_seed =
-        match pool with
-        | Some p -> Arde_util.Domain_pool.map_pool p seed_body options.Options.seeds
-        | None -> Arde_util.Domain_pool.map ~jobs seed_body options.Options.seeds
+        fan_out ctx options section_body (Recorded.sections recorded)
       in
-      let merged = merge_reports per_seed in
-      let runs = List.map fst per_seed in
-      let n_spin_loops =
-        match instrument with
-        | Some inst -> List.length (Arde_cfg.Instrument.spins inst)
-        | None -> 0
+      finish_result mode ~program ~instrument ~notes per_seed
+
+(* ------------------------------------------------------------------ *)
+(* The front door                                                     *)
+
+let mode_conflict requested recorded_mode =
+  Printf.sprintf
+    "replay: trace was recorded in mode %s; re-run the program to detect in \
+     mode %s"
+    (Config.mode_id recorded_mode)
+    (Config.mode_id requested)
+
+let run ?(ctx = default_ctx) ?mode input =
+  match (input : Input.t) with
+  | Input.Recorded_trace r -> (
+      match mode with
+      | Some m when m <> Recorded.mode r ->
+          failed_result m (mode_conflict m (Recorded.mode r))
+      | _ -> replay ~ctx r)
+  | Input.Program program ->
+      let mode = Option.value mode ~default:default_mode in
+      fst (run_live ctx mode program ~record:false)
+  | Input.Text text -> (
+      let mode = Option.value mode ~default:default_mode in
+      match resolve_text text with
+      | Error msg -> failed_result mode msg
+      | Ok program -> fst (run_live ctx mode program ~record:false))
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                          *)
+
+type recording = { rec_trace : string; rec_result : result option }
+
+(* The record-only per-seed body: no engine, no checker — just the chaos
+   injector (if any) and the sink, which is as close to the quiet fast
+   path as an observing run gets. *)
+let record_seed (options : Options.t) ~instrument compiled seed =
+  let sink = Codec.sink () in
+  let observer = Codec.sink_observer sink in
+  let observer =
+    match options.Options.inject with
+    | None -> observer
+    | Some f -> Observer.tee (Observer.of_fn (f ~seed)) observer
+  in
+  let mcfg =
+    {
+      Machine.policy = options.Options.policy;
+      seed;
+      fuel = options.Options.fuel;
+      instrument;
+      spurious_wakeups = options.Options.spurious_wakeups;
+      observer;
+    }
+  in
+  let trailer =
+    match Machine.run mcfg compiled with
+    | res ->
+        {
+          Codec.t_outcome = codec_outcome (Completed res.Machine.outcome);
+          t_steps = res.Machine.steps;
+          t_check_failures = res.Machine.check_failures;
+        }
+    | exception e ->
+        let floc, msg = describe_exn e in
+        {
+          Codec.t_outcome = Codec.Crashed (floc, msg);
+          t_steps = 0;
+          t_check_failures = [];
+        }
+  in
+  Codec.section_of_sink sink ~seed trailer
+
+let record ?(ctx = default_ctx) ?(mode = default_mode) ?(detect = false)
+    ?(source = "") input =
+  let resolved =
+    match (input : Input.t) with
+    | Input.Recorded_trace _ ->
+        Error "record: input is already a recording; replay it instead"
+    | Input.Program p -> Ok p
+    | Input.Text text -> resolve_text text
+  in
+  match resolved with
+  | Error msg -> Error msg
+  | Ok program -> (
+      (* The header pins the recording to the canonical program text: a
+         loader re-derives the digest from the embedded text and refuses
+         a mismatch, and replay re-runs the static half from it. *)
+      let text = Arde_tir.Pretty.program_to_string program in
+      let digest = Digest.string text in
+      let header =
+        {
+          Codec.h_digest = Digest.to_hex digest;
+          h_mode = Config.mode_id mode;
+          h_options = Arde_util.Json.to_string ~minify:true
+              (Options.to_json ctx.c_options);
+          h_source = source;
+          h_program = text;
+        }
       in
-      {
-        mode;
-        merged;
-        runs;
-        n_spin_loops;
-        static_cv_hazards =
-          (try Cv_checker.static_check program with _ -> []);
-        health = health_of ~notes:clamp_notes runs;
-      }
+      let ctx = { ctx with c_program_digest = Some digest } in
+      if detect then begin
+        let result, sections = run_live ctx mode program ~record:true in
+        if result.runs = [] then
+          (* the pipeline itself failed: nothing was recorded *)
+          Error
+            (match result.health.h_notes with
+            | n :: _ -> n
+            | [] -> "record: pipeline failed")
+        else
+          Ok
+            {
+              rec_trace = Codec.assemble header sections;
+              rec_result = Some result;
+            }
+      end
+      else
+        match prepare ?digest:ctx.c_program_digest ctx.c_options mode program
+        with
+        | exception e -> Error (snd (describe_exn e))
+        | _program, instrument, _cv_mutexes, _inferred_locks, compiled ->
+            let options = ctx.c_options in
+            ignore (clamp_notes options);
+            let seed_body seed =
+              if ctx.c_should_stop () then Codec.cancelled_section ~seed
+              else record_seed options ~instrument compiled seed
+            in
+            let sections =
+              fan_out ctx options seed_body options.Options.seeds
+            in
+            Ok { rec_trace = Codec.assemble header sections; rec_result = None })
 
 let mean_contexts r =
   match r.runs with

@@ -1,6 +1,6 @@
-(** End-to-end detector runs: program + mode + seeds → merged report.
+(** End-to-end detector runs: {!Input.t} + mode + context → merged report.
 
-    The pipeline has three stages:
+    The live pipeline has three stages:
 
     - {e prepare} (once per program): pick the program form — lowered for
       [Nolib_spin], as written otherwise — and run the instrumentation
@@ -14,16 +14,94 @@
       (a dynamic detector's findings accumulate over runs) and average
       the per-run racy-context counts (the paper's PARSEC metric).  The
       fold order is fixed, so results are byte-identical whatever the
-      pool width. *)
+      pool width.
+
+    The record/replay split decouples the first two: {!record} runs the
+    machine with a {!Trace_codec} sink attached and seals the event
+    stream into a compact binary trace; {!replay} runs the detection
+    half alone, streaming a recording through a fresh engine without
+    re-executing the program.  Replaying a recording produces results
+    byte-identical to the live run that made it — that identity is the
+    subsystem's correctness oracle. *)
 
 open Arde_tir.Types
 
 type options = Options.t
 (** Build with {!Options.make} and the [Options.with_*] combinators. *)
 
-val default_options : options
-  [@@ocaml.deprecated "use Arde.Options.default (or Options.make ())"]
-(** Thin alias for {!Options.default}, kept for one release. *)
+(** {1 Engine selection}
+
+    The per-seed detector behind a closure record.  {!run} defaults to
+    the optimized {!Engine}; the differential suite passes
+    {!ref_engine} to drive the identical pipeline (chaos injection and
+    all) through the frozen {!Engine_ref} oracle and compare results
+    byte for byte. *)
+
+type engine = {
+  e_observer : Arde_runtime.Observer.t;
+  e_report : unit -> Report.t;
+  e_spin_edges : unit -> int;
+  e_memory_words : unit -> int;
+}
+
+type engine_factory =
+  Config.t ->
+  cv_mutexes:string list ->
+  inferred_locks:string list ->
+  instrument:Arde_cfg.Instrument.t option ->
+  engine
+
+val opt_engine : engine_factory
+(** {!Engine}, the epoch-based optimized detector (the default). *)
+
+val ref_engine : engine_factory
+(** {!Engine_ref}, the frozen reference detector. *)
+
+(** {1 Run context}
+
+    Everything about {e how} a run executes, as opposed to {e what} it
+    analyzes (the input and mode): knob surface, engine choice, domain
+    pool, cancellation, cache key.  One value replaces the optional
+    argument sprawl the entry points used to share. *)
+
+type ctx = {
+  c_options : Options.t;
+  c_engine : engine_factory;
+  c_pool : Arde_util.Domain_pool.pool option;
+      (** run the per-seed stage on a caller-owned resident pool (the
+          serve daemon's long-lived one) instead of spawning domains per
+          call; [Options.jobs] is ignored when set *)
+  c_should_stop : unit -> bool;
+      (** cooperative cancellation, consulted once per seed before that
+          seed starts.  Once it returns [true], remaining seeds become
+          [Cancelled] (health [Degraded]) while completed seeds keep
+          their reports — the primitive behind the server's deadlines
+          and graceful drain. *)
+  c_program_digest : string option;
+      (** caller-supplied key uniquely identifying the input program,
+          forwarded to {!Analysis_cache.prepare} so the warm path skips
+          the canonical-digest pretty-print *)
+}
+
+val ctx :
+  ?options:options ->
+  ?engine:engine_factory ->
+  ?pool:Arde_util.Domain_pool.pool ->
+  ?should_stop:(unit -> bool) ->
+  ?program_digest:string ->
+  unit ->
+  ctx
+(** Smart constructor; every field defaulted ([Options.default],
+    {!opt_engine}, no pool, never stop, no digest). *)
+
+val default_ctx : ctx
+(** [ctx ()]. *)
+
+val default_mode : Config.mode
+(** [Helgrind_spin 7] — what {!run} and the CLI use when no mode is
+    given. *)
+
+(** {1 Results} *)
 
 type seed_outcome =
   | Completed of Arde_runtime.Machine.outcome
@@ -34,8 +112,8 @@ type seed_outcome =
           invariant, an observer exception, injected chaos.  The location
           is the machine's fault site when one is known. *)
   | Cancelled
-      (** The run's [should_stop] hook fired before this seed started (a
-          server deadline, a drain).  Nothing ran for it; completed
+      (** The run's [c_should_stop] hook fired before this seed started
+          (a server deadline, a drain).  Nothing ran for it; completed
           seeds' findings are unaffected. *)
 
 type seed_run = {
@@ -84,68 +162,63 @@ type result = {
   health : health;
 }
 
-(** {1 Engine selection}
+(** {1 Entry points} *)
 
-    The per-seed detector behind a closure record.  {!run} defaults to
-    the optimized {!Engine}; the differential suite passes
-    {!ref_engine} to drive the identical pipeline (chaos injection and
-    all) through the frozen {!Engine_ref} oracle and compare results
-    byte for byte. *)
+val run : ?ctx:ctx -> ?mode:Config.mode -> Input.t -> result
+(** The one front door.  [Text] input is parsed and validated ([Failed]
+    health on errors), [Program] runs as is, and [Recorded_trace] is
+    dispatched to {!replay} — the machine never executes for a trace,
+    and [mode] (if given) must agree with the recorded one.  [mode]
+    defaults to {!default_mode} for text/program inputs and to the
+    recorded mode for traces.
 
-type engine = {
-  e_observer : Arde_runtime.Event.t -> unit;
-  e_report : unit -> Report.t;
-  e_spin_edges : unit -> int;
-  e_memory_words : unit -> int;
-}
-
-type engine_factory =
-  Config.t ->
-  cv_mutexes:string list ->
-  inferred_locks:string list ->
-  instrument:Arde_cfg.Instrument.t option ->
-  engine
-
-val opt_engine : engine_factory
-(** {!Engine}, the epoch-based optimized detector (the default). *)
-
-val ref_engine : engine_factory
-(** {!Engine_ref}, the frozen reference detector. *)
-
-val run :
-  ?options:options ->
-  ?engine:engine_factory ->
-  ?pool:Arde_util.Domain_pool.pool ->
-  ?should_stop:(unit -> bool) ->
-  ?program_digest:string ->
-  Config.mode ->
-  program ->
-  result
-(** Fault-isolated and parallel: each seed executes in a sandbox on the
+    Fault-isolated and parallel: each seed executes in a sandbox on the
     domain pool, so one seed crashing (or the whole pipeline failing to
     prepare the program) yields a [Crashed] seed outcome / [Failed]
     health record while every healthy seed's warnings are still merged.
     The merged report, health verdict and run list are independent of
     [Options.jobs]; a [jobs] request beyond the host core count is
     clamped, with a note recorded in [health.h_notes].  This function
-    does not raise.
+    does not raise. *)
 
-    [pool] runs the per-seed stage on a caller-owned resident
-    {!Arde_util.Domain_pool.pool} (the serve daemon's long-lived pool)
-    instead of spawning domains for this call; [Options.jobs] is ignored
-    in that case.
+val replay : ?ctx:ctx -> Recorded.t -> result
+(** Run detection over a recording without executing the machine: each
+    recorded section streams through a fresh engine (and the CV
+    checker) on the domain pool, and the machine-side half of every
+    seed — outcome, steps, check failures — is taken from the section
+    trailer.  Mode, sensitivity, cap and seeds come from the recording
+    (a replayed result is byte-identical to the live run that recorded
+    it); [ctx] contributes only engine choice, pool and cancellation.
+    Does not raise: an undecodable section becomes a [Crashed] seed
+    carrying the partial report. *)
 
-    [should_stop] is the cooperative cancellation hook, consulted once
-    per seed before that seed starts.  Once it returns [true], remaining
-    seeds become [Cancelled] (folded into {!health} as [Degraded]) while
-    already-completed seeds keep their reports — the primitive behind
-    the server's per-request deadlines and graceful drain.
+type recording = {
+  rec_trace : string;  (** the complete binary trace *)
+  rec_result : result option;  (** the live result when [detect] was on *)
+}
 
-    [program_digest] is a caller-supplied key uniquely identifying
-    [program], forwarded to {!Analysis_cache.prepare} so the static
-    half's cache lookup skips the canonical-digest pretty-print (the
-    serve daemon passes the digest of the request's program text, which
-    it computes anyway for its program cache). *)
+val record :
+  ?ctx:ctx ->
+  ?mode:Config.mode ->
+  ?detect:bool ->
+  ?source:string ->
+  Input.t ->
+  (recording, string) Stdlib.result
+(** Execute the program across [ctx]'s seeds with a {!Trace_codec} sink
+    attached and assemble the binary trace.  With [detect] (default
+    [false]) the full engine pipeline runs alongside and the live result
+    is returned too — the sink sits between the chaos injector and the
+    engine, so the recorded stream is exactly what the engine saw.
+    Without it, only the injector and the sink observe the run: the
+    cheap recording mode whose overhead the bench gate bounds against
+    the quiet fast path.
+
+    [source] is a free-form origin label stored in the header (the CLI
+    stores the workload name).  [Error] covers inputs that cannot be
+    recorded: unparseable text, a pipeline that fails to prepare, or a
+    recording given as input. *)
+
+(** {1 Inspection helpers} *)
 
 val health_of : ?notes:string list -> seed_run list -> health
 (** Tally seed outcomes into a health record (exposed for harnesses that

@@ -38,7 +38,10 @@ let run_one ?(seeds = [ 1; 2; 3; 4; 5 ]) ?jobs (info, program) =
   let per_mode =
     List.map
       (fun mode ->
-        let result = Driver.run ~options mode program in
+        let result =
+          Driver.run ~ctx:(Driver.ctx ~options ()) ~mode
+            (Arde.Input.Program program)
+        in
         let any_capped =
           List.exists (fun s -> s.Driver.sr_capped) result.Driver.runs
         in

@@ -1,0 +1,63 @@
+(** The record/replay benchmark behind [bench replay].
+
+    Two questions, one per half of the record/replay split:
+
+    - {b Recording cost}: how much does attaching a {!Arde.Trace_codec}
+      sink slow the bare machine down, measured against the quiet fast
+      path (default observer, no events materialized)?  The paper's
+      premise is that recording is cheap enough to leave on; the CI gate
+      bounds the overhead at 1.1× on the headline configuration.
+    - {b Replay value}: how much faster is detection over a recorded
+      trace than the live run that produced it (the machine factored
+      out), and is the replayed result byte-identical — the invariant
+      everything downstream (crash-bundle postmortems, the serve replay
+      farm) leans on?
+
+    The result set is written to [BENCH_replay.json] by the [bench]
+    executable; {!gate} is the CI smoke criterion. *)
+
+type row = {
+  r_workload : string;
+  r_mode : string;
+  r_steps : int;  (** machine steps of the measured seed *)
+  r_events : int;  (** recorded events across all seeds *)
+  r_trace_bytes : int;  (** assembled trace size *)
+  r_bytes_per_event : float;
+  r_quiet_steps_per_s : float;  (** bare machine, default observer *)
+  r_record_steps_per_s : float;  (** same run with the sink attached *)
+  r_record_overhead : float;  (** quiet time / record time, as a ratio ≥ 1 *)
+  r_live_s : float;  (** full live detection, all seeds *)
+  r_replay_s : float;  (** detection replayed from the trace *)
+  r_replay_speedup : float;  (** live / replay wall-clock *)
+  r_identical : bool;  (** replayed result byte-identical to live *)
+}
+
+val run :
+  ?repeats:int ->
+  ?workloads:string list ->
+  ?fuel:int ->
+  ?seeds:int list ->
+  unit ->
+  row list
+(** Bench the default workload set (swaptions and blackscholes as the
+    compute-bound rows, streamcluster and x264 as the sync-dense ones)
+    under lib+spin(7) and nolib+spin(7).  [repeats] timed repetitions
+    follow one discarded warm-up; times are medians.  [seeds] drive the
+    live/replay halves; the machine-overhead half times the first seed
+    alone. *)
+
+val to_json : row list -> Arde_util.Json.t
+(** The BENCH_replay.json wire form. *)
+
+val render : row list -> string
+(** Human-readable table of the same rows. *)
+
+val gate : row list -> string list
+(** CI failure messages, empty when the run passes: every row's replayed
+    result must be byte-identical to its live run, and recording
+    overhead on the headline configuration — swaptions under
+    nolib+spin(7), the compute-bound workload where the "cheap enough to
+    leave recording on" claim is meaningful — must stay within 1.1× of
+    the quiet fast path.  Sync-dense rows are reported but not
+    overhead-gated: they price the encoder per event, not recording as
+    experienced by a real program. *)

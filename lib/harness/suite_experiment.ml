@@ -28,7 +28,10 @@ let run_mode ?(options = suite_options) mode cases =
   let details =
     List.map
       (fun (c : Racey.case) ->
-        let result = Driver.run ~options mode c.Racey.program in
+        let result =
+          Driver.run ~ctx:(Driver.ctx ~options ()) ~mode
+            (Arde.Input.Program c.Racey.program)
+        in
         let verdict =
           Classify.classify c.Racey.expectation
             ~reported:(Driver.racy_bases result)

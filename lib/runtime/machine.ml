@@ -33,7 +33,7 @@ type config = {
   fuel : int;
   instrument : Instrument.t option;
   spurious_wakeups : bool;
-  observer : Event.t -> unit;
+  observer : Observer.t;
 }
 
 let default_config =
@@ -43,7 +43,7 @@ let default_config =
     fuel = 2_000_000;
     instrument = None;
     spurious_wakeups = false;
-    observer = ignore;
+    observer = Observer.none;
   }
 
 type spin_site = {
@@ -1254,7 +1254,7 @@ let run cfg cpl =
     {
       cfg;
       cpl;
-      quiet = cfg.observer == default_config.observer;
+      quiet = Observer.is_none cfg.observer;
       mem;
       threads = Array.make max_threads None;
       n_threads = 0;

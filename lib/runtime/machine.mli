@@ -21,17 +21,19 @@ type config = {
   fuel : int; (* maximum machine steps before giving up *)
   instrument : Arde_cfg.Instrument.t option;
   spurious_wakeups : bool; (* failure injection for condition variables *)
-  observer : Event.t -> unit;
+  observer : Observer.t;
 }
 
 val default_config : config
 (** [Chunked 6] scheduling, seed 1, 2,000,000 fuel, no instrumentation, no
     spurious wakeups, events discarded.
 
-    Leaving [observer] as [default_config.observer] (physical equality)
-    arms the quiet fast path: the machine skips event construction
-    entirely, making steady-state steps allocation-free.  Results are
-    identical either way — only the observer stream disappears. *)
+    Leaving [observer] as {!Observer.none} (physical equality) arms the
+    quiet fast path: the machine skips event construction entirely,
+    making steady-state steps allocation-free.  Results are identical
+    either way — only the observer stream disappears.  [Observer.tee]
+    preserves quietness, so composing optional pipeline stages never
+    disarms it by accident. *)
 
 exception Fault_exn of loc * string
 (** The in-band fault signal.  Raised by the interpreter on a program

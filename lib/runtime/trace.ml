@@ -15,7 +15,3 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter (fun ev -> Format.fprintf ppf "%a@," Event.pp ev) (events t);
   Format.fprintf ppf "@]"
-
-let tee a b ev =
-  a ev;
-  b ev

@@ -8,7 +8,7 @@ type t
 
 val create : unit -> t
 
-val observer : t -> Event.t -> unit
+val observer : t -> Observer.t
 (** Feed this to {!Machine.config}. *)
 
 val events : t -> Event.t list
@@ -20,6 +20,3 @@ val hash : t -> int
 (** Order-sensitive structural hash of the trace. *)
 
 val pp : Format.formatter -> t -> unit
-
-val tee : (Event.t -> unit) -> (Event.t -> unit) -> Event.t -> unit
-(** Compose two observers. *)

@@ -78,9 +78,13 @@ let request t json =
   | Error _ as e -> e
   | Ok () -> recv t
 
-let run t ?id ?deadline_ms ?retry ~program ~mode ~options () =
+let run t ?id ?deadline_ms ?retry ?record ~program ~mode ~options () =
   request t
-    (P.run_request_json ?id ?deadline_ms ?retry ~program ~mode ~options ())
+    (P.run_request_json ?id ?deadline_ms ?retry ?record ~program ~mode
+       ~options ())
+
+let replay t ?id ?deadline_ms ?retry ~trace () =
+  request t (P.replay_request_json ?id ?deadline_ms ?retry ~trace ())
 
 let stats t = request t (P.stats_request ())
 let ping t = request t (P.ping_request ())
@@ -130,8 +134,9 @@ type attempt_outcome =
   | Final of (J.t, string) result
   | Retryable of (J.t, string) result
 
-let attempt_once ~socket_path ~id ~deadline_ms ~program ~mode ~options
-    ~attempt =
+(* [request_json ~retry] builds the wire request for one attempt — the
+   retry loop is payload-agnostic, shared by program and trace submits. *)
+let attempt_once ~socket_path ~request_json ~attempt =
   match connect ~socket_path with
   | Error e ->
       (* The daemon was not reachable (refused, missing socket): nothing
@@ -139,9 +144,7 @@ let attempt_once ~socket_path ~id ~deadline_ms ~program ~mode ~options
       Retryable (Error e)
   | Ok c ->
       let outcome =
-        match
-          run c ?id ?deadline_ms ~retry:attempt ~program ~mode ~options ()
-        with
+        match request c (request_json ~retry:attempt) with
         | Error _ as e ->
             (* A transport failure after the request was sent is not
                provably pre-execution, and run requests are answered in
@@ -156,14 +159,10 @@ let attempt_once ~socket_path ~id ~deadline_ms ~program ~mode ~options
       close c;
       outcome
 
-let submit_with_retry ~socket_path ~policy ?id ?deadline_ms ~program ~mode
-    ~options () =
+let with_retry ~socket_path ~policy request_json =
   let prng = Arde.Prng.create policy.rp_jitter_seed in
   let rec go attempt =
-    match
-      attempt_once ~socket_path ~id ~deadline_ms ~program ~mode ~options
-        ~attempt
-    with
+    match attempt_once ~socket_path ~request_json ~attempt with
     | Final r -> (r, attempt)
     | Retryable r ->
         if attempt >= policy.rp_attempts then (r, attempt)
@@ -173,3 +172,13 @@ let submit_with_retry ~socket_path ~policy ?id ?deadline_ms ~program ~mode
         end
   in
   go 0
+
+let submit_with_retry ~socket_path ~policy ?id ?deadline_ms ?record ~program
+    ~mode ~options () =
+  with_retry ~socket_path ~policy (fun ~retry ->
+      P.run_request_json ?id ?deadline_ms ~retry ?record ~program ~mode
+        ~options ())
+
+let submit_trace_with_retry ~socket_path ~policy ?id ?deadline_ms ~trace () =
+  with_retry ~socket_path ~policy (fun ~retry ->
+      P.replay_request_json ?id ?deadline_ms ~retry ~trace ())

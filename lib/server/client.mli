@@ -25,6 +25,7 @@ val run :
   ?id:Arde.Json.t ->
   ?deadline_ms:int ->
   ?retry:int ->
+  ?record:bool ->
   program:string ->
   mode:Arde.Config.mode ->
   options:Arde.Options.t ->
@@ -33,7 +34,19 @@ val run :
 (** Submit a detection run; returns the whole response object (check
     {!Protocol.response_ok} / {!Protocol.response_error}, extract
     ["result"] and ["analysis_cache"] on success).  [retry] marks a
-    resend (see {!Protocol.run_request_json}). *)
+    resend (see {!Protocol.run_request_json}); [record] asks for the
+    binary trace back in the response's ["trace"] field (base64). *)
+
+val replay :
+  t ->
+  ?id:Arde.Json.t ->
+  ?deadline_ms:int ->
+  ?retry:int ->
+  trace:string ->
+  unit ->
+  (Arde.Json.t, string) result
+(** Submit a recorded binary trace ([trace] is the raw bytes) for
+    server-side replay; the response has the same shape as {!run}'s. *)
 
 val stats : t -> (Arde.Json.t, string) result
 val ping : t -> (Arde.Json.t, string) result
@@ -79,6 +92,7 @@ val submit_with_retry :
   policy:retry_policy ->
   ?id:Arde.Json.t ->
   ?deadline_ms:int ->
+  ?record:bool ->
   program:string ->
   mode:Arde.Config.mode ->
   options:Arde.Options.t ->
@@ -89,6 +103,17 @@ val submit_with_retry :
     the final outcome (the last retryable failure verbatim when the
     budget runs out — a completed response's own exit semantics are
     never masked) and the number of retries actually performed. *)
+
+val submit_trace_with_retry :
+  socket_path:string ->
+  policy:retry_policy ->
+  ?id:Arde.Json.t ->
+  ?deadline_ms:int ->
+  trace:string ->
+  unit ->
+  (Arde.Json.t, string) result * int
+(** {!submit_with_retry} for a recorded trace: replay is pure, so the
+    same idempotent-safe retry policy applies verbatim. *)
 
 (** {1 Low-level access} (protocol tests) *)
 

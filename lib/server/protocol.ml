@@ -95,27 +95,32 @@ let retryable_code = function
 (* ------------------------------------------------------------------ *)
 (* Requests                                                           *)
 
+(* What a run request asks the worker to do: execute a program (and
+   possibly record it), or replay a recorded trace.  The trace travels
+   base64-inside-JSON on the wire but is raw binary here — protocol
+   parsing is the only place that knows about the encoding. *)
+type program_request = {
+  rp_program : string;
+  rp_mode : Arde.Config.mode;
+  rp_options : Arde.Options.t;
+  rp_record : bool;
+}
+
+type run_payload = Rq_program of program_request | Rq_trace of string
+
 type run_request = {
   rq_id : J.t;
-  rq_program : string;
-  rq_mode : Arde.Config.mode;
-  rq_options : Arde.Options.t;
+  rq_payload : run_payload;
   rq_deadline_ms : int option;
   rq_retry : int; (* which retry attempt this is; 0 = first send *)
 }
 
 type request = Run of run_request | Stats of J.t | Ping of J.t
 
-let run_request_json ?(id = J.Null) ?deadline_ms ?retry ~program ~mode
-    ~options () =
+let run_json ?(id = J.Null) ?deadline_ms ?retry payload_fields =
   J.Obj
-    ([
-       ("type", J.String "run");
-       ("id", id);
-       ("program", J.String program);
-       ("mode", J.String (Arde.Config.mode_id mode));
-       ("options", Arde.Options.to_json options);
-     ]
+    ([ ("type", J.String "run"); ("id", id) ]
+    @ payload_fields
     @ (match deadline_ms with
       | None -> []
       | Some d -> [ ("deadline_ms", J.Int d) ])
@@ -123,6 +128,20 @@ let run_request_json ?(id = J.Null) ?deadline_ms ?retry ~program ~mode
     match retry with
     | None | Some 0 -> []
     | Some n -> [ ("retry", J.Int n) ])
+
+let run_request_json ?id ?deadline_ms ?retry ?(record = false) ~program
+    ~mode ~options () =
+  run_json ?id ?deadline_ms ?retry
+    ([
+       ("program", J.String program);
+       ("mode", J.String (Arde.Config.mode_id mode));
+       ("options", Arde.Options.to_json options);
+     ]
+    @ if record then [ ("record", J.Bool true) ] else [])
+
+let replay_request_json ?id ?deadline_ms ?retry ~trace () =
+  run_json ?id ?deadline_ms ?retry
+    [ ("trace", J.String (Arde.Base64.encode trace)) ]
 
 let stats_request ?(id = J.Null) () =
   J.Obj [ ("type", J.String "stats"); ("id", id) ]
@@ -152,20 +171,42 @@ let parse_request payload =
       | Some "stats" -> Ok (Stats id)
       | Some "run" ->
           let ( let* ) = Result.bind in
-          let* rq_program = str_field "program" in
-          let* mode_s = str_field "mode" in
-          let* rq_mode =
-            Result.map_error
-              (fun e -> (id, Bad_request, e))
-              (Arde.Config.parse_mode mode_s)
-          in
-          let* rq_options =
-            match J.member "options" j with
-            | None -> Ok (Arde.Options.make ())
-            | Some o ->
-                Result.map_error
-                  (fun e -> (id, Bad_request, "options: " ^ e))
-                  (Arde.Options.of_json o)
+          let* rq_payload =
+            match (J.member "trace" j, J.member "program" j) with
+            | Some _, Some _ ->
+                Error
+                  (id, Bad_request,
+                   "request carries both \"program\" and \"trace\"")
+            | Some t, None -> (
+                match J.to_str t with
+                | None ->
+                    Error
+                      (id, Bad_request, "missing or ill-typed field \"trace\"")
+                | Some b64 -> (
+                    match Arde.Base64.decode b64 with
+                    | Ok trace -> Ok (Rq_trace trace)
+                    | Error e -> Error (id, Bad_request, "trace: " ^ e)))
+            | None, _ ->
+                let* rp_program = str_field "program" in
+                let* mode_s = str_field "mode" in
+                let* rp_mode =
+                  Result.map_error
+                    (fun e -> (id, Bad_request, e))
+                    (Arde.Config.parse_mode mode_s)
+                in
+                let* rp_options =
+                  match J.member "options" j with
+                  | None -> Ok (Arde.Options.make ())
+                  | Some o ->
+                      Result.map_error
+                        (fun e -> (id, Bad_request, "options: " ^ e))
+                        (Arde.Options.of_json o)
+                in
+                let rp_record =
+                  Option.value ~default:false
+                    (Option.bind (J.member "record" j) J.to_bool)
+                in
+                Ok (Rq_program { rp_program; rp_mode; rp_options; rp_record })
           in
           let* rq_deadline_ms =
             match J.member "deadline_ms" j with
@@ -182,10 +223,7 @@ let parse_request payload =
             | Some n when n > 0 -> n
             | _ -> 0
           in
-          Ok
-            (Run
-               { rq_id = id; rq_program; rq_mode; rq_options; rq_deadline_ms;
-                 rq_retry })
+          Ok (Run { rq_id = id; rq_payload; rq_deadline_ms; rq_retry })
       | Some other ->
           Error (id, Bad_request,
                  Printf.sprintf "unknown request type %S" other)

@@ -79,11 +79,26 @@ val retryable_code : string -> bool
 
 (** {1 Requests} *)
 
+(** What a run request asks a worker to do.  [Rq_program] is the live
+    path: canonical TIR text ([Pretty.program_to_string]) plus mode and
+    knobs, with [rp_record] asking the worker to record the event stream
+    and return the binary trace alongside the result.  [Rq_trace] is the
+    replay-farm path: a complete {!Arde.Trace_codec} trace (raw bytes
+    here; base64 on the wire), replayed through a fresh engine without
+    re-executing the machine — mode and options come from the trace
+    header. *)
+type program_request = {
+  rp_program : string;
+  rp_mode : Arde.Config.mode;
+  rp_options : Arde.Options.t;
+  rp_record : bool;
+}
+
+type run_payload = Rq_program of program_request | Rq_trace of string
+
 type run_request = {
   rq_id : Arde.Json.t;  (** echoed verbatim in the response; [Null] if absent *)
-  rq_program : string;  (** canonical TIR text ([Pretty.program_to_string]) *)
-  rq_mode : Arde.Config.mode;
-  rq_options : Arde.Options.t;
+  rq_payload : run_payload;
   rq_deadline_ms : int option;
       (** wall-clock budget for the detection run; on expiry remaining
           seeds are cancelled cooperatively (the response still carries
@@ -102,13 +117,29 @@ val run_request_json :
   ?id:Arde.Json.t ->
   ?deadline_ms:int ->
   ?retry:int ->
+  ?record:bool ->
   program:string ->
   mode:Arde.Config.mode ->
   options:Arde.Options.t ->
   unit ->
   Arde.Json.t
 (** [retry] (when [> 0]) marks the request as the [n]-th resend of an
-    earlier attempt, feeding the server's [retries] counter. *)
+    earlier attempt, feeding the server's [retries] counter.  [record]
+    (default [false]) asks the worker to also record the run: the
+    response then carries a base64 ["trace"] field holding the binary
+    trace that reproduces the result. *)
+
+val replay_request_json :
+  ?id:Arde.Json.t ->
+  ?deadline_ms:int ->
+  ?retry:int ->
+  trace:string ->
+  unit ->
+  Arde.Json.t
+(** A run request carrying a recorded binary trace ([trace] is the raw
+    bytes; this function base64-encodes them).  The server routes it by
+    the program digest in the trace header and the worker replays
+    detection without executing the machine. *)
 
 val stats_request : ?id:Arde.Json.t -> unit -> Arde.Json.t
 val ping_request : ?id:Arde.Json.t -> unit -> Arde.Json.t

@@ -277,7 +277,21 @@ let handle_payload t conn payload =
   | Ok (P.Run req) -> (
       if req.P.rq_retry > 0 then
         t.counters.retries <- t.counters.retries + 1;
-      let digest = Digest.string req.P.rq_program in
+      let digest =
+        (* Affinity key: the program digest, so a trace of a program the
+           farm has seen lands on the worker whose caches are warm for
+           it.  A trace whose header cannot be read still routes (by the
+           raw bytes) — the worker, not the router, rejects it. *)
+        match req.P.rq_payload with
+        | P.Rq_program { rp_program; _ } -> Digest.string rp_program
+        | P.Rq_trace trace -> (
+            match Arde.Trace_codec.read_header trace with
+            | Ok h -> (
+                match Digest.from_hex h.Arde.Trace_codec.h_digest with
+                | d -> d
+                | exception Invalid_argument _ -> Digest.string trace)
+            | Error _ -> Digest.string trace)
+      in
       let preferred = Hashtbl.hash digest mod Supervisor.n_workers t.sup in
       match Supervisor.route t.sup ~preferred with
       | None ->

@@ -32,6 +32,9 @@ let root t = t.root
 let inflight_path t ~worker =
   Filename.concat t.root (Printf.sprintf "worker-%d.inflight.json" worker)
 
+let trace_path t ~worker =
+  Filename.concat t.root (Printf.sprintf "worker-%d.inflight.trace" worker)
+
 let schema = "arde-crash-bundle/1"
 
 (* The journal is written on EVERY run request, so its write must not
@@ -52,8 +55,12 @@ let journal t ~worker ~pid ~digest ~request =
   Util.write_file_atomic (inflight_path t ~worker)
     (J.to_string header ^ "\n" ^ request)
 
+let journal_trace t ~worker ~trace =
+  Util.write_file_atomic (trace_path t ~worker) trace
+
 let clear t ~worker =
-  try Sys.remove (inflight_path t ~worker) with Sys_error _ -> ()
+  (try Sys.remove (inflight_path t ~worker) with Sys_error _ -> ());
+  try Sys.remove (trace_path t ~worker) with Sys_error _ -> ()
 
 let read_inflight t ~worker =
   match Util.read_file (inflight_path t ~worker) with
@@ -77,23 +84,26 @@ let seal t ~worker ~reason =
   | Some entry ->
       t.seq <- t.seq + 1;
       let sealed_at = Unix.gettimeofday () in
+      (* A record-mode request that died during detection left its trace
+         beside the journal; fold it in so the postmortem can replay the
+         detection instead of re-executing the machine. *)
+      let trace_field =
+        match Util.read_file (trace_path t ~worker) with
+        | Ok trace -> [ ("trace", J.String (Arde.Base64.encode trace)) ]
+        | Error _ -> []
+      in
+      let tail =
+        trace_field
+        @ [
+            ("crash_reason", J.String reason);
+            ("sealed_at", J.Float sealed_at);
+          ]
+      in
       let bundle =
         match entry with
-        | J.Obj fields ->
-            J.Obj
-              (fields
-              @ [
-                  ("crash_reason", J.String reason);
-                  ("sealed_at", J.Float sealed_at);
-                ])
+        | J.Obj fields -> J.Obj (fields @ tail)
         | other ->
-            J.Obj
-              [
-                ("schema", J.String schema);
-                ("journal", other);
-                ("crash_reason", J.String reason);
-                ("sealed_at", J.Float sealed_at);
-              ]
+            J.Obj ((("schema", J.String schema) :: ("journal", other) :: tail))
       in
       let name =
         Printf.sprintf "crash-%.0f-w%d-%d.json" (sealed_at *. 1000.) worker
@@ -136,3 +146,11 @@ let bundle_request j =
   match J.member "request" j with
   | Some r -> Ok r
   | None -> Error "bundle carries no request"
+
+let bundle_trace j =
+  match Option.bind (J.member "trace" j) J.to_str with
+  | None -> Ok None
+  | Some b64 -> (
+      match Arde.Base64.decode b64 with
+      | Ok trace -> Ok (Some trace)
+      | Error e -> Error ("bundle trace: " ^ e))

@@ -36,8 +36,16 @@ val journal :
     the client's raw run-request bytes, written verbatim, so a replay
     re-parses exactly what arrived with the production parser. *)
 
+val journal_trace : t -> worker:int -> trace:string -> (unit, string) result
+(** Record the binary trace of the request the worker is executing,
+    alongside its journal.  Written by the worker between the cheap
+    recording pass and the expensive detection pass of a record-mode
+    request: if the worker dies during detection (a watchdog kill, a
+    crash), {!seal} folds the trace into the bundle and [arde
+    postmortem] replays detection from it instead of re-executing. *)
+
 val clear : t -> worker:int -> unit
-(** Remove the worker's journal (request completed normally). *)
+(** Remove the worker's journal and trace (request completed normally). *)
 
 val read_inflight : t -> worker:int -> Arde.Json.t option
 
@@ -55,3 +63,8 @@ val load : string -> (Arde.Json.t, string) result
 
 val bundle_request : Arde.Json.t -> (Arde.Json.t, string) result
 (** The journaled wire request inside a loaded bundle. *)
+
+val bundle_trace : Arde.Json.t -> (string option, string) result
+(** The binary trace sealed into a loaded bundle, when the crashed
+    request had recorded one ([Ok None] otherwise); [Error] on a
+    corrupted base64 field. *)

@@ -105,32 +105,93 @@ let lookup_program st ~digest text =
               Ok p))
 
 let execute st ~digest (req : P.run_request) =
-  match lookup_program st ~digest req.P.rq_program with
-  | Error msg -> P.error_response ~id:req.P.rq_id P.Bad_request msg
-  | Ok program -> (
-      let before = Arde.Analysis_cache.stats () in
-      let started = Unix.gettimeofday () in
-      let should_stop =
-        match req.P.rq_deadline_ms with
-        | None -> fun () -> false
-        | Some ms ->
-            fun () ->
-              (Unix.gettimeofday () -. started) *. 1000. > float_of_int ms
-      in
-      match
-        Arde.detect ~options:req.P.rq_options ~pool:st.pool ~should_stop
-          ~program_digest:digest req.P.rq_mode program
-      with
-      | result ->
-          let after = Arde.Analysis_cache.stats () in
-          let delta = Arde.Analysis_cache.stats_delta ~before ~after in
-          P.ok_response ~id:req.P.rq_id
-            [
-              ("result", Arde.Driver.result_to_json result);
-              ("analysis_cache", Arde.Analysis_cache.stats_to_json delta);
-            ]
-      | exception e ->
-          P.error_response ~id:req.P.rq_id P.Internal (Printexc.to_string e))
+  let before = Arde.Analysis_cache.stats () in
+  let started = Unix.gettimeofday () in
+  let should_stop =
+    match req.P.rq_deadline_ms with
+    | None -> fun () -> false
+    | Some ms ->
+        fun () -> (Unix.gettimeofday () -. started) *. 1000. > float_of_int ms
+  in
+  let respond result extra =
+    let after = Arde.Analysis_cache.stats () in
+    let delta = Arde.Analysis_cache.stats_delta ~before ~after in
+    P.ok_response ~id:req.P.rq_id
+      ([
+         ("result", Arde.Driver.result_to_json result);
+         ("analysis_cache", Arde.Analysis_cache.stats_to_json delta);
+       ]
+      @ extra)
+  in
+  match req.P.rq_payload with
+  | P.Rq_trace trace -> (
+      (* The replay-farm path: detection without the machine.  The
+         program comes out of the trace itself; [digest] (from the trace
+         header, via the supervisor) still keys the analysis cache, so
+         repeated replays of the same program skip the static phase. *)
+      match Arde.Recorded.of_string trace with
+      | Error msg -> P.error_response ~id:req.P.rq_id P.Bad_request ("trace: " ^ msg)
+      | Ok recorded -> (
+          let ctx =
+            Arde.Driver.ctx ~pool:st.pool ~should_stop ~program_digest:digest
+              ()
+          in
+          match Arde.detect ~ctx (Arde.Input.Recorded_trace recorded) with
+          | result -> respond result []
+          | exception e ->
+              P.error_response ~id:req.P.rq_id P.Internal (Printexc.to_string e)
+          ))
+  | P.Rq_program { rp_program; rp_mode; rp_options; rp_record } -> (
+      match lookup_program st ~digest rp_program with
+      | Error msg -> P.error_response ~id:req.P.rq_id P.Bad_request msg
+      | Ok program -> (
+          let ctx =
+            Arde.Driver.ctx ~options:rp_options ~pool:st.pool ~should_stop
+              ~program_digest:digest ()
+          in
+          if not rp_record then
+            match Arde.detect ~ctx ~mode:rp_mode (Arde.Input.Program program) with
+            | result -> respond result []
+            | exception e ->
+                P.error_response ~id:req.P.rq_id P.Internal
+                  (Printexc.to_string e)
+          else
+            (* Record-mode: the record/replay split live.  The cheap
+               recording pass runs first and the trace lands in the
+               spool before the expensive detection pass — so a worker
+               killed mid-detection seals a bundle whose trace replays
+               the detection deterministically.  The response's result
+               comes from replaying that very trace, which the identity
+               oracle guarantees equals the live run's. *)
+            match
+              Arde.record ~ctx ~mode:rp_mode ~source:"serve"
+                (Arde.Input.Program program)
+            with
+            | Error msg -> P.error_response ~id:req.P.rq_id P.Internal msg
+            | Ok { Arde.Driver.rec_trace; _ } -> (
+                (* Best-effort, like the request journal. *)
+                (match
+                   Spool.journal_trace st.spool ~worker:st.args.a_index
+                     ~trace:rec_trace
+                 with
+                | Ok () | Error _ -> ());
+                match Arde.Recorded.of_string rec_trace with
+                | Error msg ->
+                    P.error_response ~id:req.P.rq_id P.Internal
+                      ("recorded trace: " ^ msg)
+                | Ok recorded -> (
+                    match
+                      Arde.detect ~ctx (Arde.Input.Recorded_trace recorded)
+                    with
+                    | result ->
+                        respond result
+                          [ ("trace", J.String (Arde.Base64.encode rec_trace)) ]
+                    | exception e ->
+                        P.error_response ~id:req.P.rq_id P.Internal
+                          (Printexc.to_string e)))
+            | exception e ->
+                P.error_response ~id:req.P.rq_id P.Internal
+                  (Printexc.to_string e)))
 
 (* ------------------------------------------------------------------ *)
 (* The frame loop.  The supervisor hands us its socketpair end as our

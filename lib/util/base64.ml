@@ -1,0 +1,93 @@
+(* RFC 4648 standard base64.  See base64.mli. *)
+
+let alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+(* value of each byte in the alphabet; -1 elsewhere, -2 for '='. *)
+let rev_table =
+  let t = Array.make 256 (-1) in
+  String.iteri (fun i c -> t.(Char.code c) <- i) alphabet;
+  t.(Char.code '=') <- -2;
+  t
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create (((n + 2) / 3) * 4) in
+  let emit v = Buffer.add_char out alphabet.[v land 63] in
+  let i = ref 0 in
+  while !i + 3 <= n do
+    let b0 = Char.code s.[!i]
+    and b1 = Char.code s.[!i + 1]
+    and b2 = Char.code s.[!i + 2] in
+    emit (b0 lsr 2);
+    emit ((b0 lsl 4) lor (b1 lsr 4));
+    emit ((b1 lsl 2) lor (b2 lsr 6));
+    emit b2;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let b0 = Char.code s.[!i] in
+      emit (b0 lsr 2);
+      emit (b0 lsl 4);
+      Buffer.add_string out "=="
+  | 2 ->
+      let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] in
+      emit (b0 lsr 2);
+      emit ((b0 lsl 4) lor (b1 lsr 4));
+      emit (b1 lsl 2);
+      Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+exception Bad of string
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then
+    Error (Printf.sprintf "base64: length %d is not a multiple of 4" n)
+  else if n = 0 then Ok ""
+  else
+    try
+      let out = Buffer.create (n / 4 * 3) in
+      let v i =
+        match rev_table.(Char.code s.[i]) with
+        | -1 ->
+            raise
+              (Bad
+                 (Printf.sprintf "base64: invalid character %C at offset %d"
+                    s.[i] i))
+        | x -> x
+      in
+      let quad i =
+        (* '=' may appear only as the final one or two characters. *)
+        let last = i + 4 = n in
+        let c0 = v i and c1 = v (i + 1) and c2 = v (i + 2) and c3 = v (i + 3) in
+        if c0 = -2 || c1 = -2 then
+          raise (Bad "base64: misplaced padding")
+        else if c2 = -2 then begin
+          if (not last) || c3 <> -2 then raise (Bad "base64: misplaced padding");
+          if c1 land 0x0F <> 0 then
+            raise (Bad "base64: non-zero bits under padding");
+          Buffer.add_char out (Char.chr ((c0 lsl 2) lor (c1 lsr 4)))
+        end
+        else if c3 = -2 then begin
+          if not last then raise (Bad "base64: misplaced padding");
+          if c2 land 0x03 <> 0 then
+            raise (Bad "base64: non-zero bits under padding");
+          Buffer.add_char out (Char.chr ((c0 lsl 2) lor (c1 lsr 4)));
+          Buffer.add_char out (Char.chr (((c1 lsl 4) lor (c2 lsr 2)) land 0xFF))
+        end
+        else begin
+          Buffer.add_char out (Char.chr ((c0 lsl 2) lor (c1 lsr 4)));
+          Buffer.add_char out (Char.chr (((c1 lsl 4) lor (c2 lsr 2)) land 0xFF));
+          Buffer.add_char out (Char.chr (((c2 lsl 6) lor c3) land 0xFF))
+        end
+      in
+      let i = ref 0 in
+      while !i < n do
+        quad !i;
+        i := !i + 4
+      done;
+      Ok (Buffer.contents out)
+    with Bad msg -> Error msg

@@ -1,0 +1,14 @@
+(** RFC 4648 base64 (standard alphabet, padded) — how binary trace
+    bytes travel inside the JSON wire protocol and crash bundles.
+
+    Hand-rolled because the repository deliberately has no third-party
+    codec dependency; the decoder is strict so a corrupted bundle fails
+    loudly instead of yielding silently wrong trace bytes. *)
+
+val encode : string -> string
+(** Standard alphabet, ['='] padded, no line breaks. *)
+
+val decode : string -> (string, string) result
+(** Strict inverse: rejects characters outside the alphabet, lengths
+    that are not a multiple of four, misplaced padding, and non-zero
+    bits hidden under the padding.  [decode (encode s) = Ok s]. *)

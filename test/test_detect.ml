@@ -125,7 +125,8 @@ let test_classify () =
 
 let detect_bases ?(mode = Arde.Config.Helgrind_lib) ?(seeds = [ 1; 2; 3 ]) p =
   let options = Arde.Options.make ~seeds () in
-  Arde.Driver.racy_bases (Arde.detect ~options mode p)
+  Arde.Driver.racy_bases
+    (Arde.detect ~ctx:(Arde.Driver.ctx ~options ()) ~mode (Arde.Input.Program p))
 
 let two_workers ?(globals = []) body1 body2 =
   program
@@ -231,7 +232,11 @@ let test_spin_edges_counted () =
     | None -> Alcotest.fail "case missing"
   in
   let options = Arde.Options.make ~seeds:[ 1 ] () in
-  let res = Arde.detect ~options (Arde.Config.Helgrind_spin 7) c in
+  let res =
+    Arde.detect
+      ~ctx:(Arde.Driver.ctx ~options ())
+      ~mode:(Arde.Config.Helgrind_spin 7) (Arde.Input.Program c)
+  in
   let edges =
     List.fold_left (fun acc s -> acc + s.Arde.Driver.sr_spin_edges) 0
       res.Arde.Driver.runs
@@ -244,7 +249,10 @@ let test_short_vs_long_sensitivity () =
   let p = two_workers [ store (g "x") (imm 1) ] [ store (g "x") (imm 2) ] in
   let with_sens sensitivity =
     let options = Arde.Options.make ~seeds:[ 1; 2; 3; 4; 5 ] ~sensitivity () in
-    Arde.Driver.racy_bases (Arde.detect ~options Arde.Config.Helgrind_lib p)
+    Arde.Driver.racy_bases
+      (Arde.detect
+         ~ctx:(Arde.Driver.ctx ~options ())
+         ~mode:Arde.Config.Helgrind_lib (Arde.Input.Program p))
   in
   Alcotest.(check (list string)) "short-running reports" [ "x" ]
     (with_sens Arde.Msm.Short_running);

@@ -50,8 +50,9 @@ let result_bytes r = J.to_string (D.result_to_json (normalize r))
 let modes = C.all_table1_modes @ [ C.Nolib_spin_locks 7 ]
 
 let check_diff ?options name mode p =
-  let opt = D.run ?options ~engine:D.opt_engine mode p in
-  let ref_ = D.run ?options ~engine:D.ref_engine mode p in
+  let input = Arde.Input.Program p in
+  let opt = D.run ~ctx:(D.ctx ?options ~engine:D.opt_engine ()) ~mode input in
+  let ref_ = D.run ~ctx:(D.ctx ?options ~engine:D.ref_engine ()) ~mode input in
   Alcotest.(check string)
     (Printf.sprintf "%s under %s: optimized = reference" name
        (C.mode_name mode))

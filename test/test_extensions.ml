@@ -43,7 +43,8 @@ let test_future_work_mode_fixes_lockset_case () =
   | None -> Alcotest.fail "case missing"
   | Some c ->
       let bases mode =
-        Arde.Driver.racy_bases (Arde.detect mode c.Arde_workloads.Racey.program)
+        Arde.Driver.racy_bases
+          (Arde.detect ~mode (Arde.Input.Program c.Arde_workloads.Racey.program))
       in
       Alcotest.(check bool) "nolib+spin reports val" true
         (List.mem "val" (bases (Arde.Config.Nolib_spin 7)));
@@ -56,8 +57,9 @@ let test_future_work_mode_still_detects_races () =
   | Some c ->
       Alcotest.(check (list string)) "real races still reported" [ "x" ]
         (Arde.Driver.racy_bases
-           (Arde.detect (Arde.Config.Nolib_spin_locks 7)
-              c.Arde_workloads.Racey.program))
+           (Arde.detect
+              ~mode:(Arde.Config.Nolib_spin_locks 7)
+              (Arde.Input.Program c.Arde_workloads.Racey.program)))
 
 let test_mode_parsing () =
   Alcotest.(check bool) "parses the future-work mode" true
@@ -134,7 +136,11 @@ let test_lost_signal_detected () =
       ]
   in
   let options = Arde.Options.make ~seeds:(List.init 40 (fun i -> i + 1)) () in
-  let result = Arde.detect ~options Arde.Config.Helgrind_lib p in
+  let result =
+    Arde.detect
+      ~ctx:(Arde.Driver.ctx ~options ())
+      ~mode:Arde.Config.Helgrind_lib (Arde.Input.Program p)
+  in
   let lost =
     List.exists
       (fun sr ->
@@ -150,7 +156,10 @@ let test_no_lost_signal_when_correct () =
     Arde.Options.make ~seeds:(List.init 10 (fun i -> i + 1)) ()
   in
   let result =
-    Arde.detect ~options Arde.Config.Helgrind_lib (gate_program ~recheck:true)
+    Arde.detect
+      ~ctx:(Arde.Driver.ctx ~options ())
+      ~mode:Arde.Config.Helgrind_lib
+      (Arde.Input.Program (gate_program ~recheck:true))
   in
   List.iter
     (fun sr ->

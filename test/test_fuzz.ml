@@ -152,7 +152,10 @@ let prop_detectors_never_crash =
           let options =
             Arde.Options.make ~seeds:[ 1; 2 ] ()
           in
-          ignore (Arde.detect ~options mode p);
+          ignore
+            (Arde.detect
+               ~ctx:(Arde.Driver.ctx ~options ())
+               ~mode (Arde.Input.Program p));
           true)
         [
           Arde.Config.Helgrind_lib; Arde.Config.Helgrind_spin 7;

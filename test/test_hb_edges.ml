@@ -7,7 +7,8 @@ open Arde.Builder
 
 let bases ?(mode = Arde.Config.Nolib_spin 7) ?(seeds = 5) p =
   let options = Arde.Options.make ~seeds:(List.init seeds (fun i -> i + 1)) () in
-  Arde.Driver.racy_bases (Arde.detect ~options mode p)
+  Arde.Driver.racy_bases
+    (Arde.detect ~ctx:(Arde.Driver.ctx ~options ()) ~mode (Arde.Input.Program p))
 
 let all_modes =
   [
@@ -179,7 +180,10 @@ let test_futex_join_recovered () =
     | None -> Alcotest.fail "case missing"
   in
   Alcotest.(check (list string)) "join ordered under futex lowering" []
-    (Arde.Driver.racy_bases (Arde.detect ~options (Arde.Config.Nolib_spin 7) c))
+    (Arde.Driver.racy_bases
+       (Arde.detect
+          ~ctx:(Arde.Driver.ctx ~options ())
+          ~mode:(Arde.Config.Nolib_spin 7) (Arde.Input.Program c)))
 
 (* Detector memory accounting grows with distinct cells touched. *)
 let test_memory_accounting_monotone () =

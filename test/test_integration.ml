@@ -73,7 +73,10 @@ let parsec_contexts name mode =
           ~lower_style:info.Arde_workloads.Parsec.nolib_style ~fuel:4_000_000
           ()
       in
-      let result = Arde.detect ~options mode program in
+      let result =
+        Arde.detect ~ctx:(Arde.Driver.ctx ~options ()) ~mode
+          (Arde.Input.Program program)
+      in
       (List.hd result.Arde.Driver.runs).Arde.Driver.sr_contexts
 
 let test_clean_programs_stay_clean () =

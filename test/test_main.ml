@@ -22,6 +22,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("robustness", Test_robustness.suite);
       ("server", Test_server.suite);
+      ("replay", Test_replay.suite);
       ("parallel", Test_parallel.suite);
       ("engine-diff", Test_engine_diff.suite);
       ("machine-diff", Test_machine_diff.suite);

@@ -34,7 +34,9 @@ let strip_clamp_notes r =
 let result_bytes r = J.to_string (D.result_to_json (strip_clamp_notes r))
 
 let run_with_jobs ~jobs ?(options = O.default) mode p =
-  Arde.detect ~options:(O.with_jobs jobs options) mode p
+  Arde.detect
+    ~ctx:(Arde.Driver.ctx ~options:(O.with_jobs jobs options) ())
+    ~mode (Arde.Input.Program p)
 
 (* ------------------------------------------------------------------ *)
 (* Determinism across pool widths                                      *)
@@ -129,8 +131,14 @@ let test_cache_hits_on_repeated_runs () =
      prepared bundle (recording inner lower/instrument misses), and the
      repeat run is a single prepared hit that touches neither inner
      table. *)
-  ignore (Arde.detect ~options (Arde.Config.Nolib_spin 7) p);
-  ignore (Arde.detect ~options (Arde.Config.Nolib_spin 7) p);
+  let run () =
+    ignore
+      (Arde.detect
+         ~ctx:(Arde.Driver.ctx ~options ())
+         ~mode:(Arde.Config.Nolib_spin 7) (Arde.Input.Program p))
+  in
+  run ();
+  run ();
   let s = Arde.Analysis_cache.stats () in
   Alcotest.(check bool) "prepared cache hit" true
     (s.Arde.Analysis_cache.prepare_hits > 0);
@@ -189,8 +197,9 @@ let test_json_value_roundtrip () =
 let test_report_json_roundtrip () =
   let r =
     Arde.detect
-      ~options:(O.make ~seeds:[ 1; 2; 3 ] ())
-      Arde.Config.Helgrind_lib (racy_case "racy_counter/2")
+      ~ctx:(Arde.Driver.ctx ~options:(O.make ~seeds:[ 1; 2; 3 ] ()) ())
+      ~mode:Arde.Config.Helgrind_lib
+      (Arde.Input.Program (racy_case "racy_counter/2"))
   in
   let merged = r.D.merged in
   Alcotest.(check bool) "report is non-trivial" true
@@ -215,7 +224,10 @@ let test_health_json_roundtrip () =
       (Arde.Chaos.Crash_at 30)
   in
   let r =
-    Arde.detect ~options Arde.Config.Helgrind_lib (racy_case "racy_counter/2")
+    Arde.detect
+      ~ctx:(Arde.Driver.ctx ~options ())
+      ~mode:Arde.Config.Helgrind_lib
+      (Arde.Input.Program (racy_case "racy_counter/2"))
   in
   let h = r.D.health in
   match D.health_of_json (D.health_to_json h) with

@@ -49,9 +49,13 @@ let test_parse_detect () =
   let p = Arde.Parse.program_exn simple_source in
   Alcotest.(check bool) "lib mode flags data" true
     (List.mem "data"
-       (Arde.Driver.racy_bases (Arde.detect Arde.Config.Helgrind_lib p)));
+       (Arde.Driver.racy_bases
+          (Arde.detect ~mode:Arde.Config.Helgrind_lib (Arde.Input.Program p))));
   Alcotest.(check (list string)) "spin mode clean" []
-    (Arde.Driver.racy_bases (Arde.detect (Arde.Config.Helgrind_spin 7) p))
+    (Arde.Driver.racy_bases
+       (Arde.detect
+          ~mode:(Arde.Config.Helgrind_spin 7)
+          (Arde.Input.Program p)))
 
 let expect_error ~line source =
   match Arde.Parse.program source with

@@ -127,7 +127,9 @@ let prop_spin_only_removes =
           Arde.Options.make ~seeds:[ 1; 2 ] ()
         in
         Arde.Driver.racy_bases
-          (Arde.detect ~options mode c.Arde_workloads.Racey.program)
+          (Arde.detect
+             ~ctx:(Arde.Driver.ctx ~options ())
+             ~mode (Arde.Input.Program c.Arde_workloads.Racey.program))
       in
       let lib = bases Arde.Config.Helgrind_lib in
       let spin = bases (Arde.Config.Helgrind_spin 7) in

@@ -13,6 +13,13 @@ let spin_mode = Arde.Config.Helgrind_spin 7
 let options ?(seeds = [ 1; 2; 3 ]) ?(fuel = 30_000) ?inject () =
   Arde.Options.make ~seeds ~fuel ?inject ()
 
+(* Every probe drives the same front door; the optional arguments fold
+   into the run context. *)
+let detect ?pool ?should_stop ~options mode p =
+  Arde.detect
+    ~ctx:(D.ctx ~options ?pool ?should_stop ())
+    ~mode (Arde.Input.Program p)
+
 (* ------------------------------------------------------------------ *)
 (* Workloads with known pathologies                                    *)
 
@@ -70,7 +77,7 @@ let invalid_program =
 let seed_outcomes r = List.map (fun sr -> sr.D.sr_outcome) r.D.runs
 
 let test_deadlock () =
-  let r = Arde.detect ~options:(options ()) spin_mode deadlock_program in
+  let r = detect ~options:(options ()) spin_mode deadlock_program in
   List.iter
     (function
       | D.Completed (M.Deadlock _) -> ()
@@ -80,7 +87,7 @@ let test_deadlock () =
   Alcotest.(check bool) "degraded" true (r.D.health.D.h_verdict = D.Degraded)
 
 let test_livelock_attribution () =
-  let r = Arde.detect ~options:(options ~fuel:20_000 ()) spin_mode livelock_program in
+  let r = detect ~options:(options ~fuel:20_000 ()) spin_mode livelock_program in
   List.iter
     (function
       | D.Completed (M.Livelock [ site ]) ->
@@ -106,7 +113,7 @@ let test_livelock_attribution () =
   | _ -> assert false
 
 let test_benign_fuel_exhaustion () =
-  let r = Arde.detect ~options:(options ~fuel:1_000 ()) spin_mode busy_program in
+  let r = detect ~options:(options ~fuel:1_000 ()) spin_mode busy_program in
   List.iter
     (function
       | D.Completed M.Fuel_exhausted -> ()
@@ -119,7 +126,7 @@ let test_benign_fuel_exhaustion () =
   Alcotest.(check int) "no livelock claimed" 0 r.D.health.D.h_livelocked
 
 let test_program_fault () =
-  let r = Arde.detect ~options:(options ()) spin_mode faulty_program in
+  let r = detect ~options:(options ()) spin_mode faulty_program in
   List.iter
     (function
       | D.Completed (M.Fault { msg; _ }) ->
@@ -143,7 +150,7 @@ let test_crash_isolated () =
         if !count = 10 then failwith "boom")
     else fun _ev -> ()
   in
-  let r = Arde.detect ~options:(options ~inject ()) spin_mode racy_program in
+  let r = detect ~options:(options ~inject ()) spin_mode racy_program in
   Alcotest.(check int) "one seed crashed" 1 r.D.health.D.h_crashed;
   Alcotest.(check int) "others finished" 2 r.D.health.D.h_finished;
   Alcotest.(check bool) "degraded, not failed" true
@@ -167,7 +174,7 @@ let test_all_seeds_crash () =
       incr count;
       if !count = 5 then failwith "chaos everywhere"
   in
-  let r = Arde.detect ~options:(options ~inject ()) spin_mode racy_program in
+  let r = detect ~options:(options ~inject ()) spin_mode racy_program in
   Alcotest.(check int) "all crashed" 3 r.D.health.D.h_crashed;
   Alcotest.(check bool) "failed" true (r.D.health.D.h_verdict = D.Failed)
 
@@ -175,7 +182,7 @@ let test_all_seeds_crash () =
    machine itself: a Fault outcome at the chaos location, not a crash. *)
 let test_injected_machine_fault () =
   let opts = Arde.Chaos.apply (options ()) (Arde.Chaos.Fault_at 5) in
-  let r = Arde.detect ~options:opts spin_mode racy_program in
+  let r = detect ~options:opts spin_mode racy_program in
   List.iter
     (function
       | D.Completed (M.Fault { floc; _ }) ->
@@ -188,7 +195,7 @@ let test_injected_machine_fault () =
 (* The pipeline itself cannot start (program fails validation): Failed
    health record, no exception. *)
 let test_pipeline_failure () =
-  let r = Arde.detect ~options:(options ()) spin_mode invalid_program in
+  let r = detect ~options:(options ()) spin_mode invalid_program in
   Alcotest.(check int) "no runs" 0 (List.length r.D.runs);
   Alcotest.(check bool) "failed" true (r.D.health.D.h_verdict = D.Failed);
   Alcotest.(check bool) "pipeline note recorded" true
@@ -227,7 +234,7 @@ let prop_never_raises =
     (fun (pseed, case) ->
       let p = Arde.Chaos.gen (Arde.Prng.create pseed) in
       let opts = Arde.Chaos.apply (options ~fuel:100_000 ()) p in
-      match Arde.detect ~options:opts spin_mode case.Arde_workloads.Racey.program with
+      match detect ~options:opts spin_mode case.Arde_workloads.Racey.program with
       | r ->
           health_coherent r.D.health
           && List.length r.D.runs = List.length opts.Arde.Options.seeds
@@ -283,13 +290,13 @@ let test_verdict_stability () =
   let flips = ref [] and compared = ref 0 in
   List.iter
     (fun (c : Arde_workloads.Racey.case) ->
-      let base = Arde.detect ~options:baseline_opts spin_mode c.program in
+      let base = detect ~options:baseline_opts spin_mode c.program in
       List.iter
         (fun policy ->
           let opts =
             Arde.Chaos.apply baseline_opts (Arde.Chaos.Adversarial_policy policy)
           in
-          let perturbed = Arde.detect ~options:opts spin_mode c.program in
+          let perturbed = detect ~options:opts spin_mode c.program in
           if healthy base && healthy perturbed then begin
             incr compared;
             let b = verdict base c and p = verdict perturbed c in
@@ -330,7 +337,7 @@ let test_cancelled_run_salvages_reports () =
     !started > 1
   in
   let options = options ~seeds:[ 1; 2; 3; 4; 5 ] () |> Arde.Options.with_jobs 1 in
-  let r = Arde.detect ~options ~should_stop spin_mode racy_program in
+  let r = detect ~options ~should_stop spin_mode racy_program in
   Alcotest.(check int) "one seed ran" 1 r.D.health.D.h_finished;
   Alcotest.(check int) "rest cancelled" 4 r.D.health.D.h_cancelled;
   Alcotest.(check bool) "degraded, not failed" true
@@ -357,7 +364,7 @@ let test_cancelled_run_salvages_reports () =
 let test_cancelled_before_start () =
   let options = options () |> Arde.Options.with_jobs 1 in
   let r =
-    Arde.detect ~options ~should_stop:(fun () -> true) spin_mode racy_program
+    detect ~options ~should_stop:(fun () -> true) spin_mode racy_program
   in
   Alcotest.(check int) "everything cancelled" 3 r.D.health.D.h_cancelled;
   Alcotest.(check bool) "degraded (cancellation is voluntary)" true
@@ -372,7 +379,7 @@ let test_cancelled_health_round_trips () =
     stop := true;
     s
   in
-  let r = Arde.detect ~options ~should_stop spin_mode racy_program in
+  let r = detect ~options ~should_stop spin_mode racy_program in
   Alcotest.(check int) "two cancelled" 2 r.D.health.D.h_cancelled;
   match D.health_of_json (D.health_to_json r.D.health) with
   | Ok h -> Alcotest.(check bool) "health round-trips" true (h = r.D.health)
@@ -384,11 +391,11 @@ let test_cancelled_run_on_resident_pool () =
     ~finally:(fun () -> Arde.Domain_pool.shutdown pool)
     (fun () ->
       let options = options ~seeds:[ 1; 2; 3; 4; 5; 6 ] () in
-      let r = Arde.detect ~options ~pool spin_mode racy_program in
+      let r = detect ~options ~pool spin_mode racy_program in
       Alcotest.(check int) "all seeds ran on the pool" 6
         r.D.health.D.h_finished;
       (* byte-identical to the spawning path *)
-      let r' = Arde.detect ~options spin_mode racy_program in
+      let r' = detect ~options spin_mode racy_program in
       Alcotest.(check string) "pool result identical to spawn result"
         (Arde.Json.to_string (D.result_to_json r'))
         (Arde.Json.to_string (D.result_to_json r)))

@@ -74,15 +74,19 @@ let test_request_roundtrip () =
       ~mode ~options ()
   in
   match P.parse_request (J.to_string req) with
-  | Ok (P.Run r) ->
+  | Ok (P.Run r) -> (
       check Alcotest.string "id" "42" (J.to_string r.P.rq_id);
-      checks "program" "entry = m\n" r.P.rq_program;
-      checks "mode" "nolib+spin:5" (Arde.Config.mode_id r.P.rq_mode);
       check (Alcotest.option Alcotest.int) "deadline" (Some 750)
         r.P.rq_deadline_ms;
-      checks "options survive the wire"
-        (J.to_string (Arde.Options.to_json options))
-        (J.to_string (Arde.Options.to_json r.P.rq_options))
+      match r.P.rq_payload with
+      | P.Rq_program p ->
+          checks "program" "entry = m\n" p.P.rp_program;
+          checks "mode" "nolib+spin:5" (Arde.Config.mode_id p.P.rp_mode);
+          checkb "record defaults to off" false p.P.rp_record;
+          checks "options survive the wire"
+            (J.to_string (Arde.Options.to_json options))
+            (J.to_string (Arde.Options.to_json p.P.rp_options))
+      | P.Rq_trace _ -> Alcotest.fail "parsed as a trace request")
   | Ok _ -> Alcotest.fail "parsed as a non-run request"
   | Error (_, _, e) -> Alcotest.failf "parse_request: %s" e
 
@@ -310,7 +314,11 @@ let identity_options =
   Arde.Options.make ~seeds:(List.init 16 (fun i -> i + 1)) ~fuel:30_000 ()
 
 let local_result_string case mode =
-  let r = Arde.detect ~options:identity_options mode case.W.Racey.program in
+  let r =
+    Arde.detect
+      ~ctx:(Arde.Driver.ctx ~options:identity_options ())
+      ~mode (Arde.Input.Program case.W.Racey.program)
+  in
   J.to_string (Arde.Driver.result_to_json r)
 
 let served_result_string cl case mode =
@@ -342,6 +350,61 @@ let test_byte_identity () =
                     (served_result_string cl case mode))
                 Arde.Config.all_table1_modes)
             cases))
+
+(* The replay farm: a record-mode run returns the binary trace in its
+   response, and submitting that trace back — with no program, mode or
+   options of its own — reproduces the result byte-for-byte, as does a
+   local replay of the very same bytes. *)
+let test_record_then_server_replay () =
+  let case = List.hd (identity_cases ()) in
+  let mode = Arde.Config.Helgrind_spin 7 in
+  with_server ~jobs:1 (fun srv ->
+      with_client srv (fun cl ->
+          let resp =
+            ok_exn "record run"
+              (C.run cl ~record:true
+                 ~program:(Arde.Pretty.program_to_string case.W.Racey.program)
+                 ~mode ~options:identity_options ())
+          in
+          if not (P.response_ok resp) then
+            Alcotest.failf "record run refused: %s" (error_code resp);
+          let recorded_result =
+            match J.member "result" resp with
+            | Some r -> J.to_string r
+            | None -> Alcotest.fail "record response without result"
+          in
+          checks "record-mode result matches the local driver"
+            (local_result_string case mode)
+            recorded_result;
+          let trace =
+            match Option.bind (J.member "trace" resp) J.to_str with
+            | None -> Alcotest.fail "record response without trace"
+            | Some b64 -> ok_exn "trace base64" (Arde.Base64.decode b64)
+          in
+          let replay_resp = ok_exn "replay" (C.replay cl ~trace ()) in
+          if not (P.response_ok replay_resp) then
+            Alcotest.failf "replay refused: %s" (error_code replay_resp);
+          (match J.member "result" replay_resp with
+          | None -> Alcotest.fail "replay response without result"
+          | Some r ->
+              checks "served replay reproduces the recorded result"
+                recorded_result (J.to_string r));
+          (* the same bytes replayed in-process agree too *)
+          let recorded =
+            ok_exn "local load" (Arde.Recorded.of_string trace)
+          in
+          let local_replay =
+            Arde.detect (Arde.Input.Recorded_trace recorded)
+          in
+          checks "local replay reproduces the recorded result" recorded_result
+            (J.to_string (Arde.Driver.result_to_json local_replay));
+          (* hostile trace bytes are a structured refusal, not a crash *)
+          let bad = ok_exn "bad replay" (C.replay cl ~trace:"garbage" ()) in
+          checkb "garbage trace refused" true (not (P.response_ok bad));
+          checks "garbage trace is bad_request" "bad_request" (error_code bad);
+          match C.ping cl with
+          | Ok r when P.response_ok r -> ()
+          | _ -> Alcotest.fail "connection did not survive the bad trace"))
 
 (* Eight concurrent clients, mixed valid and invalid traffic: every
    valid request's result must still be byte-identical to the local
@@ -844,15 +907,18 @@ let test_worker_crash_structured () =
           let meta = ok_exn "load bundle" (Spool.load bundle) in
           let req_json = ok_exn "bundle request" (Spool.bundle_request meta) in
           match P.parse_request (J.to_string req_json) with
-          | Ok (P.Run req) ->
-              checks "journaled program is verbatim" program req.P.rq_program;
+          | Ok (P.Run { P.rq_payload = P.Rq_program rp; _ }) ->
+              checks "journaled program is verbatim" program rp.P.rp_program;
               let replayed =
-                Arde.detect ~options:req.P.rq_options req.P.rq_mode
-                  (Result.get_ok (Arde.Parse.program req.P.rq_program))
+                Arde.detect
+                  ~ctx:(Arde.Driver.ctx ~options:rp.P.rp_options ())
+                  ~mode:rp.P.rp_mode (Arde.Input.Text rp.P.rp_program)
               in
               let local =
-                Arde.detect ~options:quick_options Arde.Config.Helgrind_lib
-                  case.W.Racey.program
+                Arde.detect
+                  ~ctx:(Arde.Driver.ctx ~options:quick_options ())
+                  ~mode:Arde.Config.Helgrind_lib
+                  (Arde.Input.Program case.W.Racey.program)
               in
               checks "replay is byte-identical to the direct driver"
                 (J.to_string (Arde.Driver.result_to_json local))
@@ -872,8 +938,10 @@ let test_crash_storm () =
         ( c.W.Racey.name,
           J.to_string
             (Arde.Driver.result_to_json
-               (Arde.detect ~options:quick_options Arde.Config.Helgrind_lib
-                  c.W.Racey.program)) ))
+               (Arde.detect
+                  ~ctx:(Arde.Driver.ctx ~options:quick_options ())
+                  ~mode:Arde.Config.Helgrind_lib
+                  (Arde.Input.Program c.W.Racey.program))) ))
       cases
   in
   with_server ~workers:2 ~chaos_plan:"kill:8" (fun srv ->
@@ -1136,8 +1204,10 @@ let test_drain_races_cold_fill () =
       checks "byte-identical to the direct driver"
         (J.to_string
            (Arde.Driver.result_to_json
-              (Arde.detect ~options:quick_options Arde.Config.Helgrind_lib
-                 case.W.Racey.program)))
+              (Arde.detect
+                 ~ctx:(Arde.Driver.ctx ~options:quick_options ())
+                 ~mode:Arde.Config.Helgrind_lib
+                 (Arde.Input.Program case.W.Racey.program))))
         (J.to_string
            (Option.value ~default:J.Null (J.member "result" resp)));
       C.close cl;
@@ -1206,6 +1276,8 @@ let suite =
       test_scheduler_admission;
     Alcotest.test_case "served results are byte-identical to the driver"
       `Quick test_byte_identity;
+    Alcotest.test_case "record-mode run replays identically on the farm"
+      `Quick test_record_then_server_replay;
     Alcotest.test_case "8 concurrent clients, mixed valid and invalid"
       `Quick test_concurrent_clients;
     Alcotest.test_case "malformed frames against a live server" `Quick

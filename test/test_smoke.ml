@@ -50,7 +50,7 @@ let flag_program =
     ~globals:[ global "data" (); global "flag" () ]
     ~entry:"main" [ main; worker1; worker2 ]
 
-let detect mode = Arde.detect mode flag_program
+let detect mode = Arde.detect ~mode (Arde.Input.Program flag_program)
 
 let test_runs_clean () =
   let res = Arde.Machine.run_program Arde.Machine.default_config flag_program in

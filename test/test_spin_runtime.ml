@@ -115,7 +115,11 @@ let test_exit_by_return_closes_context () =
   Alcotest.(check int) "all closed" enters exits
 
 let test_edge_still_drawn_through_return () =
-  let result = Arde.detect (Arde.Config.Helgrind_spin 7) exit_by_return_program in
+  let result =
+    Arde.detect
+      ~mode:(Arde.Config.Helgrind_spin 7)
+      (Arde.Input.Program exit_by_return_program)
+  in
   Alcotest.(check (list string)) "data ordered through the returned loop" []
     (Arde.Driver.racy_bases result)
 
@@ -147,7 +151,11 @@ let test_body_accesses_not_suppressed () =
   Alcotest.(check bool) "flag marked" true (Arde.Instrument.is_sync_base inst "flag");
   Alcotest.(check bool) "noise not marked" false
     (Arde.Instrument.is_sync_base inst "noise");
-  let result = Arde.detect (Arde.Config.Helgrind_spin 7) body_access_program in
+  let result =
+    Arde.detect
+      ~mode:(Arde.Config.Helgrind_spin 7)
+      (Arde.Input.Program body_access_program)
+  in
   Alcotest.(check bool) "the unrelated body write is still reported" true
     (List.mem "noise" (Arde.Driver.racy_bases result))
 
