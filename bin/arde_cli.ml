@@ -431,6 +431,26 @@ let record_cmd =
       const run $ name_arg $ mode_arg $ common_opts $ out_arg $ detect_arg
       $ format_arg)
 
+let wire_arg =
+  let wire_conv =
+    Arg.conv
+      ( (fun s ->
+          Result.map_error
+            (fun e -> `Msg e)
+            (Arde_server.Protocol.parse_wire s)),
+        fun ppf w ->
+          Format.pp_print_string ppf (Arde_server.Protocol.wire_name w) )
+  in
+  Arg.(
+    value
+    & opt wire_conv Arde_server.Protocol.Json
+    & info [ "wire" ] ~docv:"WIRE"
+        ~doc:
+          "Request encoding on the serve socket: $(b,json) (default) or \
+           $(b,binary).  Binary negotiates via a hello handshake and \
+           carries programs and traces as raw bytes; responses and exit \
+           codes are byte-identical either way.")
+
 let replay_cmd =
   let file_arg =
     Arg.(
@@ -447,7 +467,7 @@ let replay_cmd =
             "Submit the trace to a running $(b,arde serve) daemon (the \
              replay-farm path) instead of replaying locally.")
   in
-  let run file socket format =
+  let run file socket wire format =
     match read_binary_file file with
     | Error e ->
         prerr_endline ("replay: " ^ e);
@@ -468,7 +488,7 @@ let replay_cmd =
         | Some socket_path -> (
             let reply, _attempts =
               Arde_server.Client.submit_trace_with_retry ~socket_path
-                ~policy:Arde_server.Client.no_retry ~trace ()
+                ~policy:Arde_server.Client.no_retry ~wire ~trace ()
             in
             match reply with
             | Error e ->
@@ -522,7 +542,7 @@ let replay_cmd =
           re-executing the program; the output (and exit code 0-3) is \
           byte-identical to the run that recorded it.  Exit 4 on an \
           unreadable trace or a transport error.")
-    Term.(const run $ file_arg $ socket_opt_arg $ format_arg)
+    Term.(const run $ file_arg $ socket_opt_arg $ wire_arg $ format_arg)
 
 (* ---- trace ---- *)
 
@@ -629,6 +649,12 @@ let trace_cmd =
                                       ("seed", J.Int s.C.y_seed);
                                       ("events", J.Int s.C.y_n_events);
                                       ("bytes", J.Int s.C.y_bytes);
+                                      ( "bytes_per_event",
+                                        if s.C.y_n_events = 0 then J.Null
+                                        else
+                                          J.Float
+                                            (float_of_int s.C.y_bytes
+                                            /. float_of_int s.C.y_n_events) );
                                       ("steps", J.Int s.C.y_steps);
                                       ( "outcome",
                                         J.String
@@ -649,9 +675,18 @@ let trace_cmd =
                     (String.length h.C.h_program);
                   List.iter
                     (fun s ->
+                      let per_event =
+                        if s.C.y_n_events = 0 then "    -"
+                        else
+                          Printf.sprintf "%5.2f"
+                            (float_of_int s.C.y_bytes
+                            /. float_of_int s.C.y_n_events)
+                      in
                       Printf.printf
-                        "seed %4d: %7d events, %7d bytes, %8d steps, %s\n"
-                        s.C.y_seed s.C.y_n_events s.C.y_bytes s.C.y_steps
+                        "seed %4d: %7d events, %7d bytes (%s B/event), %8d \
+                         steps, %s\n"
+                        s.C.y_seed s.C.y_n_events s.C.y_bytes per_event
+                        s.C.y_steps
                         (codec_outcome_name s.C.y_outcome))
                     summaries))
     in
@@ -886,16 +921,30 @@ let serve_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the stderr event log.")
   in
+  let max_frame_mb_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-frame-mb" ] ~docv:"MIB"
+          ~doc:
+            "Frame-size cap in MiB (default 8).  An oversized frame is \
+             refused with a structured $(b,bad_frame) error naming the \
+             limit; binary clients learn the cap from the hello \
+             handshake.")
+  in
   let run socket workers max_pending jobs default_deadline_ms spool
-      watchdog_ms chaos_plan quiet =
+      watchdog_ms max_frame_mb chaos_plan quiet =
+    if max_frame_mb <= 0 then begin
+      prerr_endline "serve: --max-frame-mb must be positive";
+      exit 1
+    end;
     let log =
       if quiet then ignore
       else fun m -> Printf.eprintf "[arde-serve] %s\n%!" m
     in
     let cfg =
-      Arde_server.Server.config ~workers ~max_pending ?jobs
-        ?default_deadline_ms ~watchdog_ms ?spool_dir:spool ~chaos_plan ~log
-        ~socket_path:socket ()
+      Arde_server.Server.config ~workers ~max_pending
+        ~max_frame:(max_frame_mb * 1024 * 1024) ?jobs ?default_deadline_ms
+        ~watchdog_ms ?spool_dir:spool ~chaos_plan ~log ~socket_path:socket ()
     in
     match Arde_server.Server.create cfg with
     | Error e ->
@@ -918,7 +967,8 @@ let serve_cmd =
           and exits 0.")
     Term.(
       const run $ socket_arg $ workers_arg $ max_pending_arg $ jobs_arg
-      $ deadline_arg $ spool_arg $ watchdog_arg $ chaos_plan_arg $ quiet_arg)
+      $ deadline_arg $ spool_arg $ watchdog_arg $ max_frame_mb_arg
+      $ chaos_plan_arg $ quiet_arg)
 
 let submit_cmd =
   let retries_arg =
@@ -940,7 +990,7 @@ let submit_cmd =
             "First retry delay; doubles per retry (capped at 40x) with \
              deterministic jitter in [0.5, 1.5) of the nominal delay.")
   in
-  let run socket name mode opts deadline_ms retries retry_backoff_ms =
+  let run socket name mode opts deadline_ms retries retry_backoff_ms wire =
     match find_program name with
     | Error e ->
         prerr_endline e;
@@ -956,7 +1006,7 @@ let submit_cmd =
         in
         let reply, attempts =
           Arde_server.Client.submit_with_retry ~socket_path:socket ~policy
-            ?deadline_ms ~program ~mode ~options ()
+            ~wire ?deadline_ms ~program ~mode ~options ()
         in
         if attempts > 0 then
           Printf.eprintf "submit: retried %d time%s\n%!" attempts
@@ -1002,11 +1052,11 @@ let submit_cmd =
           an exhausted retry budget).")
     Term.(
       const run $ socket_arg $ name_arg $ mode_arg $ common_opts
-      $ deadline_arg $ retries_arg $ retry_backoff_arg)
+      $ deadline_arg $ retries_arg $ retry_backoff_arg $ wire_arg)
 
 let stats_cmd =
   let run socket =
-    match Arde_server.Client.connect ~socket_path:socket with
+    match Arde_server.Client.connect ~socket_path:socket () with
     | Error e ->
         prerr_endline ("stats: " ^ e);
         exit 4
@@ -1058,16 +1108,17 @@ let postmortem_cmd =
         | Error e ->
             prerr_endline ("postmortem: " ^ e);
             exit 1
-        | Ok req_json -> (
+        | Ok raw_request -> (
             (* Replay through the production request parser: the bundle
-               stores the verbatim wire request, so a replay exercises
-               exactly the path the crashed worker took. *)
-            match P.parse_request (J.to_string req_json) with
+               stores the verbatim wire request (on either wire), so a
+               replay exercises exactly the path the crashed worker
+               took. *)
+            match P.parse_request raw_request with
             | Error (_, code, msg) ->
                 Printf.eprintf "postmortem: unreplayable request (%s): %s\n"
                   (P.code_name code) msg;
                 exit 1
-            | Ok (P.Ping _ | P.Stats _) ->
+            | Ok (P.Ping _ | P.Stats _ | P.Hello) ->
                 prerr_endline "postmortem: bundle holds a non-run request";
                 exit 1
             | Ok (P.Run req) ->

@@ -65,11 +65,13 @@ type t = {
 
 let spin_active_cfg cfg = Config.spin_k cfg.Config.mode <> None
 
-let create ?(cv_mutexes = []) ?(inferred_locks = []) cfg ~instrument =
+let create ?(cv_mutexes = []) ?(inferred_locks = []) ?(threads = max_threads)
+    cfg ~instrument =
   let cvm = Hashtbl.create 4 in
   List.iter (fun b -> Hashtbl.replace cvm b ()) cv_mutexes;
   let inf = Hashtbl.create 4 in
   List.iter (fun b -> Hashtbl.replace inf b ()) inferred_locks;
+  let cap_threads = max threads max_threads in
   let mode = cfg.Config.mode in
   {
     cfg;
@@ -85,10 +87,10 @@ let create ?(cv_mutexes = []) ?(inferred_locks = []) cfg ~instrument =
     f_lockset_active =
       Config.use_lockset mode
       || (Config.infer_locks mode && Hashtbl.length inf > 0);
-    vcs = Array.init max_threads (fun _ -> Vc.make_mut max_threads);
-    snaps = Array.make max_threads Vc.bottom;
-    snap_ok = Array.make max_threads true; (* bottom is a valid snapshot *)
-    exit_vcs = Array.make max_threads Vc.bottom;
+    vcs = Array.init cap_threads (fun tid -> Vc.make_mut ~owner:tid cap_threads);
+    snaps = Array.make cap_threads Vc.bottom;
+    snap_ok = Array.make cap_threads true; (* bottom is a valid snapshot *)
+    exit_vcs = Array.make cap_threads Vc.bottom;
     held = Lockset.Held.create ();
     shadow = Sh.create ();
     mutex_vc = Hashtbl.create 8;

@@ -21,6 +21,7 @@ type t
 val create :
   ?cv_mutexes:string list ->
   ?inferred_locks:string list ->
+  ?threads:int ->
   Config.t ->
   instrument:Arde_cfg.Instrument.t option ->
   t
@@ -29,7 +30,9 @@ val create :
     associated with a condition variable (statically, via [cond_wait]):
     Helgrind+'s condition-variable pattern handling draws lock-order edges
     for exactly these mutexes, so gate-under-mutex fast paths do not
-    false-positive in hybrid mode. *)
+    false-positive in hybrid mode.  [threads] raises the per-thread
+    capacity above [Tir.Types.max_threads] for hand-built event streams
+    (the machine itself never exceeds the cap). *)
 
 val observer : t -> Arde_runtime.Event.t -> unit
 val report : t -> Report.t

@@ -26,18 +26,20 @@ type t = {
   mutable spin_edges : int;
 }
 
-let create ?(cv_mutexes = []) ?(inferred_locks = []) cfg ~instrument =
+let create ?(cv_mutexes = []) ?(inferred_locks = []) ?(threads = max_threads)
+    cfg ~instrument =
   let cvm = Hashtbl.create 4 in
   List.iter (fun b -> Hashtbl.replace cvm b ()) cv_mutexes;
   let inf = Hashtbl.create 4 in
   List.iter (fun b -> Hashtbl.replace inf b ()) inferred_locks;
+  let cap_threads = max threads max_threads in
   {
     cfg;
     instrument;
     cv_mutexes = cvm;
     inferred_locks = inf;
-    vcs = Array.make max_threads Vc.bottom;
-    exit_vcs = Array.make max_threads Vc.bottom;
+    vcs = Array.make cap_threads Vc.bottom;
+    exit_vcs = Array.make cap_threads Vc.bottom;
     held = Lockset.Held.create ();
     shadow = Shadow.create ();
     mutex_vc = Hashtbl.create 8;

@@ -32,12 +32,17 @@ val run :
   ?workloads:string list ->
   ?fuel:int ->
   ?seed:int ->
+  ?synthetic:bool ->
   unit ->
   row list
 (** Bench every named PARSEC workload (default: streamcluster, x264,
     blackscholes) under every Table-1 mode.  [repeats] timed repetitions
     per engine follow one discarded warm-up; times and allocations are
-    medians. *)
+    medians.  With [synthetic] (the default), four hand-built
+    high-thread-count rows follow: barrier- and join-heavy event streams
+    at 128 and 512 threads, replayed with a raised engine thread
+    capacity — the machine itself stays capped at
+    [Tir.Types.max_threads]. *)
 
 val to_json : row list -> Arde_util.Json.t
 (** The BENCH_engine.json wire form. *)
@@ -48,5 +53,6 @@ val render : row list -> string
 val gate : row list -> string list
 (** CI failure messages, empty when the run passes: the optimized engine
     must reach at least 1.0× of the reference's throughput on
-    streamcluster under nolib+spin(7), and every row's report spot-check
-    must agree. *)
+    streamcluster under nolib+spin(7) and on every synthetic high-width
+    row, at least 2.0× on the 512-thread join-heavy row, and every row's
+    report spot-check must agree. *)

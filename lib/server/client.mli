@@ -11,14 +11,38 @@
 
 type t
 
-val connect : socket_path:string -> (t, string) result
+val connect :
+  ?wire:Protocol.wire ->
+  ?max_frame:int ->
+  socket_path:string ->
+  unit ->
+  (t, string) result
+(** [wire] (default [Json]) selects the request encoding for this
+    connection.  [Binary] performs the hello handshake: the server's
+    hello-ack mirrors its frame cap and this client resizes its decoder
+    to match, so responses up to the server's real limit are accepted.
+    [max_frame] (default {!Protocol.default_max_frame}) bounds response
+    frames until (and unless) a handshake overrides it — mirror the
+    server's [--max-frame-mb] here when talking JSON to a server with a
+    raised cap.  Responses decode by their own first byte, so callers
+    see canonical JSON response objects on either wire. *)
+
 val close : t -> unit
 (** Idempotent. *)
+
+val wire : t -> Protocol.wire
+
+val max_frame : t -> int
+(** The response-frame cap in force: the negotiated value on a binary
+    connection, the [connect] argument otherwise. *)
 
 val request : t -> Arde.Json.t -> (Arde.Json.t, string) result
 (** Send one JSON request frame, wait for one response frame.  [Error]
     on transport failure (refused connection, mid-response disconnect,
     unparsable response). *)
+
+val request_payload : t -> string -> (Arde.Json.t, string) result
+(** Send one raw frame payload (either wire), wait for one response. *)
 
 val run :
   t ->
@@ -90,6 +114,8 @@ val retry_policy :
 val submit_with_retry :
   socket_path:string ->
   policy:retry_policy ->
+  ?wire:Protocol.wire ->
+  ?max_frame:int ->
   ?id:Arde.Json.t ->
   ?deadline_ms:int ->
   ?record:bool ->
@@ -107,6 +133,8 @@ val submit_with_retry :
 val submit_trace_with_retry :
   socket_path:string ->
   policy:retry_policy ->
+  ?wire:Protocol.wire ->
+  ?max_frame:int ->
   ?id:Arde.Json.t ->
   ?deadline_ms:int ->
   trace:string ->

@@ -4,7 +4,15 @@
     are small non-negative integers (the machine caps them at
     [Tir.Types.max_threads]), so clocks are dense integer arrays trimmed to
     the highest non-zero component — compact enough to sit in every shadow
-    cell, which is what the paper's memory-consumption figure measures. *)
+    cell, which is what the paper's memory-consumption figure measures.
+
+    Snapshots additionally carry a {e provenance epoch} — the owning
+    thread and a version counter of its mutable clock at snapshot time —
+    which lets a mutable clock answer "have I already absorbed this
+    snapshot?" in O(1) instead of walking every component.  The epoch is
+    invisible to the lattice: [equal], [leq], [join] and friends depend
+    only on the components, so the two representations still compare
+    identically through {!snapshot}. *)
 
 type t
 
@@ -45,9 +53,12 @@ val size_words : t -> int
 
 type m
 
-val make_mut : int -> m
-(** [make_mut capacity] is an all-zero mutable clock; components at or
-    above [capacity] are fixed at 0. *)
+val make_mut : ?owner:int -> int -> m
+(** [make_mut ~owner capacity] is an all-zero mutable clock; components
+    at or above [capacity] are fixed at 0.  [owner] is the thread this
+    clock belongs to (default [-1], unowned): snapshots of an owned
+    clock carry its epoch, and joining a snapshot the clock has already
+    absorbed — including any earlier snapshot of itself — is O(1). *)
 
 val mget : m -> int -> int
 val mtick : m -> int -> unit

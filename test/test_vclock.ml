@@ -58,6 +58,66 @@ let props =
         Vc.leq a b && not (Vc.leq b a));
     law "to_list round-trips" gen_vc (fun a ->
         Vc.equal a (Vc.of_list (Vc.to_list a)));
+    (* Equivalence of the mutable epoch-carrying clock with the pure
+       ops: random interleavings of tick / snapshot-and-join / re-join
+       of a stale snapshot across three owned clocks must leave every
+       clock equal to a pure model driven by inc/join.  The re-join arm
+       matters: it hits the O(1) already-absorbed skip, which must be a
+       semantic no-op. *)
+    law "mutable epoch clocks agree with pure ops"
+      QCheck2.Gen.(
+        list_size (int_bound 48)
+          (triple (int_bound 2) (int_bound 2) (int_bound 31)))
+      (fun ops ->
+        let n = 3 and cap = 8 in
+        let ms = Array.init n (fun i -> Vc.make_mut ~owner:i cap) in
+        let pure = Array.make n Vc.bottom in
+        let hist = ref [] in
+        List.iter
+          (fun (k, i, x) ->
+            match k with
+            | 0 ->
+                Vc.mtick ms.(i) (x mod cap);
+                pure.(i) <- Vc.inc pure.(i) (x mod cap)
+            | 1 ->
+                let j = x mod n in
+                let s = Vc.snapshot ms.(j) in
+                hist := (s, pure.(j)) :: !hist;
+                Vc.mjoin ms.(i) s;
+                pure.(i) <- Vc.join pure.(i) pure.(j)
+            | _ -> (
+                match !hist with
+                | [] -> ()
+                | h ->
+                    let s, ps = List.nth h (x mod List.length h) in
+                    Vc.mjoin ms.(i) s;
+                    pure.(i) <- Vc.join pure.(i) ps))
+          ops;
+        Array.for_all2 (fun m p -> Vc.equal (Vc.snapshot m) p) ms pure);
+    law "own snapshots are already absorbed" gen_vc (fun a ->
+        let m = Vc.make_mut ~owner:0 12 in
+        Vc.mjoin m a;
+        Vc.mtick m 0;
+        let s = Vc.snapshot m in
+        Vc.mjoin m s;
+        (not (Vc.mjoin_changed m s)) && Vc.equal (Vc.snapshot m) s);
+    law "mjoin_changed reports exactly growth"
+      (QCheck2.Gen.pair gen_vc gen_vc)
+      (fun (a, b) ->
+        let m = Vc.make_mut 12 in
+        Vc.mjoin m a;
+        let before = Vc.snapshot m in
+        let changed = Vc.mjoin_changed m b in
+        let after = Vc.snapshot m in
+        changed = not (Vc.equal before after)
+        && Vc.equal after (Vc.join a b));
+    law "provenance is invisible to the lattice" gen_vc (fun a ->
+        let m = Vc.make_mut ~owner:1 12 in
+        Vc.mjoin m a;
+        Vc.mtick m 1;
+        let s = Vc.snapshot m in
+        let plain = Vc.of_list (List.init 12 (Vc.mget m)) in
+        Vc.equal s plain && Vc.leq s plain && Vc.leq plain s);
   ]
 
 let suite =
