@@ -467,7 +467,16 @@ let replay_cmd =
             "Submit the trace to a running $(b,arde serve) daemon (the \
              replay-farm path) instead of replaying locally.")
   in
-  let run file socket wire format =
+  let connect_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Like $(b,--socket), but over the daemon's TCP listener \
+             (started with $(b,arde serve --tcp)).")
+  in
+  let run file socket connect wire format =
     match read_binary_file file with
     | Error e ->
         prerr_endline ("replay: " ^ e);
@@ -484,10 +493,25 @@ let replay_cmd =
               | Some (W.Catalog.Case c) -> (s, Some c)
               | _ -> (s, None))
         in
-        match socket with
-        | Some socket_path -> (
+        match (socket, connect) with
+        | Some _, Some _ ->
+            prerr_endline
+              "replay: --socket and --connect are mutually exclusive";
+            exit 1
+        | (Some _, None | None, Some _) as remote -> (
+            let endpoint =
+              match remote with
+              | Some path, None -> Arde_server.Client.Unix_socket path
+              | _, Some hp -> (
+                  match Arde_server.Client.parse_tcp_endpoint hp with
+                  | Ok e -> e
+                  | Error e ->
+                      prerr_endline ("replay: " ^ e);
+                      exit 1)
+              | None, None -> assert false
+            in
             let reply, _attempts =
-              Arde_server.Client.submit_trace_with_retry ~socket_path
+              Arde_server.Client.submit_trace_with_retry ~endpoint
                 ~policy:Arde_server.Client.no_retry ~wire ~trace ()
             in
             match reply with
@@ -524,7 +548,7 @@ let replay_cmd =
                     | Error e ->
                         prerr_endline ("replay: malformed result json: " ^ e);
                         exit 4)))
-        | None -> (
+        | None, None -> (
             match Arde.Recorded.of_string trace with
             | Error e ->
                 prerr_endline ("replay: " ^ file ^ ": " ^ e);
@@ -542,7 +566,9 @@ let replay_cmd =
           re-executing the program; the output (and exit code 0-3) is \
           byte-identical to the run that recorded it.  Exit 4 on an \
           unreadable trace or a transport error.")
-    Term.(const run $ file_arg $ socket_opt_arg $ wire_arg $ format_arg)
+    Term.(
+      const run $ file_arg $ socket_opt_arg $ connect_opt_arg $ wire_arg
+      $ format_arg)
 
 (* ---- trace ---- *)
 
@@ -862,6 +888,43 @@ let socket_arg =
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
 
+(* Client-side endpoint selection: daemons always own a Unix socket and
+   may additionally listen on TCP, so the client commands accept either
+   [--socket PATH] or [--connect HOST:PORT] — exactly one. *)
+let client_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix domain socket path of the daemon.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Reach the daemon over its TCP listener (started with \
+           $(b,arde serve --tcp)) instead of the Unix socket.  The host \
+           part is optional and defaults to localhost.  Frames, wires \
+           and responses are identical on both transports.")
+
+let endpoint_of ~cmd socket connect =
+  match (socket, connect) with
+  | Some path, None -> Arde_server.Client.Unix_socket path
+  | None, Some hp -> (
+      match Arde_server.Client.parse_tcp_endpoint hp with
+      | Ok e -> e
+      | Error e ->
+          prerr_endline (cmd ^ ": " ^ e);
+          exit 1)
+  | Some _, Some _ ->
+      prerr_endline (cmd ^ ": --socket and --connect are mutually exclusive");
+      exit 1
+  | None, None ->
+      prerr_endline (cmd ^ ": one of --socket or --connect is required");
+      exit 1
+
 let deadline_arg =
   Arg.(
     value
@@ -931,20 +994,87 @@ let serve_cmd =
              limit; binary clients learn the cap from the hello \
              handshake.")
   in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Also listen on this TCP endpoint, speaking the identical \
+             frame protocol and wires as the Unix socket; clients reach \
+             it with $(b,--connect).  The host part is optional (default \
+             localhost); port 0 binds an ephemeral port, logged at \
+             startup.")
+  in
+  let store_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store-dir" ] ~docv:"DIR"
+          ~doc:
+            "On-disk bundle store shared by all workers (default: the \
+             socket path plus $(b,.store)).  Prepared analysis bundles \
+             are written back here on first compute and reloaded on \
+             memory miss, so restarted daemons and sibling workers start \
+             warm.  Inspect it with $(b,arde cache).")
+  in
+  let store_max_mb_arg =
+    Arg.(
+      value
+      & opt int Arde_server.Store.default_max_mb
+      & info [ "store-max-mb" ] ~docv:"MIB"
+          ~doc:
+            "Bundle-store size bound; after each write-back the least \
+             recently used entries are evicted down to it.")
+  in
+  let no_store_arg =
+    Arg.(
+      value & flag
+      & info [ "no-store" ]
+          ~doc:
+            "Disable the on-disk bundle store entirely (compute-only \
+             serving; every restart begins cold).")
+  in
   let run socket workers max_pending jobs default_deadline_ms spool
-      watchdog_ms max_frame_mb chaos_plan quiet =
+      watchdog_ms max_frame_mb tcp store_dir store_max_mb no_store chaos_plan
+      quiet =
     if max_frame_mb <= 0 then begin
       prerr_endline "serve: --max-frame-mb must be positive";
       exit 1
     end;
+    let tcp =
+      match tcp with
+      | None -> None
+      | Some hp -> (
+          let host, port_s =
+            match String.rindex_opt hp ':' with
+            | None -> ("", hp)
+            | Some i ->
+                ( String.sub hp 0 i,
+                  String.sub hp (i + 1) (String.length hp - i - 1) )
+          in
+          match int_of_string_opt port_s with
+          | Some port when port >= 0 && port < 65536 -> Some (host, port)
+          | Some _ | None ->
+              prerr_endline
+                (Printf.sprintf "serve: invalid --tcp endpoint %S (want \
+                                 HOST:PORT)" hp);
+              exit 1)
+    in
+    let store_dir =
+      if no_store then None
+      else Some (Option.value store_dir ~default:(socket ^ ".store"))
+    in
     let log =
       if quiet then ignore
       else fun m -> Printf.eprintf "[arde-serve] %s\n%!" m
     in
     let cfg =
-      Arde_server.Server.config ~workers ~max_pending
+      Arde_server.Server.config ?tcp ~workers ~max_pending
         ~max_frame:(max_frame_mb * 1024 * 1024) ?jobs ?default_deadline_ms
-        ~watchdog_ms ?spool_dir:spool ~chaos_plan ~log ~socket_path:socket ()
+        ~watchdog_ms ?spool_dir:spool ?store_dir
+        ~store_max_mb:(max 1 store_max_mb) ~chaos_plan ~log
+        ~socket_path:socket ()
     in
     match Arde_server.Server.create cfg with
     | Error e ->
@@ -967,8 +1097,9 @@ let serve_cmd =
           and exits 0.")
     Term.(
       const run $ socket_arg $ workers_arg $ max_pending_arg $ jobs_arg
-      $ deadline_arg $ spool_arg $ watchdog_arg $ max_frame_mb_arg
-      $ chaos_plan_arg $ quiet_arg)
+      $ deadline_arg $ spool_arg $ watchdog_arg $ max_frame_mb_arg $ tcp_arg
+      $ store_dir_arg $ store_max_mb_arg $ no_store_arg $ chaos_plan_arg
+      $ quiet_arg)
 
 let submit_cmd =
   let retries_arg =
@@ -990,7 +1121,9 @@ let submit_cmd =
             "First retry delay; doubles per retry (capped at 40x) with \
              deterministic jitter in [0.5, 1.5) of the nominal delay.")
   in
-  let run socket name mode opts deadline_ms retries retry_backoff_ms wire =
+  let run socket connect name mode opts deadline_ms retries retry_backoff_ms
+      wire =
+    let endpoint = endpoint_of ~cmd:"submit" socket connect in
     match find_program name with
     | Error e ->
         prerr_endline e;
@@ -1005,8 +1138,8 @@ let submit_cmd =
             ~jitter_seed:(Unix.getpid ()) ()
         in
         let reply, attempts =
-          Arde_server.Client.submit_with_retry ~socket_path:socket ~policy
-            ~wire ?deadline_ms ~program ~mode ~options ()
+          Arde_server.Client.submit_with_retry ~endpoint ~policy ~wire
+            ?deadline_ms ~program ~mode ~options ()
         in
         if attempts > 0 then
           Printf.eprintf "submit: retried %d time%s\n%!" attempts
@@ -1051,12 +1184,14 @@ let submit_cmd =
           codes 0-3 likewise; 4 on transport or server errors, including \
           an exhausted retry budget).")
     Term.(
-      const run $ socket_arg $ name_arg $ mode_arg $ common_opts
-      $ deadline_arg $ retries_arg $ retry_backoff_arg $ wire_arg)
+      const run $ client_socket_arg $ connect_arg $ name_arg $ mode_arg
+      $ common_opts $ deadline_arg $ retries_arg $ retry_backoff_arg
+      $ wire_arg)
 
 let stats_cmd =
-  let run socket =
-    match Arde_server.Client.connect ~socket_path:socket () with
+  let run socket connect =
+    let endpoint = endpoint_of ~cmd:"stats" socket connect in
+    match Arde_server.Client.connect ~endpoint () with
     | Error e ->
         prerr_endline ("stats: " ^ e);
         exit 4
@@ -1084,7 +1219,112 @@ let stats_cmd =
           request counts, queue depth, supervision counters (crashes, \
           restarts, watchdog kills, sealed crash bundles, open circuit \
           breakers) and per-worker health, as JSON on stdout.")
-    Term.(const run $ socket_arg)
+    Term.(const run $ client_socket_arg $ connect_arg)
+
+(* ---- cache ---- *)
+
+let cache_cmd =
+  let module St = Arde_server.Store in
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store-dir" ] ~docv:"DIR"
+          ~doc:
+            "The bundle-store directory (what the daemon was given as \
+             $(b,arde serve --store-dir), by default the socket path \
+             plus $(b,.store)).")
+  in
+  let open_store ~cmd dir =
+    match St.create ~dir () with
+    | Ok s -> s
+    | Error e ->
+        prerr_endline (cmd ^ ": " ^ e);
+        exit 1
+  in
+  let print_usage s =
+    let n, bytes = St.usage s in
+    Printf.printf "%d entr%s, %d bytes\n" n (if n = 1 then "y" else "ies") bytes
+  in
+  let ls_cmd =
+    let run dir =
+      let s = open_store ~cmd:"cache ls" dir in
+      List.iter
+        (fun e ->
+          Printf.printf "%-34s %-10s %-10s %-3s %9dB %8.0fs\n"
+            e.St.e_digest_hex e.St.e_mode e.St.e_style
+            (if e.St.e_count_callees then "cc" else "-")
+            e.St.e_bytes e.St.e_age_s)
+        (St.entries s);
+      print_usage s;
+      exit 0
+    in
+    Cmd.v
+      (Cmd.info "ls"
+         ~doc:
+           "List every bundle in the store, most recently used first: \
+            program digest, mode, lowering style, the callee-counting \
+            flag, size and idle age.")
+      Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let max_mb_arg =
+      Arg.(
+        required
+        & opt (some int) None
+        & info [ "max-mb" ] ~docv:"MIB"
+            ~doc:"Evict least-recently-used bundles down to this bound.")
+    in
+    let run dir max_mb =
+      let s = open_store ~cmd:"cache gc" dir in
+      let removed = St.gc s ~max_bytes:(max 0 max_mb * 1024 * 1024) in
+      Printf.printf "evicted %d\n" removed;
+      print_usage s;
+      exit 0
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Sweep the store down to a size bound, oldest-use first — the \
+            same policy the daemon applies after each write-back, for \
+            shrinking a store offline.")
+      Term.(const run $ dir_arg $ max_mb_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      let s = open_store ~cmd:"cache clear" dir in
+      Printf.printf "deleted %d\n" (St.clear s);
+      exit 0
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Delete every bundle in the store.")
+      Term.(const run $ dir_arg)
+  in
+  let verify_cmd =
+    let run dir =
+      let s = open_store ~cmd:"cache verify" dir in
+      let kept, deleted = St.verify s in
+      Printf.printf "%d ok, %d corrupt (deleted)\n" kept deleted;
+      exit (if deleted = 0 then 0 else 1)
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Checksum-walk every bundle, deleting any that fail to decode \
+            (truncated, corrupted, or written by an incompatible \
+            version).  Exits 1 when anything had to be deleted — the \
+            daemon itself recovers from such entries transparently, so \
+            this is a health check, not a repair prerequisite.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and maintain an $(b,arde serve) on-disk bundle store: \
+          list entries, shrink to a bound, wipe, or checksum-verify.  \
+          Safe to run against a live daemon's store — entries are \
+          immutable and readers fail open.")
+    [ ls_cmd; gc_cmd; clear_cmd; verify_cmd ]
 
 (* ---- postmortem ---- *)
 
@@ -1237,5 +1477,5 @@ let () =
             list_cmd; show_cmd; spin_report_cmd; run_cmd; record_cmd;
             replay_cmd; trace_cmd; fmt_cmd; compare_cmd; suite_cmd;
             parsec_cmd; chaos_cmd; serve_cmd; submit_cmd; stats_cmd;
-            postmortem_cmd;
+            cache_cmd; postmortem_cmd;
           ]))

@@ -91,6 +91,29 @@ val intern : compiled -> Arde_tir.Intern.t
     {!run} carry [base_id]s drawn from it; detectors use it to size flat
     shadow tables up front. *)
 
+type spin_cache = {
+  sc_header : int array array; (* fid -> blk -> loop id, or -1 *)
+  sc_inloop : int array array array; (* fid -> blk -> containing loop ids *)
+  sc_tags : int array array array array;
+      (* fid -> blk -> pc -> condition-load loop ids *)
+}
+(** The per-instrumentation spin cache as plain int arrays — a pure
+    function of (compiled program, instrumentation), so it can be
+    serialized and rebuilt in another process. *)
+
+val export_spin_cache : compiled -> Arde_cfg.Instrument.t -> spin_cache
+(** The spin cache for [inst], building it now if no run has yet.  The
+    build is memoized on the compiled program, so a subsequent {!run}
+    with the same instrumentation reuses it — exporting before the first
+    run moves the build cost, it does not add to it. *)
+
+val import_spin_cache :
+  compiled -> Arde_cfg.Instrument.t -> spin_cache -> (unit, string) Stdlib.result
+(** Install a cache deserialized elsewhere, after validating its shape
+    against this compiled program (function/block/instruction counts).
+    [Error] means the cache was built for a different program; the
+    machine will simply rebuild on first run. *)
+
 val run : config -> compiled -> result
 
 val run_program : config -> program -> result

@@ -3,6 +3,26 @@
 module J = Arde.Json
 module P = Protocol
 
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let endpoint_to_string = function
+  | Unix_socket path -> path
+  | Tcp (host, port) ->
+      Printf.sprintf "%s:%d" (if host = "" then "localhost" else host) port
+
+(* "HOST:PORT" with an optional host — ":4817" and "4817" both mean
+   loopback.  Mirrors the CLI's [--tcp] syntax on the serve side. *)
+let parse_tcp_endpoint s =
+  let host, port_s =
+    match String.rindex_opt s ':' with
+    | None -> ("", s)
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  match int_of_string_opt port_s with
+  | Some port when port > 0 && port < 65536 -> Ok (Tcp (host, port))
+  | Some _ | None ->
+      Error (Printf.sprintf "invalid TCP endpoint %S (want HOST:PORT)" s)
+
 type t = {
   cl_fd : Unix.file_descr;
   mutable cl_dec : P.decoder;
@@ -77,14 +97,35 @@ let request_payload t payload =
   match send_frame t payload with Error _ as e -> e | Ok () -> recv t
 let request t json = request_payload t (J.to_string json)
 
-let connect ?(wire = P.Json) ?max_frame ~socket_path () =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Util.connect fd (Unix.ADDR_UNIX socket_path) with
+let connect ?(wire = P.Json) ?max_frame ~endpoint () =
+  match
+    match endpoint with
+    | Unix_socket path ->
+        (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+        let addr = Util.resolve_host host in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (* Request/response over small frames: Nagle would stall every
+           request a full RTT behind the previous ack. *)
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        (fd, Unix.ADDR_INET (addr, port))
+  with
+  | exception Not_found ->
+      Error
+        (Printf.sprintf "cannot resolve host in %s"
+           (endpoint_to_string endpoint))
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s"
+           (endpoint_to_string endpoint) (Unix.error_message err))
+  | fd, addr -> (
+  match Util.connect fd addr with
   | exception Unix.Unix_error (err, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error
-        (Printf.sprintf "cannot connect to %s: %s" socket_path
-           (Unix.error_message err))
+        (Printf.sprintf "cannot connect to %s: %s"
+           (endpoint_to_string endpoint) (Unix.error_message err))
   | () -> (
       let mf = Option.value max_frame ~default:P.default_max_frame in
       let t =
@@ -124,7 +165,7 @@ let connect ?(wire = P.Json) ?max_frame ~socket_path () =
                         negotiated <> mf
                         && P.decoder_pending t.cl_dec = 0
                       then t.cl_dec <- P.decoder ~max_frame:negotiated ();
-                      Ok t))))
+                      Ok t)))))
 
 let run t ?id ?deadline_ms ?retry ?record ~program ~mode ~options () =
   request_payload t
@@ -204,8 +245,8 @@ type attempt_outcome =
 (* [build ~retry] builds the wire request payload for one attempt — the
    retry loop is payload-agnostic, shared by program and trace submits
    on either wire. *)
-let attempt_once ~socket_path ~wire ~max_frame ~build ~attempt =
-  match connect ~wire ?max_frame ~socket_path () with
+let attempt_once ~endpoint ~wire ~max_frame ~build ~attempt =
+  match connect ~wire ?max_frame ~endpoint () with
   | Error e ->
       (* The daemon was not reachable (refused, missing socket, failed
          handshake): nothing ran, unconditionally safe to retry. *)
@@ -227,10 +268,10 @@ let attempt_once ~socket_path ~wire ~max_frame ~build ~attempt =
       close c;
       outcome
 
-let with_retry ~socket_path ~wire ~max_frame ~policy build =
+let with_retry ~endpoint ~wire ~max_frame ~policy build =
   let prng = Arde.Prng.create policy.rp_jitter_seed in
   let rec go attempt =
-    match attempt_once ~socket_path ~wire ~max_frame ~build ~attempt with
+    match attempt_once ~endpoint ~wire ~max_frame ~build ~attempt with
     | Final r -> (r, attempt)
     | Retryable r ->
         if attempt >= policy.rp_attempts then (r, attempt)
@@ -241,9 +282,9 @@ let with_retry ~socket_path ~wire ~max_frame ~policy build =
   in
   go 0
 
-let submit_with_retry ~socket_path ~policy ?(wire = P.Json) ?max_frame ?id
+let submit_with_retry ~endpoint ~policy ?(wire = P.Json) ?max_frame ?id
     ?deadline_ms ?record ~program ~mode ~options () =
-  with_retry ~socket_path ~wire ~max_frame ~policy (fun ~retry ->
+  with_retry ~endpoint ~wire ~max_frame ~policy (fun ~retry ->
       match wire with
       | P.Json ->
           J.to_string
@@ -253,9 +294,9 @@ let submit_with_retry ~socket_path ~policy ?(wire = P.Json) ?max_frame ?id
           P.binary_run_request ?id ?deadline_ms ~retry ?record ~program ~mode
             ~options ())
 
-let submit_trace_with_retry ~socket_path ~policy ?(wire = P.Json) ?max_frame
+let submit_trace_with_retry ~endpoint ~policy ?(wire = P.Json) ?max_frame
     ?id ?deadline_ms ~trace () =
-  with_retry ~socket_path ~wire ~max_frame ~policy (fun ~retry ->
+  with_retry ~endpoint ~wire ~max_frame ~policy (fun ~retry ->
       match wire with
       | P.Json ->
           J.to_string (P.replay_request_json ?id ?deadline_ms ~retry ~trace ())

@@ -11,10 +11,22 @@
 
 type t
 
+type endpoint = Unix_socket of string | Tcp of string * int
+    (** Where the daemon listens.  [Tcp ("", port)] and
+        [Tcp ("localhost", port)] mean loopback; other hosts resolve as
+        numeric addresses first, then through the resolver.  Both
+        endpoints speak the identical frame and wire protocol. *)
+
+val endpoint_to_string : endpoint -> string
+
+val parse_tcp_endpoint : string -> (endpoint, string) result
+(** ["HOST:PORT"] (host optional: [":4817"] and ["4817"] mean loopback)
+    to a [Tcp] endpoint — the parser behind [--connect]. *)
+
 val connect :
   ?wire:Protocol.wire ->
   ?max_frame:int ->
-  socket_path:string ->
+  endpoint:endpoint ->
   unit ->
   (t, string) result
 (** [wire] (default [Json]) selects the request encoding for this
@@ -25,7 +37,9 @@ val connect :
     frames until (and unless) a handshake overrides it — mirror the
     server's [--max-frame-mb] here when talking JSON to a server with a
     raised cap.  Responses decode by their own first byte, so callers
-    see canonical JSON response objects on either wire. *)
+    see canonical JSON response objects on either wire.  TCP
+    connections set [TCP_NODELAY] — the protocol is request/response
+    over small frames, which Nagle serves terribly. *)
 
 val close : t -> unit
 (** Idempotent. *)
@@ -112,7 +126,7 @@ val retry_policy :
     doubled-and-capped base scaled by a jitter factor in [\[0.5, 1.5)]. *)
 
 val submit_with_retry :
-  socket_path:string ->
+  endpoint:endpoint ->
   policy:retry_policy ->
   ?wire:Protocol.wire ->
   ?max_frame:int ->
@@ -131,7 +145,7 @@ val submit_with_retry :
     never masked) and the number of retries actually performed. *)
 
 val submit_trace_with_retry :
-  socket_path:string ->
+  endpoint:endpoint ->
   policy:retry_policy ->
   ?wire:Protocol.wire ->
   ?max_frame:int ->

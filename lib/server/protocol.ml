@@ -655,18 +655,25 @@ let job_frame ~job ~digest =
       ("digest", J.String digest);
     ]
 
-let done_frame ~job ~spool_error ~code =
+let done_frame ?store ~job ~spool_error ~code () =
   J.Obj
-    [
-      ("type", J.String "done");
-      ("job", J.Int job);
-      ("spool_error", J.Bool spool_error);
-      ("code", J.String code);
-    ]
+    ([
+       ("type", J.String "done");
+       ("job", J.Int job);
+       ("spool_error", J.Bool spool_error);
+       ("code", J.String code);
+     ]
+    @ match store with None -> [] | Some s -> [ ("store", s) ])
 
 type worker_msg =
   | W_hello of int  (** the worker's pid *)
-  | W_done of { wd_job : int; wd_spool_error : bool; wd_code : string }
+  | W_done of {
+      wd_job : int;
+      wd_spool_error : bool;
+      wd_code : string;
+      wd_store : J.t option;
+          (** the bundle-store counter movement this request caused *)
+    }
       (** the response bytes follow in the next frame, verbatim *)
 
 let parse_worker_msg payload =
@@ -688,7 +695,8 @@ let parse_worker_msg payload =
                 Option.value ~default:false
                   (Option.bind (J.member "spool_error" j) J.to_bool)
               in
-              Ok (W_done { wd_job; wd_spool_error; wd_code })
+              let wd_store = J.member "store" j in
+              Ok (W_done { wd_job; wd_spool_error; wd_code; wd_store })
           | _ -> Error "done without job id or code")
       | Some other -> Error (Printf.sprintf "unknown worker message %S" other)
       | None -> Error "worker message without type")

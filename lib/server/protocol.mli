@@ -271,14 +271,27 @@ val job_frame : job:int -> digest:string -> Arde.Json.t
     the request's program text — the supervisor already computed it for
     affinity routing, so the worker need not digest the program again. *)
 
-val done_frame : job:int -> spool_error:bool -> code:string -> Arde.Json.t
+val done_frame :
+  ?store:Arde.Json.t ->
+  job:int ->
+  spool_error:bool ->
+  code:string ->
+  unit ->
+  Arde.Json.t
 (** The header completing job [job], carrying the response's outcome
-    [code] (["ok"] or an error code) for the supervisor's counters; the
+    [code] (["ok"] or an error code) for the supervisor's counters, and
+    optionally [store] — the bundle-store counter movement this request
+    caused, which the supervisor folds into daemon-wide totals; the
     worker sends the raw response bytes in the very next frame. *)
 
 type worker_msg =
   | W_hello of int  (** the worker's pid *)
-  | W_done of { wd_job : int; wd_spool_error : bool; wd_code : string }
+  | W_done of {
+      wd_job : int;
+      wd_spool_error : bool;
+      wd_code : string;
+      wd_store : Arde.Json.t option;
+    }
       (** the response bytes follow in the next frame, verbatim *)
 
 val parse_worker_msg : string -> (worker_msg, string) result

@@ -6,6 +6,7 @@ module P = Protocol
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
   workers : int;
   max_pending : int;
   max_frame : int;
@@ -18,19 +19,23 @@ type config = {
   breaker_threshold : int;
   breaker_window_s : float;
   spool_dir : string option;
+  store_dir : string option;
+  store_max_mb : int;
   chaos_plan : string;
   worker_exec : string option;
   log : string -> unit;
 }
 
-let config ?(workers = 2) ?(max_pending = 64) ?(max_frame = P.default_max_frame)
-    ?(jobs = 0) ?default_deadline_ms ?(watchdog_ms = 120_000)
-    ?(watchdog_grace_ms = 2_000) ?(restart_backoff_ms = 100)
-    ?(restart_backoff_max_ms = 5_000) ?(breaker_threshold = 5)
-    ?(breaker_window_s = 10.) ?spool_dir ?(chaos_plan = "") ?worker_exec
+let config ?tcp ?(workers = 2) ?(max_pending = 64)
+    ?(max_frame = P.default_max_frame) ?(jobs = 0) ?default_deadline_ms
+    ?(watchdog_ms = 120_000) ?(watchdog_grace_ms = 2_000)
+    ?(restart_backoff_ms = 100) ?(restart_backoff_max_ms = 5_000)
+    ?(breaker_threshold = 5) ?(breaker_window_s = 10.) ?spool_dir ?store_dir
+    ?(store_max_mb = Store.default_max_mb) ?(chaos_plan = "") ?worker_exec
     ?(log = ignore) ~socket_path () =
   {
     socket_path;
+    tcp;
     workers = (if workers <= 0 then 2 else workers);
     max_pending;
     max_frame;
@@ -43,6 +48,8 @@ let config ?(workers = 2) ?(max_pending = 64) ?(max_frame = P.default_max_frame)
     breaker_threshold;
     breaker_window_s;
     spool_dir;
+    store_dir;
+    store_max_mb;
     chaos_plan;
     worker_exec;
     log;
@@ -91,7 +98,9 @@ type job = {
 
 type t = {
   cfg : config;
-  listen_fd : Unix.file_descr;
+  listen_fds : Unix.file_descr list;
+      (* the Unix socket, plus the TCP listener when configured; both
+         accept into the same connection table and frame loop *)
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   sup : Supervisor.t;
@@ -99,8 +108,8 @@ type t = {
   conns : (Unix.file_descr, conn) Hashtbl.t;
   inflight : job option array; (* per worker slot *)
   (* A worker's [done] header whose response-bytes frame has not arrived
-     yet: (job id, spool_error, outcome code), per worker slot. *)
-  pending_done : (int * bool * string) option array;
+     yet: (job id, spool_error, outcome code, store delta), per slot. *)
+  pending_done : (int * bool * string * J.t option) option array;
   counters : counters;
   started : float;
   drain_requested : bool Atomic.t; (* set from signal handlers *)
@@ -382,11 +391,18 @@ let handle_conn_readable t conn =
       in
       drain_frames ()
 
-let accept_conn t =
-  match Util.accept t.listen_fd with
+let accept_conn t listen_fd =
+  match Util.accept listen_fd with
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
-  | fd, _ ->
+  | fd, peer ->
       Unix.set_nonblock fd;
+      (* Request/response over small frames: Nagle would add whole RTTs
+         of latency on the TCP listener, so switch it off. *)
+      (match peer with
+      | Unix.ADDR_INET _ -> (
+          try Unix.setsockopt fd Unix.TCP_NODELAY true
+          with Unix.Unix_error _ -> ())
+      | _ -> ());
       let conn =
         {
           c_fd = fd;
@@ -445,9 +461,9 @@ let handle_worker_msg t i msg =
   | P.W_hello _ ->
       Supervisor.note_hello t.sup i;
       dispatch t
-  | P.W_done { wd_job; wd_spool_error; wd_code } ->
+  | P.W_done { wd_job; wd_spool_error; wd_code; wd_store } ->
       (* The response bytes follow in the worker's very next frame. *)
-      t.pending_done.(i) <- Some (wd_job, wd_spool_error, wd_code)
+      t.pending_done.(i) <- Some (wd_job, wd_spool_error, wd_code, wd_store)
 
 let handle_worker_readable t i =
   let w = Supervisor.worker t.sup i in
@@ -470,8 +486,11 @@ let handle_worker_readable t i =
             match P.next_frame w.Supervisor.w_dec with
             | P.Frame payload -> (
                 match t.pending_done.(i) with
-                | Some (job_id, spool_error, code) ->
+                | Some (job_id, spool_error, code, store) ->
                     t.pending_done.(i) <- None;
+                    (match store with
+                    | Some delta -> Supervisor.note_store t.sup delta
+                    | None -> ());
                     complete_job t i ~job_id ~spool_error ~code payload;
                     drain_frames ()
                 | None -> (
@@ -580,7 +599,7 @@ let expire_queued_deadlines t ~now =
 (* The event loop                                                     *)
 
 let select_sets t =
-  let reads = ref [ t.listen_fd; t.wake_r ] in
+  let reads = ref (t.wake_r :: t.listen_fds) in
   let writes = ref [] in
   Hashtbl.iter
     (fun fd conn ->
@@ -679,7 +698,7 @@ let run t =
       | ready_r, ready_w, _ ->
           List.iter
             (fun fd ->
-              if fd = t.listen_fd then accept_conn t
+              if List.memq fd t.listen_fds then accept_conn t fd
               else if fd = t.wake_r then drain_wake_pipe t
               else
                 match Hashtbl.find_opt t.conns fd with
@@ -707,7 +726,9 @@ let run t =
       end)
     t.conns;
   Hashtbl.reset t.conns;
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listen_fds;
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
@@ -736,6 +757,38 @@ let clear_stale_socket path =
     Ok ()
   end
 
+let bind_tcp ~host ~port =
+  match
+    let addr = Util.resolve_host host in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (addr, port));
+       Unix.listen fd 64;
+       Unix.set_nonblock fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | fd -> Ok fd
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error
+        (Printf.sprintf "cannot bind %s:%d: %s (%s)" host port
+           (Unix.error_message err) fn)
+  | exception Not_found -> Error ("cannot resolve host " ^ host)
+
+(* The TCP endpoint actually bound — the port matters when the config
+   asked for 0 (ephemeral). *)
+let tcp_endpoint t =
+  match (t.cfg.tcp, t.listen_fds) with
+  | Some _, [ _; fd ] -> (
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (addr, port) ->
+          Some (Unix.string_of_inet_addr addr, port)
+      | _ | (exception Unix.Unix_error _) -> None)
+  | _ -> None
+
 let create cfg =
   let ( let* ) = Result.bind in
   let* () = clear_stale_socket cfg.socket_path in
@@ -748,6 +801,16 @@ let create cfg =
     Option.value cfg.spool_dir ~default:(cfg.socket_path ^ ".spool")
   in
   let* spool = Spool.create ~root:spool_root in
+  let* tcp_fd =
+    match cfg.tcp with
+    | None -> Ok None
+    | Some (host, port) -> Result.map Option.some (bind_tcp ~host ~port)
+  in
+  let close_tcp () =
+    match tcp_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ()
+  in
   match
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try
@@ -760,6 +823,7 @@ let create cfg =
     fd
   with
   | exception Unix.Unix_error (err, fn, _) ->
+      close_tcp ();
       Error
         (Printf.sprintf "cannot bind %s: %s (%s)" cfg.socket_path
            (Unix.error_message err) fn)
@@ -772,6 +836,8 @@ let create cfg =
           k_jobs = cfg.jobs;
           k_max_frame = cfg.max_frame;
           k_chaos_plan = cfg.chaos_plan;
+          k_store_dir = Option.value cfg.store_dir ~default:"";
+          k_store_max_mb = cfg.store_max_mb;
           k_restart_backoff_ms = cfg.restart_backoff_ms;
           k_restart_backoff_max_ms = cfg.restart_backoff_max_ms;
           k_breaker_threshold = cfg.breaker_threshold;
@@ -782,6 +848,7 @@ let create cfg =
       match Supervisor.create ~knobs ~spool ~workers:cfg.workers with
       | exception e ->
           (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          close_tcp ();
           (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
           Error ("cannot spawn workers: " ^ Printexc.to_string e)
       | sup ->
@@ -791,7 +858,9 @@ let create cfg =
           let t =
             {
               cfg;
-              listen_fd;
+              listen_fds =
+                (listen_fd
+                :: (match tcp_fd with Some fd -> [ fd ] | None -> []));
               wake_r;
               wake_w;
               sup;
@@ -823,6 +892,11 @@ let create cfg =
             }
           in
           t.cfg.log
-            (Printf.sprintf "listening on %s (%d workers)" cfg.socket_path
+            (Printf.sprintf "listening on %s%s (%d workers)" cfg.socket_path
+               (* Report the bound address, not the requested one — the
+                  difference is the whole point of asking for port 0. *)
+               (match tcp_endpoint t with
+               | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p
+               | None -> "")
                (Supervisor.n_workers sup));
           Ok t)

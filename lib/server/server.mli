@@ -33,6 +33,10 @@
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
+      (** also listen on this TCP endpoint, sharing the frame and wire
+          code with the Unix socket; port [0] binds an ephemeral port
+          (see {!tcp_endpoint}) *)
   workers : int;  (** worker processes; [<= 0] means 2 *)
   max_pending : int;  (** global admission bound on queued requests *)
   max_frame : int;  (** per-connection inbound frame size limit *)
@@ -50,6 +54,10 @@ type config = {
       (** crashes within the window that open a slot's circuit *)
   breaker_window_s : float;  (** storm window, and the cooldown *)
   spool_dir : string option;  (** default: [socket_path ^ ".spool"] *)
+  store_dir : string option;
+      (** on-disk bundle store shared by all workers (and by successive
+          daemons on the same path); [None] disables persistence *)
+  store_max_mb : int;  (** store size bound for the LRU sweep *)
   chaos_plan : string;
       (** fault plan forwarded to workers (see {!Arde.Chaos.Serve});
           [""] means none *)
@@ -59,6 +67,7 @@ type config = {
 }
 
 val config :
+  ?tcp:string * int ->
   ?workers:int ->
   ?max_pending:int ->
   ?max_frame:int ->
@@ -71,17 +80,20 @@ val config :
   ?breaker_threshold:int ->
   ?breaker_window_s:float ->
   ?spool_dir:string ->
+  ?store_dir:string ->
+  ?store_max_mb:int ->
   ?chaos_plan:string ->
   ?worker_exec:string ->
   ?log:(string -> unit) ->
   socket_path:string ->
   unit ->
   config
-(** Defaults: [workers = 2], [max_pending = 64],
+(** Defaults: no TCP listener, [workers = 2], [max_pending = 64],
     [max_frame = Protocol.default_max_frame], [jobs = 0], no default
     deadline, [watchdog_ms = 120_000], [watchdog_grace_ms = 2_000],
     [restart_backoff_ms = 100], [restart_backoff_max_ms = 5_000],
-    [breaker_threshold = 5], [breaker_window_s = 10.], mute log. *)
+    [breaker_threshold = 5], [breaker_window_s = 10.], no bundle store,
+    [store_max_mb = Store.default_max_mb], mute log. *)
 
 type t
 
@@ -91,6 +103,11 @@ val create : config -> (t, string) result
     worker processes.  [Error] if the path is in use by a live server,
     cannot be bound, the spool is unwritable, or the plan is
     malformed. *)
+
+val tcp_endpoint : t -> (string * int) option
+(** The TCP address actually bound, once {!create} succeeds — useful
+    when the config asked for port [0] (ephemeral).  [None] when no TCP
+    listener was configured. *)
 
 val run : t -> unit
 (** The supervisor loop.  Blocks until a drain completes, then flushes

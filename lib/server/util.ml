@@ -23,6 +23,19 @@ let write_all fd s =
     off := !off + write_substring fd s !off (len - !off)
   done
 
+(* Numeric addresses resolve without NSS; "localhost" and "" short-cut
+   to loopback so a daemon or client in a minimal container needs no
+   resolver. *)
+let resolve_host host =
+  if host = "" || host = "localhost" then Unix.inet_addr_loopback
+  else
+    match Unix.inet_addr_of_string host with
+    | addr -> addr
+    | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+        | h -> h.Unix.h_addr_list.(0))
+
 let sleepf dt =
   (* [Unix.sleepf] can be cut short by a signal; finish the nap. *)
   let until = Unix.gettimeofday () +. dt in

@@ -29,6 +29,12 @@ val sleepf : float -> unit
 (** [Unix.sleepf] that naps again after a signal until the full duration
     has elapsed. *)
 
+val resolve_host : string -> Unix.inet_addr
+(** Hostname to address, biased toward resolver-free containers: [""]
+    and ["localhost"] map straight to loopback, numeric addresses parse
+    without NSS, anything else goes through [gethostbyname].
+    @raise Not_found when the name does not resolve. *)
+
 (** {2 Non-blocking output buffering}
 
     The supervisor serves every connection and worker pipe from one
