@@ -315,6 +315,36 @@ let replay_bench ~out () =
       List.iter (Printf.eprintf "bench replay: FAIL: %s\n") failures;
       exit 1
 
+(* ---- the prediction benchmark ----
+
+   `bench predict [-o PATH]` differences a Predict analysis (two
+   recorded executions plus the sync-preserving closure) against the
+   16-seed sweep on the racy and race-free catalog under the Table-1
+   modes, and prices predict-from-one-trace against the live sweep on
+   swaptions, writing rows, timing and the executions-per-race summary
+   to BENCH_predict.json.  Exits non-zero when the CI gate fails: a
+   sweep-found race the predict run misses, a predicted race neither
+   the sweep nor ground truth vouches for, predict-from-trace above
+   0.25x the sweep wall clock, or an executions-per-race reduction
+   below 4x. *)
+
+let predict_bench ~out () =
+  let module J = Arde.Json in
+  let t = Arde_harness.Predict_bench.run () in
+  section "Prediction: coverage, soundness and cost vs the 16-seed sweep";
+  print_string (Arde_harness.Predict_bench.render t);
+  let oc = open_out out in
+  output_string oc
+    (J.to_string ~minify:false (Arde_harness.Predict_bench.to_json t));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  match Arde_harness.Predict_bench.gate t with
+  | [] -> ()
+  | failures ->
+      List.iter (Printf.eprintf "bench predict: FAIL: %s\n") failures;
+      exit 1
+
 (* ---- golden-trace fixture generator ----
 
    `bench fixtures [-o PATH]` runs the full fixture enumeration
@@ -1159,6 +1189,13 @@ let () =
       ~out:
         (match out_path args with
         | "BENCH_parallel.json" -> "BENCH_replay.json"
+        | p -> p)
+      ()
+  else if List.mem "predict" args then
+    predict_bench
+      ~out:
+        (match out_path args with
+        | "BENCH_parallel.json" -> "BENCH_predict.json"
         | p -> p)
       ()
   else if List.mem "parallel" args then parallel_bench ~out:(out_path args) ()

@@ -158,17 +158,37 @@ let jobs_arg =
            per core.  Reports and exit codes are identical for every \
            value.")
 
+let analysis_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("sweep", Arde.Options.Sweep);
+                ("predict", Arde.Options.Predict);
+                ("both", Arde.Options.Both);
+              ]))
+        None
+    & info [ "analysis" ] ~docv:"ANALYSIS"
+        ~doc:
+          "How races are found: $(b,sweep) (default) runs the detector on \
+           every seed; $(b,predict) records only the first two seeds and \
+           predicts sync-preserving races from their traces; $(b,both) \
+           sweeps every seed and predicts from the first recordings.")
+
 let maybe f v base = match v with None -> base | Some v -> f v base
 
 let common_opts : (Arde.Options.t -> Arde.Options.t) Cmdliner.Term.t =
-  let apply seeds fuel policy jobs base =
+  let apply seeds fuel policy jobs analysis base =
     base
     |> maybe Arde.Options.with_seed_count seeds
     |> maybe Arde.Options.with_fuel fuel
     |> maybe Arde.Options.with_policy policy
     |> maybe Arde.Options.with_jobs jobs
+    |> maybe Arde.Options.with_analysis analysis
   in
-  Term.(const apply $ seeds_arg $ fuel_arg $ policy_arg $ jobs_arg)
+  Term.(const apply $ seeds_arg $ fuel_arg $ policy_arg $ jobs_arg $ analysis_arg)
 
 (* ---- output format ---- *)
 
@@ -308,6 +328,18 @@ let render_result ~format ~workload ?case ?analysis_cache result =
                 Arde.Cv_checker.pp_diagnostic d)
             sr.Arde.Driver.sr_cv_diagnostics)
         result.Arde.Driver.runs;
+      (match result.Arde.Driver.prediction with
+      | None -> ()
+      | Some p ->
+          Printf.printf
+            "prediction: %d section(s), %d events, %d candidate pair(s), %d \
+             predicted, %d new context(s)\n"
+            p.Arde.Driver.pr_sections p.Arde.Driver.pr_events
+            p.Arde.Driver.pr_candidates p.Arde.Driver.pr_predicted
+            p.Arde.Driver.pr_new_contexts;
+          List.iter
+            (fun n -> Printf.printf "prediction: %s\n" n)
+            p.Arde.Driver.pr_notes);
       (match verdict with
       | None -> ()
       | Some v ->
@@ -570,6 +602,76 @@ let replay_cmd =
       const run $ file_arg $ socket_opt_arg $ connect_opt_arg $ wire_arg
       $ format_arg)
 
+(* ---- predict ---- *)
+
+let predict_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE|WORKLOAD"
+          ~doc:
+            "A binary trace written by $(b,arde record), or a workload \
+             name / .tir file to record and predict from.")
+  in
+  let run target mode opts format =
+    (* A readable file that loads as a trace is predicted from directly
+       (nothing executes); anything else resolves like `arde run` and
+       records the two seeds prediction needs. *)
+    let as_trace =
+      match read_binary_file target with
+      | Error _ -> None
+      | Ok data -> (
+          match Arde.Recorded.of_string data with
+          | Ok r -> Some r
+          | Error _ -> None)
+    in
+    match as_trace with
+    | Some recorded ->
+        let options =
+          Arde.Options.with_analysis Arde.Options.Predict Arde.Options.default
+        in
+        let workload, case =
+          match Arde.Recorded.source recorded with
+          | "" -> (target, None)
+          | s -> (
+              match W.Catalog.find s with
+              | Some (W.Catalog.Case c) -> (s, Some c)
+              | _ -> (s, None))
+        in
+        let result =
+          Arde.detect
+            ~ctx:(Arde.Driver.ctx ~options ())
+            (Arde.Input.Recorded_trace recorded)
+        in
+        exit (render_result ~format ~workload ?case result)
+    | None -> (
+        match find_program target with
+        | Error e ->
+            prerr_endline e;
+            exit 1
+        | Ok (p, case) ->
+            let options =
+              opts Arde.Options.default
+              |> Arde.Options.with_analysis Arde.Options.Predict
+            in
+            let result =
+              Arde.detect
+                ~ctx:(Arde.Driver.ctx ~options ())
+                ~mode (Arde.Input.Program p)
+            in
+            exit (render_result ~format ~workload:target ?case result))
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Predict sync-preserving races.  From a recorded trace, nothing \
+          executes: races are predicted from the recorded sections on top \
+          of the pinned replay.  From a workload, only the first two seeds \
+          run (with recording on) and prediction covers the schedules the \
+          sweep did not visit.  Exit codes as $(b,arde run).")
+    Term.(const run $ target_arg $ mode_arg $ common_opts $ format_arg)
+
 (* ---- trace ---- *)
 
 let trace_cmd =
@@ -632,9 +734,82 @@ let trace_cmd =
         & pos 0 (some string) None
         & info [] ~docv:"TRACE" ~doc:"A binary trace written by arde record.")
     in
+    let counts_arg =
+      Arg.(
+        value & flag
+        & info [ "counts" ]
+            ~doc:
+              "Also decode every section and print per-kind event counts — \
+               what a $(b,arde predict) run will consume.  Decoding reads \
+               the whole trace; without this flag event bodies are \
+               skipped.")
+    in
+    let event_kind_name =
+      let module E = Arde.Event in
+      function
+      | E.Read { kind = E.Plain; _ } -> "read.plain"
+      | E.Read _ -> "read.atomic"
+      | E.Write { kind = E.Plain; _ } -> "write.plain"
+      | E.Write _ -> "write.atomic"
+      | E.Lock_acq _ -> "lock_acq"
+      | E.Lock_rel _ -> "lock_rel"
+      | E.Cv_signal _ -> "cv_signal"
+      | E.Cv_wait_begin _ -> "cv_wait_begin"
+      | E.Cv_wait_return _ -> "cv_wait_return"
+      | E.Barrier_arrive _ -> "barrier_arrive"
+      | E.Barrier_pass _ -> "barrier_pass"
+      | E.Sem_post_ev _ -> "sem_post"
+      | E.Sem_acquire _ -> "sem_acquire"
+      | E.Spawn_ev _ -> "spawn"
+      | E.Join_return _ -> "join_return"
+      | E.Thread_start _ -> "thread_start"
+      | E.Thread_exit _ -> "thread_exit"
+      | E.Spin_enter _ -> "spin_enter"
+      | E.Spin_exit _ -> "spin_exit"
+    in
+    let kind_order =
+      [
+        "read.plain"; "read.atomic"; "write.plain"; "write.atomic";
+        "lock_acq"; "lock_rel"; "cv_signal"; "cv_wait_begin";
+        "cv_wait_return"; "barrier_arrive"; "barrier_pass"; "sem_post";
+        "sem_acquire"; "spawn"; "join_return"; "thread_start";
+        "thread_exit"; "spin_enter"; "spin_exit";
+      ]
+    in
+    (* Per-seed (kind, count) lists in a fixed kind order, zero kinds
+       omitted; [None] for sections that fail to decode. *)
+    let section_counts data =
+      match Arde.Trace_codec.read_sections data with
+      | Error _ -> fun _ -> None
+      | Ok (_, sections) ->
+          let by_seed = Hashtbl.create 8 in
+          List.iter
+            (fun sec ->
+              match Arde.Trace_codec.decode_events_list sec with
+              | Error _ | (exception _) -> ()
+              | Ok evs ->
+                  let tally = Hashtbl.create 16 in
+                  List.iter
+                    (fun ev ->
+                      let k = event_kind_name ev in
+                      Hashtbl.replace tally k
+                        (1
+                        + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+                    evs;
+                  Hashtbl.replace by_seed sec.Arde.Trace_codec.s_seed
+                    (List.filter_map
+                       (fun k ->
+                         Option.map
+                           (fun n -> (k, n))
+                           (Hashtbl.find_opt tally k))
+                       kind_order))
+            sections;
+          fun seed -> Hashtbl.find_opt by_seed seed
+    in
     (* Header and per-seed framing only: event bodies are skipped, never
-       decoded, so this stays fast on huge traces. *)
-    let run file format =
+       decoded, so this stays fast on huge traces — unless --counts asks
+       for the decoded per-kind tallies. *)
+    let run file counts format =
       match read_binary_file file with
       | Error e ->
           prerr_endline ("trace info: " ^ e);
@@ -648,6 +823,9 @@ let trace_cmd =
               exit 4
           | Ok (h, summaries) -> (
               let module C = Arde.Trace_codec in
+              let counts_of =
+                if counts then section_counts data else fun _ -> None
+              in
               match format with
               | Json ->
                   let module J = Arde.Json in
@@ -671,22 +849,34 @@ let trace_cmd =
                              (List.map
                                 (fun s ->
                                   J.Obj
-                                    [
-                                      ("seed", J.Int s.C.y_seed);
-                                      ("events", J.Int s.C.y_n_events);
-                                      ("bytes", J.Int s.C.y_bytes);
-                                      ( "bytes_per_event",
-                                        if s.C.y_n_events = 0 then J.Null
-                                        else
-                                          J.Float
-                                            (float_of_int s.C.y_bytes
-                                            /. float_of_int s.C.y_n_events) );
-                                      ("steps", J.Int s.C.y_steps);
-                                      ( "outcome",
-                                        J.String
-                                          (codec_outcome_name s.C.y_outcome)
-                                      );
-                                    ])
+                                    ([
+                                       ("seed", J.Int s.C.y_seed);
+                                       ("events", J.Int s.C.y_n_events);
+                                       ("bytes", J.Int s.C.y_bytes);
+                                       ( "bytes_per_event",
+                                         if s.C.y_n_events = 0 then J.Null
+                                         else
+                                           J.Float
+                                             (float_of_int s.C.y_bytes
+                                             /. float_of_int s.C.y_n_events)
+                                       );
+                                       ("steps", J.Int s.C.y_steps);
+                                       ( "outcome",
+                                         J.String
+                                           (codec_outcome_name s.C.y_outcome)
+                                       );
+                                     ]
+                                    @
+                                    match counts_of s.C.y_seed with
+                                    | None -> []
+                                    | Some ks ->
+                                        [
+                                          ( "counts",
+                                            J.Obj
+                                              (List.map
+                                                 (fun (k, n) -> (k, J.Int n))
+                                                 ks) );
+                                        ]))
                                 summaries) );
                        ])
               | Text ->
@@ -713,15 +903,26 @@ let trace_cmd =
                          steps, %s\n"
                         s.C.y_seed s.C.y_n_events s.C.y_bytes per_event
                         s.C.y_steps
-                        (codec_outcome_name s.C.y_outcome))
+                        (codec_outcome_name s.C.y_outcome);
+                      match counts_of s.C.y_seed with
+                      | None ->
+                          if counts && s.C.y_n_events > 0 then
+                            Printf.printf "           counts: (undecodable)\n"
+                      | Some ks ->
+                          Printf.printf "           counts: %s\n"
+                            (String.concat ", "
+                               (List.map
+                                  (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+                                  ks)))
                     summaries))
     in
     Cmd.v
       (Cmd.info "info"
          ~doc:
            "Print a binary trace's header and per-seed summaries without \
-            decoding any event body.")
-      Term.(const run $ file_arg $ format_arg)
+            decoding any event body; $(b,--counts) additionally decodes \
+            each section and tallies events per kind.")
+      Term.(const run $ file_arg $ counts_arg $ format_arg)
   in
   Cmd.group ~default:dump_term
     (Cmd.info "trace"
@@ -1475,7 +1676,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; show_cmd; spin_report_cmd; run_cmd; record_cmd;
-            replay_cmd; trace_cmd; fmt_cmd; compare_cmd; suite_cmd;
-            parsec_cmd; chaos_cmd; serve_cmd; submit_cmd; stats_cmd;
-            cache_cmd; postmortem_cmd;
+            replay_cmd; predict_cmd; trace_cmd; fmt_cmd; compare_cmd;
+            suite_cmd; parsec_cmd; chaos_cmd; serve_cmd; submit_cmd;
+            stats_cmd; cache_cmd; postmortem_cmd;
           ]))

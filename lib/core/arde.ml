@@ -55,6 +55,12 @@ module Trace_codec = Arde_runtime.Trace_codec
 
 (* Detection. *)
 module Vector_clock = Arde_vclock.Vector_clock
+
+(* Prediction: sync-preserving races from recorded traces, no
+   re-execution.  [Options.with_analysis Predict] wires it into
+   {!detect}; these are the raw per-section building blocks. *)
+module Sp_trace = Arde_predict.Sp_trace
+module Sp_predict = Arde_predict.Sp_predict
 module Lockset = Arde_detect.Lockset
 module Msm = Arde_detect.Msm
 module Shadow = Arde_detect.Shadow

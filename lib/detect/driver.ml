@@ -106,6 +106,17 @@ type health = {
   h_notes : string list;
 }
 
+type prediction = {
+  pr_sections : int;
+  pr_events : int;
+  pr_candidates : int;
+  pr_predicted : int;
+  pr_new_contexts : int;
+  pr_closure_steps : int;
+  pr_budget_hits : int;
+  pr_notes : string list;
+}
+
 type result = {
   mode : Config.mode;
   merged : Report.t;
@@ -114,6 +125,8 @@ type result = {
   static_cv_hazards : Cv_checker.diagnostic list;
       (* spurious-wakeup-unsafe waits, found statically *)
   health : health;
+  prediction : prediction option;
+      (* present when the run's analysis predicted from recordings *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -171,6 +184,7 @@ let failed_result mode msg =
     n_spin_loops = 0;
     static_cv_hazards = [];
     health = health_of ~notes:[ "pipeline: " ^ msg ] [];
+    prediction = None;
   }
 
 let describe_exn = function
@@ -404,6 +418,7 @@ let finish_result mode ~program ~instrument ~notes per_seed =
     n_spin_loops;
     static_cv_hazards = (try Cv_checker.static_check program with _ -> []);
     health = health_of ~notes runs;
+    prediction = None;
   }
 
 (* Execute the live pipeline; with [record] also seal one codec section
@@ -532,6 +547,145 @@ let replay ?(ctx = default_ctx) recorded =
       finish_result mode ~program ~instrument ~notes per_seed
 
 (* ------------------------------------------------------------------ *)
+(* Prediction: sync-preserving races from recorded sections           *)
+
+module Sp = Arde_predict.Sp_predict
+
+(* How many recorded executions a [Predict] analysis consumes.  The
+   differential gate promises every sweep-found race from at most this
+   many recordings, so the number is part of the contract, not a
+   tuning knob. *)
+let predict_limit = 2
+
+let take n xs =
+  let rec go n = function
+    | x :: tl when n > 0 -> x :: go (n - 1) tl
+    | _ -> []
+  in
+  go n xs
+
+(* Predict over the first [predict_limit] non-cancelled sections.  Never
+   raises: an undecodable section (a salvaged chaos trace, a truncated
+   stream) is skipped with a note — prediction only ever reads events
+   that survived the codec's hash check, so a sick recording degrades
+   coverage, never correctness. *)
+let predict_from_sections ~instrument sections =
+  let suppress =
+    match instrument with
+    | Some inst -> fun b -> Arde_cfg.Instrument.is_sync_base inst b
+    | None -> fun _ -> false
+  in
+  let config = { Sp.default_config with suppress } in
+  let chosen =
+    take predict_limit
+      (List.filter
+         (fun (s : Codec.section) ->
+           s.Codec.s_trailer.Codec.t_outcome <> Codec.Cancelled)
+         sections)
+  in
+  let races = ref [] and notes = ref [] in
+  let sections_used = ref 0
+  and events = ref 0
+  and cands = ref 0
+  and predicted = ref 0
+  and steps = ref 0
+  and hits = ref 0 in
+  List.iter
+    (fun (sec : Codec.section) ->
+      let skip msg =
+        notes :=
+          Printf.sprintf "predict: seed %d skipped: %s" sec.Codec.s_seed msg
+          :: !notes
+      in
+      match Codec.decode_events_list sec with
+      | Error e -> skip (Codec.error_to_string e)
+      | exception e -> skip (snd (describe_exn e))
+      | Ok evs -> (
+          match Sp.predict ~config (Array.of_list evs) with
+          | rs, st ->
+              incr sections_used;
+              events := !events + st.Sp.s_events;
+              cands := !cands + st.Sp.s_candidates;
+              predicted := !predicted + st.Sp.s_predicted;
+              steps := !steps + st.Sp.s_closure_steps;
+              hits := !hits + st.Sp.s_budget_hits;
+              races := !races @ rs
+          | exception e -> skip (snd (describe_exn e))))
+    chosen;
+  ( !races,
+    {
+      pr_sections = !sections_used;
+      pr_events = !events;
+      pr_candidates = !cands;
+      pr_predicted = !predicted;
+      pr_new_contexts = 0;
+      pr_closure_steps = !steps;
+      pr_budget_hits = !hits;
+      pr_notes = List.rev !notes;
+    } )
+
+let race_of_predicted (p : Sp.race) =
+  {
+    Report.r_base = p.Sp.p_base;
+    r_idx = p.Sp.p_idx;
+    r_first_tid = p.Sp.p_first_tid;
+    r_first_loc = p.Sp.p_first_loc;
+    r_first_write = p.Sp.p_first_write;
+    r_second_tid = p.Sp.p_second_tid;
+    r_second_loc = p.Sp.p_second_loc;
+    r_second_write = p.Sp.p_second_write;
+    r_predicted = true;
+  }
+
+(* Fold predicted races into the merged report {e after} every observed
+   one: {!Report.add} keeps the first representative per context, so a
+   context the sweep already saw stays an observed race and only
+   genuinely new contexts carry the [predicted] tag.  Sections are
+   visited in seed order and contexts in discovery order, so the merged
+   report stays byte-stable. *)
+let merge_predicted result (races, p) =
+  let before = Report.n_contexts result.merged in
+  List.iter (fun r -> Report.add result.merged (race_of_predicted r)) races;
+  let p = { p with pr_new_contexts = Report.n_contexts result.merged - before } in
+  { result with prediction = Some p }
+
+(* Attach a prediction computed from [sections] to [result].  The
+   [prepare] call here is a guaranteed cache hit (the run or replay that
+   produced [result] already prepared the program); it only recovers the
+   instrumentation so the predictor suppresses the same spin-condition
+   bases the engine does. *)
+let predict_into (c : ctx) options mode program result sections =
+  if result.runs = [] || sections = [] then result
+  else begin
+    let instrument =
+      match prepare ?digest:c.c_program_digest options mode program with
+      | _, instrument, _, _, _ -> instrument
+      | exception _ -> None
+    in
+    merge_predicted result (predict_from_sections ~instrument sections)
+  end
+
+(* The analysis-aware live pipeline: [Sweep] is the classic path,
+   [Predict] trims the run to [predict_limit] recorded seeds and
+   predicts from their traces, [Both] sweeps every seed and predicts
+   from the first recordings (the differential configuration). *)
+let run_live_analyzed (c : ctx) mode program =
+  match c.c_options.Options.analysis with
+  | Options.Sweep -> fst (run_live c mode program ~record:false)
+  | Options.Predict ->
+      let options =
+        Options.with_seeds
+          (take predict_limit c.c_options.Options.seeds)
+          c.c_options
+      in
+      let c = { c with c_options = options } in
+      let result, sections = run_live c mode program ~record:true in
+      predict_into c options mode program result sections
+  | Options.Both ->
+      let result, sections = run_live c mode program ~record:true in
+      predict_into c c.c_options mode program result sections
+
+(* ------------------------------------------------------------------ *)
 (* The front door                                                     *)
 
 let mode_conflict requested recorded_mode =
@@ -547,15 +701,29 @@ let run ?(ctx = default_ctx) ?mode input =
       match mode with
       | Some m when m <> Recorded.mode r ->
           failed_result m (mode_conflict m (Recorded.mode r))
-      | _ -> replay ~ctx r)
+      | _ -> (
+          let result = replay ~ctx r in
+          (* Replay itself is pinned to the recording; whether to ALSO
+             predict from it is the caller's choice, so the analysis
+             knob is read from [ctx], not the recorded options. *)
+          match ctx.c_options.Options.analysis with
+          | Options.Sweep -> result
+          | Options.Predict | Options.Both ->
+              (* prepare under the RECORDED mode/options: the predictor
+                 must suppress exactly the bases the recorded run's
+                 engine did *)
+              let digest = Digest.from_hex (Recorded.digest_hex r) in
+              let c = { ctx with c_program_digest = Some digest } in
+              predict_into c (Recorded.options r) (Recorded.mode r)
+                (Recorded.program r) result (Recorded.sections r)))
   | Input.Program program ->
       let mode = Option.value mode ~default:default_mode in
-      fst (run_live ctx mode program ~record:false)
+      run_live_analyzed ctx mode program
   | Input.Text text -> (
       let mode = Option.value mode ~default:default_mode in
       match resolve_text text with
       | Error msg -> failed_result mode msg
-      | Ok program -> fst (run_live ctx mode program ~record:false))
+      | Ok program -> run_live_analyzed ctx mode program)
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                          *)
@@ -804,21 +972,39 @@ let seed_run_to_json sr =
              sr.sr_cv_diagnostics) );
     ]
 
-let result_to_json r =
+let prediction_to_json p =
   J.Obj
     [
-      ("mode", J.String (Config.mode_name r.mode));
-      ("spin_loops", J.Int r.n_spin_loops);
-      ("report", Report.to_json r.merged);
-      ("runs", J.List (List.map seed_run_to_json r.runs));
-      ( "static_cv_hazards",
-        J.List
-          (List.map
-             (fun d ->
-               J.String (Format.asprintf "%a" Cv_checker.pp_diagnostic d))
-             r.static_cv_hazards) );
-      ("health", health_to_json r.health);
+      ("sections", J.Int p.pr_sections);
+      ("events", J.Int p.pr_events);
+      ("candidates", J.Int p.pr_candidates);
+      ("predicted", J.Int p.pr_predicted);
+      ("new_contexts", J.Int p.pr_new_contexts);
+      ("closure_steps", J.Int p.pr_closure_steps);
+      ("budget_hits", J.Int p.pr_budget_hits);
+      ("notes", J.List (List.map (fun n -> J.String n) p.pr_notes));
     ]
+
+let result_to_json r =
+  J.Obj
+    ([
+       ("mode", J.String (Config.mode_name r.mode));
+       ("spin_loops", J.Int r.n_spin_loops);
+       ("report", Report.to_json r.merged);
+       ("runs", J.List (List.map seed_run_to_json r.runs));
+       ( "static_cv_hazards",
+         J.List
+           (List.map
+              (fun d ->
+                J.String (Format.asprintf "%a" Cv_checker.pp_diagnostic d))
+              r.static_cv_hazards) );
+       ("health", health_to_json r.health);
+     ]
+    (* absent for sweep results, keeping pinned documents byte-stable *)
+    @
+    match r.prediction with
+    | None -> []
+    | Some p -> [ ("prediction", prediction_to_json p) ])
 
 (* ------------------------------------------------------------------ *)
 (* Same-trace comparison                                              *)

@@ -152,17 +152,46 @@ type health = {
     verdict.  [run] always returns one — it never raises, whatever the
     program or the injected perturbations do. *)
 
+type prediction = {
+  pr_sections : int;  (** recorded sections actually predicted from *)
+  pr_events : int;  (** decoded events consumed across them *)
+  pr_candidates : int;
+  pr_predicted : int;
+      (** races the predictor reported (per-section, before the merge
+          dedups contexts) *)
+  pr_new_contexts : int;
+      (** contexts the prediction added beyond the observed ones — the
+          predictive headroom over the executions that ran *)
+  pr_closure_steps : int;
+  pr_budget_hits : int;
+  pr_notes : string list;
+      (** skipped sections (undecodable or crashed recordings) — a
+          salvaged chaos trace degrades coverage, never correctness *)
+}
+(** What a predictive analysis did: {!Sp_predict} statistics summed over
+    the sections consumed, plus how many merged contexts are new. *)
+
 type result = {
   mode : Config.mode;
-  merged : Report.t; (* union of warnings over all seeds *)
+  merged : Report.t;
+      (* union of warnings over all seeds; predicted races (tagged
+         [r_predicted]) follow the observed ones *)
   runs : seed_run list; (* in seed order, whatever the pool did *)
   n_spin_loops : int; (* accepted by the instrumentation phase *)
   static_cv_hazards : Cv_checker.diagnostic list;
       (* waits without a predicate re-check loop *)
   health : health;
+  prediction : prediction option;
+      (* [Some] iff the run's analysis was [Predict] or [Both] and at
+         least one seed ran *)
 }
 
 (** {1 Entry points} *)
+
+val predict_limit : int
+(** Recorded executions a [Predict] analysis consumes (2).  The
+    differential gate promises every race the full sweep finds from at
+    most this many recordings, so it is contract, not tuning. *)
 
 val run : ?ctx:ctx -> ?mode:Config.mode -> Input.t -> result
 (** The one front door.  [Text] input is parsed and validated ([Failed]
@@ -171,6 +200,18 @@ val run : ?ctx:ctx -> ?mode:Config.mode -> Input.t -> result
     and [mode] (if given) must agree with the recorded one.  [mode]
     defaults to {!default_mode} for text/program inputs and to the
     recorded mode for traces.
+
+    [Options.analysis] selects how races are found.  [Sweep] (default)
+    is the pure dynamic path.  [Predict] runs only the first
+    {!predict_limit} seeds with recording on and predicts
+    sync-preserving races from their traces
+    ({!Arde_predict.Sp_predict}); [Both] sweeps every seed and predicts
+    from the first recordings.  Either way predicted races are merged
+    after the observed ones with [r_predicted] set on genuinely new
+    contexts, and [result.prediction] carries the statistics.  For a
+    [Recorded_trace] the analysis knob is read from [ctx] — a [Predict]
+    request predicts from the recording's existing sections on top of
+    the pinned replay, executing nothing.
 
     Fault-isolated and parallel: each seed executes in a sandbox on the
     domain pool, so one seed crashing (or the whole pipeline failing to
@@ -252,9 +293,13 @@ val health_of_json : Arde_util.Json.t -> (health, string) Stdlib.result
 val seed_run_to_json : seed_run -> Arde_util.Json.t
 (** Counters plus rendered outcome/diagnostic strings (not invertible). *)
 
+val prediction_to_json : prediction -> Arde_util.Json.t
+
 val result_to_json : result -> Arde_util.Json.t
 (** Mode, spin-loop count, merged report ({!Report.to_json}), per-seed
-    runs, static hazards, health. *)
+    runs, static hazards, health — plus a ["prediction"] object when
+    the analysis predicted (absent otherwise, keeping pinned sweep
+    documents byte-stable). *)
 
 val compare_on_trace :
   ?options:options ->

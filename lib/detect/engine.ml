@@ -243,6 +243,7 @@ let check_access t ~tid ~base ~idx ~loc ~write (cell : Sh.cell) =
               r_second_tid = tid;
               r_second_loc = loc;
               r_second_write = write;
+              r_predicted = false;
             }
         in
         if w_conc then

@@ -154,6 +154,7 @@ let check_access t ~tid ~base ~idx ~loc ~write (cell : Shadow.cell) =
           r_second_tid = tid;
           r_second_loc = loc;
           r_second_write = write;
+          r_predicted = false;
         })
     offending
 

@@ -1,3 +1,16 @@
+type analysis = Sweep | Predict | Both
+
+let analysis_name = function
+  | Sweep -> "sweep"
+  | Predict -> "predict"
+  | Both -> "both"
+
+let parse_analysis = function
+  | "sweep" -> Ok Sweep
+  | "predict" -> Ok Predict
+  | "both" -> Ok Both
+  | s -> Error (Printf.sprintf "unknown analysis %S (sweep|predict|both)" s)
+
 type t = {
   seeds : int list;
   policy : Arde_runtime.Sched.policy;
@@ -8,6 +21,7 @@ type t = {
   lower_style : Arde_tir.Lower.style;
   spurious_wakeups : bool;
   count_callee_blocks : bool;
+  analysis : analysis;
   inject : (seed:int -> Arde_runtime.Event.t -> unit) option;
 }
 
@@ -24,11 +38,12 @@ let default =
     lower_style = Arde_tir.Lower.Realistic;
     spurious_wakeups = false;
     count_callee_blocks = true;
+    analysis = Sweep;
     inject = None;
   }
 
 let make ?seeds ?policy ?fuel ?jobs ?sensitivity ?cap ?lower_style
-    ?spurious_wakeups ?count_callee_blocks ?inject () =
+    ?spurious_wakeups ?count_callee_blocks ?analysis ?inject () =
   {
     seeds = Option.value ~default:default.seeds seeds;
     policy = Option.value ~default:default.policy policy;
@@ -41,6 +56,7 @@ let make ?seeds ?policy ?fuel ?jobs ?sensitivity ?cap ?lower_style
       Option.value ~default:default.spurious_wakeups spurious_wakeups;
     count_callee_blocks =
       Option.value ~default:default.count_callee_blocks count_callee_blocks;
+    analysis = Option.value ~default:default.analysis analysis;
     inject;
   }
 
@@ -54,6 +70,7 @@ let with_cap cap t = { t with cap }
 let with_lower_style lower_style t = { t with lower_style }
 let with_spurious_wakeups spurious_wakeups t = { t with spurious_wakeups }
 let with_count_callee_blocks count_callee_blocks t = { t with count_callee_blocks }
+let with_analysis analysis t = { t with analysis }
 let with_inject inject t = { t with inject }
 
 (* ------------------------------------------------------------------ *)
@@ -66,17 +83,22 @@ module J = Arde_util.Json
 
 let to_json t =
   J.Obj
-    [
-      ("seeds", J.List (List.map (fun s -> J.Int s) t.seeds));
-      ("policy", J.String (Arde_runtime.Sched.policy_name t.policy));
-      ("fuel", J.Int t.fuel);
-      ("jobs", J.Int t.jobs);
-      ("sensitivity", J.String (Msm.sensitivity_name t.sensitivity));
-      ("cap", J.Int t.cap);
-      ("lower_style", J.String (Arde_tir.Lower.style_name t.lower_style));
-      ("spurious_wakeups", J.Bool t.spurious_wakeups);
-      ("count_callee_blocks", J.Bool t.count_callee_blocks);
-    ]
+    ([
+       ("seeds", J.List (List.map (fun s -> J.Int s) t.seeds));
+       ("policy", J.String (Arde_runtime.Sched.policy_name t.policy));
+       ("fuel", J.Int t.fuel);
+       ("jobs", J.Int t.jobs);
+       ("sensitivity", J.String (Msm.sensitivity_name t.sensitivity));
+       ("cap", J.Int t.cap);
+       ("lower_style", J.String (Arde_tir.Lower.style_name t.lower_style));
+       ("spurious_wakeups", J.Bool t.spurious_wakeups);
+       ("count_callee_blocks", J.Bool t.count_callee_blocks);
+     ]
+    (* emitted only when non-default, so pre-analysis documents (and
+       every already-recorded trace header) stay byte-identical *)
+    @
+    if t.analysis = Sweep then []
+    else [ ("analysis", J.String (analysis_name t.analysis)) ])
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -120,9 +142,10 @@ let of_json j =
       let* lower_style = parsed_field "lower_style" Arde_tir.Lower.parse_style in
       let* spurious_wakeups = bool_field "spurious_wakeups" in
       let* count_callee_blocks = bool_field "count_callee_blocks" in
+      let* analysis = parsed_field "analysis" parse_analysis in
       Ok
         (make ?seeds ?policy ?fuel ?jobs ?sensitivity ?cap ?lower_style
-           ?spurious_wakeups ?count_callee_blocks ())
+           ?spurious_wakeups ?count_callee_blocks ?analysis ())
   | _ -> Error "options must be a JSON object"
 
 (* Requested widths beyond the host's core count only add domain-switch

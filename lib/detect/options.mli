@@ -18,6 +18,21 @@
     [with_*] — new fields get defaults there, so adding one never breaks
     a caller. *)
 
+type analysis =
+  | Sweep  (** the classic 16-seed-style dynamic sweep: one detector
+               run per seed, races observed directly *)
+  | Predict
+      (** record a couple of executions and {e predict} sync-preserving
+          races from the traces ({!Arde_predict.Sp_predict}) — many
+          fewer executions for the same racy contexts *)
+  | Both  (** full sweep plus prediction from the first recordings —
+              the differential-testing configuration *)
+
+val analysis_name : analysis -> string
+(** ["sweep"] / ["predict"] / ["both"] — the wire and CLI spelling. *)
+
+val parse_analysis : string -> (analysis, string) result
+
 type t = {
   seeds : int list;  (** scheduler seeds, one detector run each *)
   policy : Arde_runtime.Sched.policy;
@@ -34,6 +49,7 @@ type t = {
   count_callee_blocks : bool;
       (** count condition-helper callee blocks toward the spin window
           (the paper's accounting); [false] is the ablation *)
+  analysis : analysis;  (** how races are found; {!Sweep} by default *)
   inject : (seed:int -> Arde_runtime.Event.t -> unit) option;
       (** extra per-seed observer, teed in ahead of the engine.  It may
           raise: [Machine.Fault_exn] becomes a machine [Fault] outcome,
@@ -61,6 +77,7 @@ val make :
   ?lower_style:Arde_tir.Lower.style ->
   ?spurious_wakeups:bool ->
   ?count_callee_blocks:bool ->
+  ?analysis:analysis ->
   ?inject:(seed:int -> Arde_runtime.Event.t -> unit) ->
   unit ->
   t
@@ -81,6 +98,7 @@ val with_cap : int -> t -> t
 val with_lower_style : Arde_tir.Lower.style -> t -> t
 val with_spurious_wakeups : bool -> t -> t
 val with_count_callee_blocks : bool -> t -> t
+val with_analysis : analysis -> t -> t
 val with_inject : (seed:int -> Arde_runtime.Event.t -> unit) option -> t -> t
 
 (** {1 Wire form}
@@ -89,7 +107,9 @@ val with_inject : (seed:int -> Arde_runtime.Event.t -> unit) option -> t -> t
     object.  [inject] is a closure and never crosses the wire; every
     other field does.  [of_json] treats absent fields as defaults, so
     [Obj []] is a valid (all-default) payload, and
-    [of_json (to_json t) = Ok { t with inject = None }]. *)
+    [of_json (to_json t) = Ok { t with inject = None }].  The
+    [analysis] field is emitted only when it is not {!Sweep}, keeping
+    recorded trace headers and pinned documents byte-identical. *)
 
 val to_json : t -> Arde_util.Json.t
 val of_json : Arde_util.Json.t -> (t, string) result

@@ -9,6 +9,7 @@ type race = {
   r_second_tid : int;
   r_second_loc : loc;
   r_second_write : bool;
+  r_predicted : bool;
 }
 
 type context = string * loc * loc (* base + ordered loc pair *)
@@ -51,10 +52,11 @@ let merge_into dst src = List.iter (add dst) (races src)
 let kind w = if w then "write" else "read"
 
 let pp_race ppf r =
-  Format.fprintf ppf "race on %s[%d]: T%d %s at %a vs T%d %s at %a" r.r_base
+  Format.fprintf ppf "race on %s[%d]: T%d %s at %a vs T%d %s at %a%s" r.r_base
     r.r_idx r.r_first_tid (kind r.r_first_write) Arde_tir.Pretty.loc
     r.r_first_loc r.r_second_tid (kind r.r_second_write) Arde_tir.Pretty.loc
     r.r_second_loc
+    (if r.r_predicted then " (predicted)" else "")
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%d racy context(s)%s@," t.n
@@ -98,12 +100,14 @@ let access_of_json j =
 
 let race_to_json r =
   J.Obj
-    [
-      ("base", J.String r.r_base);
-      ("idx", J.Int r.r_idx);
-      ("first", access_to_json r.r_first_tid r.r_first_loc r.r_first_write);
-      ("second", access_to_json r.r_second_tid r.r_second_loc r.r_second_write);
-    ]
+    ([
+       ("base", J.String r.r_base);
+       ("idx", J.Int r.r_idx);
+       ("first", access_to_json r.r_first_tid r.r_first_loc r.r_first_write);
+       ("second", access_to_json r.r_second_tid r.r_second_loc r.r_second_write);
+     ]
+    (* only when set: observed races keep their pre-prediction shape *)
+    @ if r.r_predicted then [ ("predicted", J.Bool true) ] else [])
 
 let race_of_json j =
   let* r_base = field "base" J.to_str j in
@@ -115,6 +119,11 @@ let race_of_json j =
   in
   let* r_first_tid, r_first_loc, r_first_write = side "first" in
   let* r_second_tid, r_second_loc, r_second_write = side "second" in
+  let r_predicted =
+    match Option.bind (J.member "predicted" j) J.to_bool with
+    | Some b -> b
+    | None -> false
+  in
   Ok
     {
       r_base;
@@ -125,6 +134,7 @@ let race_of_json j =
       r_second_tid;
       r_second_loc;
       r_second_write;
+      r_predicted;
     }
 
 let to_json t =

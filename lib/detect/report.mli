@@ -18,6 +18,10 @@ type race = {
   r_second_tid : int;
   r_second_loc : loc;
   r_second_write : bool;
+  r_predicted : bool;
+      (** [true] when the race was predicted from a recorded trace
+          ({!Arde_predict.Sp_predict}) rather than observed by the
+          engine during an execution *)
 }
 
 type t

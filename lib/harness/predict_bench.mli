@@ -1,0 +1,102 @@
+(** The prediction benchmark behind [bench predict].
+
+    Prices {!Arde.Sp_predict} against the detector it is meant to
+    replace executions of: for each racy catalog case × Table-1 mode,
+    a full 16-seed sweep is compared with a [Predict] analysis that
+    executes only {!Arde.Driver.predict_limit} seeds (recording them)
+    and predicts sync-preserving races from the traces.  Three claims
+    are gated:
+
+    - {b Coverage}: on racy cases, every distinct racy context the
+      16-seed sweep finds appears in the predict run's merged report
+      (observed from the two recorded executions or predicted from
+      their traces).
+    - {b Soundness}: no predicted false positives — every
+      [r_predicted] context either appears in the 16-seed sweep's
+      report or sits on a ground-truth racy base.  The first arm makes
+      the sweep the oracle (on cases like double-checked locking,
+      where the dynamic detector itself raises a false alarm,
+      prediction agreeing with the detector is correct differential
+      behavior); the second admits predictive headroom — real races
+      the sixteen schedules happened to miss.  On race-free cases the
+      second arm is empty, so this is exactly "zero predicted false
+      positives on race-free rows".
+    - {b Cost}: predicting from a single recorded swaptions trace
+      (no execution at all) takes at most a quarter of the 16-seed
+      live sweep's wall clock, and across the racy rows the
+      executions-per-race ratio drops by at least 4×.
+
+    The result set is written to [BENCH_predict.json] by the [bench]
+    executable; {!gate} is the CI smoke criterion. *)
+
+type row = {
+  p_workload : string;
+  p_mode : string;
+  p_racy : bool;  (** ground truth of the catalog case *)
+  p_sweep_execs : int;  (** seeds the sweep actually ran *)
+  p_sweep_contexts : int;
+  p_sweep_s : float;
+  p_predict_execs : int;  (** seeds the predict run executed (≤ 2) *)
+  p_predict_contexts : int;  (** merged contexts, observed ∪ predicted *)
+  p_predicted_new : int;  (** contexts prediction added beyond observation *)
+  p_predicted_tagged : int;  (** merged races carrying [r_predicted] *)
+  p_predicted_fp : int;
+      (** predicted races whose context the sweep never reports and
+          whose base ground truth does not vouch for *)
+  p_predict_s : float;
+  p_missed : int;  (** sweep contexts absent from the predict run *)
+}
+
+type timing = {
+  t_workload : string;
+  t_mode : string;
+  t_sweep_execs : int;
+  t_sweep_s : float;  (** full live sweep, median wall clock *)
+  t_predict_s : float;
+      (** [Predict] analysis over a one-seed recording: replay plus
+          closure, zero program executions *)
+  t_ratio : float;  (** predict / sweep *)
+}
+
+type summary = {
+  s_sweep_execs : int;  (** total executions across racy rows *)
+  s_sweep_contexts : int;
+  s_predict_execs : int;
+  s_predict_contexts : int;
+  s_sweep_execs_per_race : float;
+  s_predict_execs_per_race : float;
+  s_reduction : float;  (** sweep / predict executions-per-race *)
+}
+
+type t = { rows : row list; timing : timing; summary : summary }
+
+val run :
+  ?repeats:int ->
+  ?racy:string list ->
+  ?race_free:string list ->
+  ?fuel:int ->
+  ?parsec_fuel:int ->
+  ?seeds:int list ->
+  unit ->
+  t
+(** Bench the default case set (ten racy cases spanning every family
+    that manifests within the sweep, six race-free library and ad-hoc
+    cases) under the four Table-1 modes, plus the swaptions timing
+    row under nolib+spin(7).  Catalog rows are timed once; the
+    swaptions row takes the median of [repeats] runs after a
+    discarded warm-up.  [seeds] defaults to 1–16 (the sweep budget
+    the predict run is differenced against). *)
+
+val to_json : t -> Arde_util.Json.t
+(** The BENCH_predict.json wire form. *)
+
+val render : t -> string
+(** Human-readable tables of the same rows. *)
+
+val gate : t -> string list
+(** CI failure messages, empty when the run passes: every racy row's
+    sweep contexts covered by the predict run, zero predicted races
+    outside the sweep's findings on any row, swaptions
+    predict-from-trace within 0.25× of the live sweep, and an
+    executions-per-race reduction of at least 4× across the racy
+    rows. *)

@@ -1,0 +1,75 @@
+(** SpPredict — sync-preserving race prediction over one recorded
+    section (Mathur, Pavlogiannis, Viswanathan: "Optimal Prediction of
+    Synchronization-Preserving Races").
+
+    The input is the decoded event stream of a single seed; the output
+    is the set of access pairs that race in {e some} correct reordering
+    of that trace which keeps every synchronization operation and every
+    read's observed writer — without re-executing the program.  The
+    pipeline:
+
+    + a single {b weak happens-before} pass over the stream computes
+      per-thread sparse-epoch clocks ({!Arde_vclock.Vector_clock.m})
+      closed under program order, observation (writer → read, plain and
+      atomic — the edges the inferred ad-hoc sync lives on), spawn/join
+      and the conservative library-sync joins, but {e not} lock
+      release → acquire.  Conflicting same-cell plain accesses by
+      different threads that this order leaves unordered become
+      candidates — any pair it orders is unpredictable by construction,
+      which prunes almost everything;
+    + candidates are grouped by report context (base + unordered loc
+      pair, the same key {!Report} dedups on) with a per-context
+      attempt budget, nearest pairs first;
+    + each attempted pair runs the {!Sp_trace.closure} fixpoint; the
+      first [Concurrent] verdict per context becomes a predicted race.
+
+    Prediction is {b sound} (every predicted pair has a witness
+    reordering) and deliberately {b not complete}: the conservative
+    sync requirements and the closure budget may miss predictable
+    races.  The differential suite measures the gap against the
+    16-seed sweep. *)
+
+open Arde_tir.Types
+
+type config = {
+  suppress : string -> bool;
+      (** bases the detector treats as synchronization (spin condition
+          variables found by the instrumentation phase); accesses to
+          them are never race candidates, matching the engine *)
+  max_pairs_per_context : int;  (** closure attempts per context *)
+  max_contexts : int;  (** distinct candidate contexts considered *)
+  closure_budget : int;  (** events one closure run may process *)
+}
+
+val default_config : config
+(** No suppression, 4 pairs per context, 4096 contexts, 200k-step
+    closure budget. *)
+
+type race = {
+  p_base : string;
+  p_idx : int;
+  p_first_tid : int;
+  p_first_loc : loc;
+  p_first_write : bool;
+  p_second_tid : int;
+  p_second_loc : loc;
+  p_second_write : bool;
+}
+(** Mirrors [Report.race]'s shape; [first] is the earlier access in
+    the recorded trace. *)
+
+type stats = {
+  s_events : int;
+  s_candidates : int;  (** unordered conflicting pairs collected *)
+  s_contexts : int;  (** distinct contexts among them *)
+  s_predicted : int;  (** contexts with a surviving witness *)
+  s_closure_runs : int;
+  s_closure_steps : int;  (** total events processed by closures *)
+  s_budget_hits : int;  (** closures stopped by the step budget *)
+  s_dropped_contexts : int;  (** contexts beyond [max_contexts] *)
+}
+
+val predict :
+  ?config:config -> Arde_runtime.Event.t array -> race list * stats
+(** Races in deterministic order: contexts in first-candidate (trace)
+    order, one representative pair each. *)

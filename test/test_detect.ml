@@ -71,6 +71,7 @@ let mk_race ?(base = "x") ?(idx = 0) ?(l1 = "a") ?(l2 = "b") () =
     r_second_tid = 2;
     r_second_loc = { Arde.Types.lfunc = "f"; lblk = l2; lidx = 0 };
     r_second_write = false;
+    r_predicted = false;
   }
 
 let test_report_dedup () =

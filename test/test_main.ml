@@ -23,6 +23,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("server", Test_server.suite);
       ("replay", Test_replay.suite);
+      ("predict", Test_predict.suite);
       ("parallel", Test_parallel.suite);
       ("engine-diff", Test_engine_diff.suite);
       ("machine-diff", Test_machine_diff.suite);

@@ -94,6 +94,7 @@ let prop_report_idempotent =
           r_second_tid = 2;
           r_second_loc = { Arde.Types.lfunc = "f"; lblk = string_of_int j; lidx = i };
           r_second_write = true;
+          r_predicted = false;
         }
       in
       let t = Arde.Report.create () in
